@@ -1,0 +1,73 @@
+// Command gmbench regenerates the paper's GM-level evaluation:
+//
+//	gmbench -fig 3    Figure 3 — NIC-based multisend vs host-based
+//	                  multiple unicasts, for 3, 4 and 8 destinations
+//	gmbench -fig 5    Figure 5 — NIC-based multicast (optimal tree) vs
+//	                  host-based multicast (binomial), for 4/8/16 nodes
+//
+// The tables print the same series the figures plot: latency per message
+// size for both schemes and the factor of improvement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 3 or 5 (0 = both)")
+	doPlot := flag.Bool("plot", false, "render ASCII factor curves after the tables")
+	iters := flag.Int("iters", 100, "timed iterations per point")
+	warmup := flag.Int("warmup", 20, "warm-up iterations per point")
+	maxSize := flag.Int("maxsize", 16384, "largest message size in the sweep")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	o.Iters = *iters
+	o.Warmup = *warmup
+	o.Seed = *seed
+	sizes := harness.MessageSizes(*maxSize)
+
+	switch *fig {
+	case 0:
+		fig3(o, sizes, *doPlot)
+		fig5(o, sizes, *doPlot)
+	case 3:
+		fig3(o, sizes, *doPlot)
+	case 5:
+		fig5(o, sizes, *doPlot)
+	default:
+		fmt.Fprintf(os.Stderr, "gmbench: unknown figure %d (want 3 or 5)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig3(o harness.Options, sizes []int, doPlot bool) {
+	fmt.Println("Figure 3: NIC-based multisend (NB) vs host-based multiple unicasts (HB)")
+	curves := map[string]harness.Series{}
+	for _, ndest := range []int{3, 4, 8} {
+		s := o.Fig3(ndest, sizes)
+		harness.WriteSeries(os.Stdout, fmt.Sprintf("-- %d destinations --", ndest), s)
+		curves[fmt.Sprintf("%d dests", ndest)] = s
+	}
+	if doPlot {
+		harness.PlotFactors(os.Stdout, "Figure 3(b): factor of improvement", curves)
+	}
+}
+
+func fig5(o harness.Options, sizes []int, doPlot bool) {
+	fmt.Println("Figure 5: GM-level NIC-based multicast (NB) vs host-based multicast (HB)")
+	curves := map[string]harness.Series{}
+	for _, nodes := range []int{4, 8, 16} {
+		s := o.Fig5(nodes, sizes)
+		harness.WriteSeries(os.Stdout, fmt.Sprintf("-- %d nodes --", nodes), s)
+		curves[fmt.Sprintf("%d nodes", nodes)] = s
+	}
+	if doPlot {
+		harness.PlotFactors(os.Stdout, "Figure 5(b): factor of improvement", curves)
+	}
+}

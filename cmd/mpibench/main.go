@@ -1,0 +1,37 @@
+// Command mpibench regenerates Figure 4 of the paper: MPI-level broadcast
+// latency of the modified MPICH-GM (NIC-based multicast) against stock
+// MPICH-GM's host-based binomial broadcast, for 4, 8 and 16 node systems,
+// up to the largest eager message of 16,287 bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	iters := flag.Int("iters", 60, "timed iterations per point")
+	doPlot := flag.Bool("plot", false, "render ASCII factor curves after the tables")
+	warmup := flag.Int("warmup", 20, "warm-up iterations per point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	o.Iters = *iters
+	o.Warmup = *warmup
+	o.Seed = *seed
+
+	fmt.Println("Figure 4: MPI-level broadcast, NIC-based (NB) vs host-based (HB)")
+	curves := map[string]harness.Series{}
+	for _, nodes := range []int{4, 8, 16} {
+		s := o.Fig4(nodes, harness.MPISizes())
+		harness.WriteSeries(os.Stdout, fmt.Sprintf("-- %d nodes --", nodes), s)
+		curves[fmt.Sprintf("%d nodes", nodes)] = s
+	}
+	if *doPlot {
+		harness.PlotFactors(os.Stdout, "Figure 4(b): factor of improvement", curves)
+	}
+}

@@ -1,0 +1,41 @@
+// Command scalebench runs the scalability study the paper lists as future
+// work ("we intend to study its scalability in large scale systems"):
+// NIC-based vs host-based multicast latency to the last destination, for
+// systems from one crossbar up through multi-stage Clos networks of
+// 16-port switches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	iters := flag.Int("iters", 40, "timed iterations per point")
+	size := flag.Int("size", 64, "message size in bytes")
+	nodesFlag := flag.String("nodes", "8,16,32,64,128", "comma-separated system sizes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var nodeCounts []int
+	for _, f := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "scalebench: bad node count %q\n", f)
+			os.Exit(2)
+		}
+		nodeCounts = append(nodeCounts, n)
+	}
+
+	o := harness.DefaultOptions()
+	o.Iters = *iters
+	o.Seed = *seed
+	fmt.Printf("Scalability: time until the last of N hosts holds a %d-byte broadcast\n", *size)
+	harness.WriteScale(os.Stdout, "-- NIC-based (NB) vs host-based (HB) --",
+		o.ScaleSweep(nodeCounts, *size))
+}

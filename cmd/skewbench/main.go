@@ -1,0 +1,67 @@
+// Command skewbench regenerates the paper's process-skew evaluation:
+//
+//	skewbench -fig 6    Figure 6 — average host CPU time of MPI_Bcast on
+//	                    16 nodes under 0–400 µs of average process skew,
+//	                    for small (2/4/8 B) and large (2/4/8 KB) messages
+//	skewbench -fig 7    Figure 7 — the CPU-time improvement factor at
+//	                    400 µs average skew across 4/8/12/16-node systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 6 or 7 (0 = both)")
+	iters := flag.Int("iters", 120, "skewed broadcasts per point")
+	nodes := flag.Int("nodes", 16, "system size for figure 6")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	large := flag.Bool("large", false, "figure 6: also sweep 2/4/8 KB messages (technical-report companion)")
+	doPlot := flag.Bool("plot", false, "render ASCII curves after the tables")
+	flag.Parse()
+	plotFlag = *doPlot
+
+	o := harness.DefaultOptions()
+	o.SkewIters = *iters
+	o.Seed = *seed
+
+	switch *fig {
+	case 0:
+		fig6(o, *nodes, *large)
+		fig7(o)
+	case 6:
+		fig6(o, *nodes, *large)
+	case 7:
+		fig7(o)
+	default:
+		fmt.Fprintf(os.Stderr, "skewbench: unknown figure %d (want 6 or 7)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+var plotFlag bool
+
+func fig6(o harness.Options, nodes int, large bool) {
+	fmt.Printf("Figure 6: avg host CPU time of MPI_Bcast under process skew, %d nodes\n", nodes)
+	sizes := []int{2, 4, 8}
+	if large {
+		sizes = append(sizes, 2048, 4096, 8192)
+	}
+	for _, size := range sizes {
+		pts := o.Fig6(nodes, size, harness.SkewSweep())
+		harness.WriteSkew(os.Stdout, fmt.Sprintf("-- %d-byte messages --", size), pts)
+		if plotFlag {
+			harness.PlotSkew(os.Stdout, fmt.Sprintf("Figure 6(a), %d-byte messages", size), pts)
+		}
+	}
+}
+
+func fig7(o harness.Options) {
+	fmt.Println("Figure 7: improvement factor at 400µs average skew vs system size")
+	harness.WriteFig7(os.Stdout, "-- 4-byte and 4-KB messages --",
+		o.Fig7([]int{4, 8, 12, 16}, []int{4, 4096}))
+}

@@ -1,0 +1,38 @@
+// Command treeviz prints the spanning trees the multicast schemes use for
+// a given system size across message sizes: the host-based binomial tree,
+// and the NIC-based scheme's size-specific optimal trees (postal-model
+// trees for single-packet messages, pipelining-aware low-fanout trees for
+// multi-packet ones), together with their postal parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/myrinet"
+	"repro/internal/tree"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "system size")
+	root := flag.Int("root", 0, "root node")
+	flag.Parse()
+
+	cfg := cluster.DefaultConfig(*nodes)
+	members := make([]myrinet.NodeID, *nodes)
+	for i := range members {
+		members[i] = myrinet.NodeID(i)
+	}
+
+	bin := tree.Binomial(myrinet.NodeID(*root), members)
+	fmt.Printf("Host-based binomial tree (%d nodes): depth=%d maxFanout=%d leaves=%d\n%s\n",
+		*nodes, bin.Depth(), bin.MaxFanout(), len(bin.Leaves()), bin)
+
+	for _, size := range []int{4, 512, 2048, 4096, 8192, 16384} {
+		pp := cfg.Postal(size)
+		tr := cfg.OptimalTree(myrinet.NodeID(*root), members, size)
+		fmt.Printf("NIC-based tree for %d-byte messages: lambda=%v gap=%v ratio=%.2f depth=%d maxFanout=%d\n%s\n",
+			size, pp.Lambda, pp.Gap, pp.Ratio(), tr.Depth(), tr.MaxFanout(), tr)
+	}
+}

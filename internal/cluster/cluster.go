@@ -1,0 +1,249 @@
+// Package cluster assembles complete simulated Myrinet/GM nodes — host,
+// LANai NIC hardware, GM firmware, and the NIC-based multicast extension —
+// onto a fabric, and centralizes the calibrated timing configuration that
+// stands in for the paper's testbed (16 quad-SMP 700 MHz Pentium-III nodes,
+// 66 MHz/64-bit PCI, LANai 9.1, Myrinet-2000).
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/lanai"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// Config aggregates every tunable of the simulated testbed.
+type Config struct {
+	Nodes int
+	Link  myrinet.LinkParams
+	NIC   lanai.Params
+	GM    gm.Config
+	Mcast core.Config
+
+	// HostMemcpyNsPerByte is the host CPU's copy bandwidth, paid when the
+	// MPI layer copies an eager message from the bounce buffer to its
+	// final location (the cause of the paper's dip at 16,287 bytes).
+	HostMemcpyNsPerByte float64
+
+	// LossRate is the per-link packet-loss probability; Seed feeds the
+	// simulation's single RNG.
+	LossRate float64
+	Seed     int64
+
+	// Trace, when non-nil, is attached to every NIC so the run can be
+	// rendered as a packet timeline.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the calibrated testbed for n nodes.
+func DefaultConfig(n int) *Config {
+	g := gm.DefaultConfig()
+	// LANai 9.1 at 133 MHz is an order of magnitude slower than the hosts;
+	// its per-request and per-packet firmware costs dominate the multicast
+	// trade-offs. Calibrated so unicast one-way sits near 8 µs (GM on
+	// LANai 9.1) and the figure improvement factors land in range.
+	g.SendEventCost = sim.Micros(3.4)
+	g.TxSetupCost = sim.Micros(0.8)
+	g.RecvProcCost = sim.Micros(2.2)
+	g.AckProcCost = sim.Micros(0.9)
+	return &Config{
+		Nodes:               n,
+		Link:                myrinet.DefaultLinkParams(),
+		NIC:                 lanai.DefaultParams(),
+		GM:                  g,
+		Mcast:               core.DefaultConfig(),
+		HostMemcpyNsPerByte: 0.9, // ~1.1 GB/s PIII-era copy bandwidth
+		Seed:                1,
+	}
+}
+
+// Node is one complete cluster member.
+type Node struct {
+	ID  myrinet.NodeID
+	HW  *lanai.NIC
+	NIC *gm.NIC
+	Ext *core.Ext
+}
+
+// Cluster is an assembled simulated testbed.
+type Cluster struct {
+	Cfg   *Config
+	Eng   *sim.Engine
+	Net   *myrinet.Network
+	RNG   *sim.RNG
+	Nodes []*Node
+}
+
+// New builds a cluster: engine, fabric (single crossbar up to 16 nodes, a
+// Clos of 16-port crossbars beyond — the testbed's default topology), and
+// one full node per host, with the multicast extension installed.
+func New(cfg *Config) *Cluster {
+	eng := sim.NewEngine()
+	net := myrinet.AutoTopology(eng, cfg.Nodes, cfg.Link)
+	rng := sim.NewRNG(cfg.Seed)
+	net.SetRNG(rng)
+	net.LossRate = cfg.LossRate
+	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, RNG: rng}
+	for i := 0; i < cfg.Nodes; i++ {
+		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), cfg.NIC)
+		nic := gm.NewNIC(hw, cfg.GM)
+		nic.Trace = cfg.Trace
+		ext := core.Install(nic, cfg.Mcast)
+		c.Nodes = append(c.Nodes, &Node{ID: myrinet.NodeID(i), HW: hw, NIC: nic, Ext: ext})
+	}
+	return c
+}
+
+// NewPlain builds a cluster without the multicast extension — the stock-GM
+// baseline used to verify the extension has no impact on unicast traffic.
+func NewPlain(cfg *Config) *Cluster {
+	eng := sim.NewEngine()
+	net := myrinet.AutoTopology(eng, cfg.Nodes, cfg.Link)
+	rng := sim.NewRNG(cfg.Seed)
+	net.SetRNG(rng)
+	net.LossRate = cfg.LossRate
+	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, RNG: rng}
+	for i := 0; i < cfg.Nodes; i++ {
+		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), cfg.NIC)
+		nic := gm.NewNIC(hw, cfg.GM)
+		nic.Trace = cfg.Trace
+		c.Nodes = append(c.Nodes, &Node{ID: myrinet.NodeID(i), HW: hw, NIC: nic})
+	}
+	return c
+}
+
+// OpenPorts opens the same port number on every node and returns the
+// ports indexed by node.
+func (c *Cluster) OpenPorts(id gm.PortID) []*gm.Port {
+	ports := make([]*gm.Port, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ports[i] = n.NIC.OpenPort(id)
+	}
+	return ports
+}
+
+// InstallGroup preposts a group's tree into the NIC group table of every
+// member. Installation is asynchronous firmware work; the returned ready
+// function reports completion (poll it from a process, or run the engine).
+func (c *Cluster) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID) (ready func() bool) {
+	total := tr.Size()
+	done := 0
+	for _, n := range tr.Nodes() {
+		c.Nodes[n].Ext.InstallGroup(id, tr, port, rootPort, func() { done++ })
+	}
+	return func() bool { return done == total }
+}
+
+// Members returns node IDs [0, n) — the usual full-system group.
+func (c *Cluster) Members() []myrinet.NodeID {
+	out := make([]myrinet.NodeID, len(c.Nodes))
+	for i := range out {
+		out[i] = myrinet.NodeID(i)
+	}
+	return out
+}
+
+// HostMemcpyTime reports the host-CPU cost of copying n bytes.
+func (cfg *Config) HostMemcpyTime(n int) sim.Time {
+	return sim.PerByte(cfg.HostMemcpyNsPerByte, n)
+}
+
+// Postal derives analytic postal-model parameters (Lambda, Gap) for a
+// message of the given size, the quantities the paper's optimal-tree
+// construction divides: "a) the total amount of time for a node to send a
+// message until the receiver receives it, and b) the average time for the
+// sender to send a message to one additional destination".
+//
+// Lambda is the time from one NIC emitting a packet until the receiving
+// NIC can itself start replicating it onward: serialization, the per-hop
+// link latencies, receive processing, and the receive-token → send-token
+// transform. Host-to-host latency is deliberately not used — NIC-based
+// forwarding never waits for the host, so the forwarding pivot is
+// NIC-to-NIC. Gap is the per-additional-destination cost of the NIC-based
+// multisend: header rewrite plus wire serialization, per packet.
+//
+// The ratio Lambda/Gap then reproduces the paper's observations: large for
+// small messages (wide, shallow trees), and about 1 for single-packet 2-4
+// KB messages, where "the shape of the resulting optimal tree is not
+// significantly different from the binomial tree".
+func (cfg *Config) Postal(size int) tree.PostalParams {
+	g, lp := cfg.GM, cfg.Link
+	npkts := g.Packets(size)
+	first := size
+	if first > g.MTU {
+		first = g.MTU
+	}
+
+	hops := sim.Time(2) // single crossbar
+	switch {
+	case cfg.Nodes > 128: // three-level fat tree
+		hops = 6
+	case cfg.Nodes > 16: // two-level Clos
+		hops = 4
+	}
+	ser := lp.SerializationTime(g.WireSize(first))
+
+	lambda := ser + hops*lp.Latency + g.RecvProcCost + cfg.Mcast.ForwardSetupCost
+	gap := sim.Time(npkts) * (cfg.Mcast.HeaderRewriteCost + ser)
+	return tree.PostalParams{Lambda: lambda, Gap: gap}
+}
+
+// OptimalTree builds the message-size-specific latency-optimal tree for a
+// root over members. Single-packet messages use the Bar-Noy–Kipnis postal
+// tree from the cluster's (Lambda, Gap). Multi-packet messages account for
+// what the postal model cannot express — an intermediate NIC forwards each
+// packet as it arrives, so a node's sustained output is its link bandwidth
+// divided by its fan-out — and use the balanced k-ary tree whose analytic
+// pipelined finish time is smallest. This is the paper's own rationale:
+// "using NIC-based forwarding an intermediate NIC can forward the packets
+// of a message without waiting for the arrival of the complete message".
+func (cfg *Config) OptimalTree(root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree {
+	if cfg.GM.Packets(size) == 1 {
+		return tree.Optimal(root, members, cfg.Postal(size))
+	}
+	n := len(members)
+	best, bestT := 1, cfg.pipelinedFinish(n, 1, size)
+	for f := 2; f < n; f++ {
+		if t := cfg.pipelinedFinish(n, f, size); t < bestT {
+			best, bestT = f, t
+		}
+	}
+	return tree.KAry(root, members, best)
+}
+
+// pipelinedFinish estimates when the last node holds the complete message
+// if it is streamed per-packet down a balanced f-ary tree of n nodes: the
+// root emits f replicas of each packet (serialization plus header rewrite
+// per replica), and each tree level adds one per-packet forwarding delay.
+func (cfg *Config) pipelinedFinish(n, f, size int) sim.Time {
+	g, lp := cfg.GM, cfg.Link
+	npkts := g.Packets(size)
+	chunk := size
+	if chunk > g.MTU {
+		chunk = g.MTU
+	}
+	ser := lp.SerializationTime(g.WireSize(chunk))
+	perReplica := ser + cfg.Mcast.HeaderRewriteCost
+	rootEmit := sim.Time(f) * sim.Time(npkts) * perReplica
+
+	depth := 0
+	for covered := 1; covered < n; depth++ {
+		covered += pow(f, depth+1)
+	}
+	hop := g.RecvProcCost + cfg.Mcast.ForwardSetupCost + ser + 2*lp.Latency
+	return rootEmit + sim.Time(depth)*hop
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+		if out > 1<<30 {
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func TestNewBuildsFullNodes(t *testing.T) {
+	c := New(DefaultConfig(8))
+	if len(c.Nodes) != 8 {
+		t.Fatalf("built %d nodes, want 8", len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		if n.ID != myrinet.NodeID(i) {
+			t.Fatalf("node %d has ID %v", i, n.ID)
+		}
+		if n.HW == nil || n.NIC == nil || n.Ext == nil {
+			t.Fatalf("node %d incompletely assembled", i)
+		}
+	}
+}
+
+func TestNewPlainOmitsExtension(t *testing.T) {
+	c := NewPlain(DefaultConfig(2))
+	if c.Nodes[0].Ext != nil {
+		t.Fatal("plain cluster has multicast extension")
+	}
+	if c.Nodes[0].NIC.Extension() != nil {
+		t.Fatal("plain NIC has firmware extension installed")
+	}
+}
+
+func TestTopologySelection(t *testing.T) {
+	small := New(DefaultConfig(16))
+	if got := small.Net.HopCount(0, 15); got != 2 {
+		t.Errorf("16 nodes: %d hops, want 2 (single crossbar)", got)
+	}
+	big := New(DefaultConfig(24))
+	if got := big.Net.HopCount(0, 23); got != 4 {
+		t.Errorf("24 nodes: %d hops, want 4 (Clos)", got)
+	}
+}
+
+func TestInstallGroupReportsReadiness(t *testing.T) {
+	c := New(DefaultConfig(4))
+	c.OpenPorts(1)
+	tr := tree.Binomial(0, c.Members())
+	ready := c.InstallGroup(9, tr, 1, 1)
+	if ready() {
+		t.Fatal("group reported ready before the firmware ran")
+	}
+	c.Eng.Run()
+	if !ready() {
+		t.Fatal("group not ready after the engine drained")
+	}
+	for _, n := range c.Nodes {
+		if !n.Ext.HasGroup(9) {
+			t.Fatalf("node %v missing group entry", n.ID)
+		}
+	}
+}
+
+func TestHostMemcpyTime(t *testing.T) {
+	cfg := DefaultConfig(2)
+	if got := cfg.HostMemcpyTime(1000); got != sim.PerByte(cfg.HostMemcpyNsPerByte, 1000) {
+		t.Fatalf("memcpy time %v inconsistent", got)
+	}
+}
+
+func TestPostalRatioShrinksWithSize(t *testing.T) {
+	cfg := DefaultConfig(16)
+	small := cfg.Postal(4).Ratio()
+	large := cfg.Postal(4096).Ratio()
+	if small <= large {
+		t.Fatalf("postal ratio %0.2f (4B) not above %0.2f (4KB)", small, large)
+	}
+	if large > 2.0 {
+		t.Fatalf("4KB postal ratio %.2f; paper expects near-binomial (~1)", large)
+	}
+}
+
+func TestOptimalTreeShapes(t *testing.T) {
+	cfg := DefaultConfig(16)
+	members := New(cfg).Members()
+	smallTree := cfg.OptimalTree(0, members, 4)
+	if err := smallTree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bigTree := cfg.OptimalTree(0, members, 16384)
+	if err := bigTree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Small messages: wide and shallow; multi-packet: low fan-out for
+	// pipelining (never the near-flat shape).
+	if smallTree.Depth() > 3 {
+		t.Errorf("small-message tree depth %d, want shallow", smallTree.Depth())
+	}
+	if f := bigTree.MaxFanout(); f > 3 {
+		t.Errorf("16KB tree fanout %d; pipelining needs low fan-out", f)
+	}
+	if bigTree.Depth() <= smallTree.Depth() {
+		t.Errorf("16KB tree (depth %d) not deeper than 4B tree (depth %d)",
+			bigTree.Depth(), smallTree.Depth())
+	}
+}
+
+// The analytic postal Lambda should track a measured one-hop NIC-to-NIC
+// forwarding pivot within a loose band; this guards against the analytic
+// model drifting from the simulated data path after recalibration.
+func TestPostalLambdaMatchesSimulatedHop(t *testing.T) {
+	cfg := DefaultConfig(3)
+	c := New(cfg)
+	ports := c.OpenPorts(1)
+	tr := tree.Chain(0, c.Members())
+	c.InstallGroup(3, tr, 1, 1)
+	var mid, leaf sim.Time
+	for _, n := range []int{1, 2} {
+		n := n
+		c.Eng.Spawn("recv", func(p *sim.Proc) {
+			ports[n].Provide(64)
+			ports[n].Recv(p)
+			if n == 1 {
+				mid = p.Now()
+			} else {
+				leaf = p.Now()
+			}
+		})
+	}
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		c.Nodes[0].Ext.McastSync(p, ports[0], 3, []byte{1, 2, 3, 4})
+	})
+	c.Eng.Run()
+	c.Eng.Kill()
+	hop := (leaf - mid).Micros() // host-observed inter-hop spacing
+	lambda := cfg.Postal(4).Lambda.Micros()
+	if hop < lambda*0.5 || hop > lambda*2.0 {
+		t.Fatalf("measured forwarding hop %.2fus vs analytic lambda %.2fus: model drifted", hop, lambda)
+	}
+}
+
+func TestDeterministicClusters(t *testing.T) {
+	run := func() uint64 {
+		c := New(DefaultConfig(4))
+		ports := c.OpenPorts(1)
+		c.Eng.Spawn("recv", func(p *sim.Proc) {
+			ports[1].Provide(128)
+			ports[1].Recv(p)
+		})
+		c.Eng.Spawn("send", func(p *sim.Proc) {
+			ports[0].SendSync(p, 1, 1, []byte{9, 9})
+		})
+		c.Eng.Run()
+		c.Eng.Kill()
+		return c.Eng.EventsFired()
+	}
+	if run() != run() {
+		t.Fatal("cluster construction is nondeterministic")
+	}
+}
+
+func TestGroupIDTypeIsStable(t *testing.T) {
+	// Compile-time contract used by the MPI layer's deterministic IDs.
+	var g gm.GroupID = 1 + 15*64 + 63
+	if g == 0 {
+		t.Fatal("impossible")
+	}
+}

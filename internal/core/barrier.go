@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// NIC-level barrier — the companion collective the paper's future work
+// points at ("we intend to expand the NIC-based support to other
+// collective operations"; the authors' earlier "Fast NIC-Level Barrier
+// over Myrinet/GM" is reference [6]). The host posts one barrier request;
+// the NICs run the dissemination algorithm among themselves — ceil(log2 n)
+// rounds of tiny messages, each reliable via stop-and-wait
+// acknowledgment — and post a completion event when the barrier opens.
+// The host is not involved in any round.
+
+// barrierKey identifies one round of one barrier instance.
+type barrierKey struct {
+	seq   uint32
+	round int
+}
+
+// barrierGroup is one NIC's view of an installed barrier group.
+type barrierGroup struct {
+	ext     *Ext
+	id      gm.GroupID
+	members []myrinet.NodeID // sorted by network ID
+	myIdx   int
+	port    gm.PortID
+
+	seq    uint32 // current barrier instance
+	round  int
+	active bool
+	rounds int
+
+	recvd  map[barrierKey]bool
+	timers map[barrierKey]*sim.Event // stop-and-wait; cancelled only by acks
+}
+
+func (b *barrierGroup) peerOut(r int) myrinet.NodeID {
+	return b.members[(b.myIdx+(1<<r))%len(b.members)]
+}
+
+// InstallBarrier preposts a barrier group (the member set; no tree) into
+// the NIC. Members must be identical and identically ordered at every
+// node; id shares the multicast group identifier space.
+func (e *Ext) InstallBarrier(id gm.GroupID, members []myrinet.NodeID, port gm.PortID, fn func()) {
+	ms := append([]myrinet.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	myIdx := -1
+	for i, m := range ms {
+		if m == e.nic.ID() {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		panic(fmt.Sprintf("core: node %v installing barrier %d it is not a member of", e.nic.ID(), id))
+	}
+	rounds := 0
+	for k := 1; k < len(ms); k <<= 1 {
+		rounds++
+	}
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			if _, dup := e.barriers[id]; dup {
+				panic(fmt.Sprintf("core: barrier %d already installed at %v", id, e.nic.ID()))
+			}
+			e.barriers[id] = &barrierGroup{
+				ext: e, id: id, members: ms, myIdx: myIdx, port: port,
+				rounds: rounds,
+				recvd:  make(map[barrierKey]bool),
+				timers: make(map[barrierKey]*sim.Event),
+			}
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// Barrier blocks the calling process until every member of the barrier
+// group has entered the barrier. One host request enters; the NICs do the
+// rest; a zero-byte group event signals completion.
+func (e *Ext) Barrier(proc *sim.Proc, port *gm.Port, id gm.GroupID) {
+	if port.NIC() != e.nic {
+		panic("core: Barrier from a port on a different NIC")
+	}
+	proc.Compute(e.nic.Cfg.HostSendPost)
+	nic := e.nic
+	nic.HW.HostPost(func() {
+		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
+			b, ok := e.barriers[id]
+			if !ok {
+				panic(fmt.Sprintf("core: Barrier on uninstalled group %d at %v", id, nic.ID()))
+			}
+			if b.active {
+				panic(fmt.Sprintf("core: concurrent Barrier on group %d at %v", id, nic.ID()))
+			}
+			b.enter()
+		})
+	})
+	// Completion arrives as a zero-length group event on the port.
+	for {
+		ev := port.Recv(proc)
+		if ev.Group == id && len(ev.Data) == 0 {
+			return
+		}
+		// Not ours: this port is dedicated to barrier use by contract.
+		panic("core: unexpected traffic on barrier port")
+	}
+}
+
+// enter starts a new barrier instance on the firmware side.
+func (b *barrierGroup) enter() {
+	b.seq++
+	b.round = 0
+	b.active = true
+	// Early arrivals for instances we have passed can never be consumed.
+	for k := range b.recvd {
+		if k.seq < b.seq {
+			delete(b.recvd, k)
+		}
+	}
+	if len(b.members) == 1 {
+		b.complete()
+		return
+	}
+	b.sendRound(0)
+	b.advance()
+}
+
+// sendRound transmits this node's message for round r with stop-and-wait
+// retransmission until acknowledged.
+func (b *barrierGroup) sendRound(r int) {
+	nic := b.ext.nic
+	k := barrierKey{b.seq, r}
+	fr := &gm.Frame{
+		Kind:    gm.KindBarrier,
+		SrcNode: nic.ID(),
+		DstNode: b.peerOut(r),
+		Group:   b.id,
+		Seq:     b.seq,
+		Offset:  r,
+	}
+	var attempt func()
+	attempt = func() {
+		nic.Inject(fr.Clone(), nil)
+		b.ext.stats.BarrierSent++
+		b.timers[k] = nic.Engine().After(nic.Cfg.RetransmitTimeout, func() {
+			b.ext.stats.Retransmits++
+			attempt()
+		})
+	}
+	attempt()
+}
+
+// advance consumes arrived round messages in order, sending each next
+// round, and completes the barrier after the last round's arrival.
+func (b *barrierGroup) advance() {
+	if !b.active {
+		return
+	}
+	for b.round < b.rounds && b.recvd[barrierKey{b.seq, b.round}] {
+		delete(b.recvd, barrierKey{b.seq, b.round})
+		b.round++
+		if b.round < b.rounds {
+			b.sendRound(b.round)
+		}
+	}
+	if b.round == b.rounds {
+		b.complete()
+	}
+}
+
+// complete posts the zero-byte completion event to the host. Pending
+// stop-and-wait timers deliberately survive completion: a peer that has
+// not acknowledged our round message still needs it — cancelling here
+// would abandon a lost packet a slower member depends on.
+func (b *barrierGroup) complete() {
+	b.active = false
+	b.ext.stats.BarriersDone++
+	port := b.ext.nic.Port(b.port)
+	port.PostGroupEvent(&gm.RecvEvent{Group: b.id})
+}
+
+// rxBarrier handles an arriving barrier round message.
+func (e *Ext) rxBarrier(fr *gm.Frame) {
+	nic := e.nic
+	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
+		b, ok := e.barriers[fr.Group]
+		if !ok {
+			e.stats.NotMemberDrops++
+			return
+		}
+		// Always acknowledge — duplicates included — so the peer's
+		// stop-and-wait stops waiting.
+		nic.Inject(&gm.Frame{
+			Kind:    gm.KindBarrierAck,
+			SrcNode: nic.ID(),
+			DstNode: fr.SrcNode,
+			Group:   fr.Group,
+			Seq:     fr.Seq,
+			Offset:  fr.Offset,
+		}, nil)
+		k := barrierKey{fr.Seq, fr.Offset}
+		if fr.Seq < b.seq || (fr.Seq == b.seq && !b.active && fr.Seq != 0) {
+			// Stale round of an already-completed instance.
+			return
+		}
+		b.recvd[k] = true
+		if b.active && fr.Seq == b.seq {
+			b.advance()
+		}
+	})
+}
+
+// rxBarrierAck stops the stop-and-wait timer for one round message (the
+// only way a barrier timer ends; duplicates are no-ops).
+func (e *Ext) rxBarrierAck(fr *gm.Frame) {
+	nic := e.nic
+	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
+		b, ok := e.barriers[fr.Group]
+		if !ok {
+			return
+		}
+		k := barrierKey{fr.Seq, fr.Offset}
+		if t, ok := b.timers[k]; ok {
+			nic.Engine().Cancel(t)
+			delete(b.timers, k)
+		}
+	})
+}
+
+// DebugBarrierState renders a barrier group's internal state (tests).
+func (e *Ext) DebugBarrierState(id gm.GroupID) string {
+	b, ok := e.barriers[id]
+	if !ok {
+		return "no group"
+	}
+	return fmt.Sprintf("seq=%d round=%d/%d active=%v recvd=%v timers=%d",
+		b.seq, b.round, b.rounds, b.active, b.recvd, len(b.timers))
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/lanai"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// bufToken aliases the NIC packet-buffer handle.
+type bufToken = *lanai.Buf
+
+// Ext is the multicast firmware extension for one NIC. Install installs it
+// into the GM firmware's extension hook; the unicast paths never touch it.
+type Ext struct {
+	nic      *gm.NIC
+	cfg      Config
+	groups   map[gm.GroupID]*group
+	barriers map[gm.GroupID]*barrierGroup
+	stats    Stats
+}
+
+// Install loads the multicast extension onto a GM NIC.
+func Install(nic *gm.NIC, cfg Config) *Ext {
+	e := &Ext{
+		nic:      nic,
+		cfg:      cfg,
+		groups:   make(map[gm.GroupID]*group),
+		barriers: make(map[gm.GroupID]*barrierGroup),
+	}
+	nic.SetExtension(e)
+	return e
+}
+
+// FromNIC returns the extension installed on a NIC.
+func FromNIC(nic *gm.NIC) *Ext {
+	e, ok := nic.Extension().(*Ext)
+	if !ok {
+		panic(fmt.Sprintf("core: NIC %v has no multicast extension", nic.ID()))
+	}
+	return e
+}
+
+// NIC returns the firmware NIC the extension runs on.
+func (e *Ext) NIC() *gm.NIC { return e.nic }
+
+// Stats returns a snapshot of multicast counters.
+func (e *Ext) Stats() Stats { return e.stats }
+
+// Groups reports how many group-table entries are installed.
+func (e *Ext) Groups() int { return len(e.groups) }
+
+// HasGroup reports whether a group is installed.
+func (e *Ext) HasGroup(id gm.GroupID) bool {
+	_, ok := e.groups[id]
+	return ok
+}
+
+// GroupOutstanding reports one group's unretired send records (0 for an
+// unknown group) — callers poll it to quiesce before RemoveGroup.
+func (e *Ext) GroupOutstanding(id gm.GroupID) int {
+	if g, ok := e.groups[id]; ok {
+		return len(g.records)
+	}
+	return 0
+}
+
+// OutstandingRecords reports unretired multicast send records across all
+// groups — zero once every child of every packet has acknowledged.
+func (e *Ext) OutstandingRecords() int {
+	n := 0
+	for _, g := range e.groups {
+		n += len(g.records)
+	}
+	return n
+}
+
+// InstallGroup preposts one group's tree information into the NIC group
+// table — "the host generates a spanning tree and inserts it into a group
+// table stored in the NIC". port is the local port that receives the
+// group's messages; rootPort is the sending port at the root. The tree
+// must satisfy the ID-sorted deadlock invariant. fn, if non-nil, runs when
+// the entry is live.
+func (e *Ext) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID, fn func()) {
+	if err := tr.Validate(); err != nil {
+		panic(fmt.Sprintf("core: refusing group %d: %v", id, err))
+	}
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			if _, dup := e.groups[id]; dup {
+				panic(fmt.Sprintf("core: group %d already installed at %v", id, e.nic.ID()))
+			}
+			e.groups[id] = localView(e, id, tr, port, rootPort)
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// RemoveGroup deletes a group's entry from the NIC table once its
+// outstanding work has drained — the teardown half of demand-driven group
+// management (an MPI layer frees it with the communicator). Removing a
+// group with unretired send records panics: quiescing first is the
+// caller's contract, since dropping records would silently abandon
+// children awaiting retransmission.
+func (e *Ext) RemoveGroup(id gm.GroupID, fn func()) {
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			g, ok := e.groups[id]
+			if !ok {
+				panic(fmt.Sprintf("core: removing unknown group %d at %v", id, e.nic.ID()))
+			}
+			if len(g.records) > 0 {
+				panic(fmt.Sprintf("core: removing group %d at %v with %d outstanding records",
+					id, e.nic.ID(), len(g.records)))
+			}
+			e.nic.Engine().Cancel(g.timer)
+			delete(e.groups, id)
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// HandleRx implements gm.Extension: multicast frames are consumed here,
+// everything else passes through to the base protocol untouched.
+func (e *Ext) HandleRx(fr *gm.Frame) bool {
+	switch fr.Kind {
+	case gm.KindMcastData:
+		e.rxData(fr)
+		return true
+	case gm.KindMcastAck:
+		e.rxAck(fr)
+		return true
+	case gm.KindMcastNack:
+		e.rxNack(fr)
+		return true
+	case gm.KindBarrier:
+		e.rxBarrier(fr)
+		return true
+	case gm.KindBarrierAck:
+		e.rxBarrierAck(fr)
+		return true
+	case gm.KindReduce:
+		e.rxReduce(fr)
+		return true
+	case gm.KindReduceAck:
+		e.rxReduceAck(fr)
+		return true
+	default:
+		return false
+	}
+}
+
+// rxData processes one arriving multicast packet: sequence-check against
+// the group's receive sequence number, deliver to the local host buffer,
+// and — the heart of the scheme — requeue it to this node's children
+// straight from the NIC receive buffer, without host involvement and
+// without waiting for the rest of the message.
+func (e *Ext) rxData(fr *gm.Frame) {
+	nic := e.nic
+	buf, ok := nic.HW.RecvBufs.TryAcquire()
+	if !ok {
+		nic.HW.CountRxNoBuffer()
+		return
+	}
+	nic.HW.CPUDo(nic.Cfg.RecvProcCost, func() {
+		g, member := e.groups[fr.Group]
+		if !member {
+			e.stats.NotMemberDrops++
+			buf.Release()
+			return
+		}
+		switch {
+		case fr.Seq < g.recvSeq:
+			e.stats.Duplicates++
+			e.ackParent(g, g.recvSeq-1)
+			buf.Release()
+		case fr.Seq > g.recvSeq:
+			e.stats.OutOfOrderDrops++
+			if nic.Cfg.EnableNacks {
+				e.nackParent(g, g.recvSeq-1)
+			}
+			buf.Release()
+		default:
+			port := nic.Port(g.port)
+			asm, ok := port.MatchAssembly(g.root, fr.SrcPort, fr.MsgID, fr.MsgLen, g.id)
+			if !ok {
+				// No receive token: refuse; the parent retransmits.
+				// "The responsibility of making receive tokens available
+				// ... is left to client programs."
+				e.stats.NoTokenDrops++
+				buf.Release()
+				return
+			}
+			g.recvSeq++
+			e.stats.McastReceived++
+			if nic.Trace.Enabled() {
+				nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.RX, "%v", fr)
+			}
+			e.ackParent(g, fr.Seq)
+
+			// The NIC buffer stays busy until the payload reaches host
+			// memory AND (for per-packet forwarding) the last child
+			// replica has been transmitted.
+			forwarding := len(g.children) > 0 && e.cfg.Forward == ForwardPerPacket
+			uses := 1
+			if forwarding {
+				uses++
+			}
+			release := func() {
+				uses--
+				if uses == 0 {
+					buf.Release()
+				}
+			}
+			payload, off := fr.Payload, fr.Offset
+			nic.HW.NICToHost(len(payload), func() {
+				asm.Deposit(off, payload)
+				release()
+			})
+			switch {
+			case forwarding:
+				e.forward(g, fr, release)
+			case len(g.children) > 0:
+				// Store-and-forward ablation: queue until the whole
+				// message has arrived, then forward from host memory.
+				e.storeAndForward(g, fr)
+			}
+		}
+	})
+}
+
+// forward requeues a received packet to the node's children. The receive
+// token is transformed into a send token (no draw from the free send-token
+// pool — the paper's deadlock-avoiding choice), the forwarded packet keeps
+// its group sequence number, and a send record per child is created so
+// timeouts retransmit from the host replica. In the RetransmitHoldBuffer
+// ablation the NIC receive buffer is instead pinned until every child
+// acknowledges.
+func (e *Ext) forward(g *group, fr *gm.Frame, release func()) {
+	nic := e.nic
+	g.sendSeq = fr.Seq
+	out := fr.Clone() // header rewrite; payload shared with the host replica
+	nic.HW.CPUDo(e.cfg.ForwardSetupCost, func() {
+		var sendTo func(i int)
+		sendTo = func(i int) {
+			replica := out.Clone()
+			replica.SrcNode = nic.ID()
+			replica.DstNode = g.children[i]
+			nic.Inject(replica, func() {
+				e.stats.McastSent++
+				e.stats.McastForwarded++
+				if i+1 == len(g.children) {
+					if e.cfg.Retransmit == RetransmitHoldBuffer {
+						g.recordForwarded(fr, release)
+					} else {
+						release()
+						g.recordForwarded(fr, nil)
+					}
+					return
+				}
+				nic.HW.CPUDo(e.cfg.HeaderRewriteCost, func() { sendTo(i + 1) })
+			})
+		}
+		sendTo(0)
+	})
+}
+
+// sfState gathers a message's packets in the store-and-forward ablation.
+type sfState struct {
+	frames []*gm.Frame
+	got    int
+}
+
+// storeAndForward queues an accepted packet; when the last byte of the
+// message has arrived, every packet is re-read from the host replica and
+// forwarded in order — what NIC-based per-packet pipelining avoids.
+func (e *Ext) storeAndForward(g *group, fr *gm.Frame) {
+	if g.sf == nil {
+		g.sf = make(map[uint64]*sfState)
+	}
+	st := g.sf[fr.MsgID]
+	if st == nil {
+		st = &sfState{}
+		g.sf[fr.MsgID] = st
+	}
+	st.frames = append(st.frames, fr)
+	st.got += len(fr.Payload)
+	if st.got < fr.MsgLen {
+		return
+	}
+	delete(g.sf, fr.MsgID)
+	nic := e.nic
+	for _, qf := range st.frames {
+		f := qf
+		g.sendSeq = f.Seq
+		nic.HW.SendBufs.Acquire(func(buf bufToken) {
+			nic.HW.HostToNIC(len(f.Payload), func() {
+				nic.HW.CPUDo(e.cfg.ForwardSetupCost, func() {
+					g.enqueueChain(func() {
+						g.replicateForward(f, buf)
+					})
+				})
+			})
+		})
+	}
+}
+
+// replicateForward transmits one store-and-forward packet to all children.
+func (g *group) replicateForward(fr *gm.Frame, buf bufToken) {
+	nic := g.ext.nic
+	var sendTo func(i int)
+	sendTo = func(i int) {
+		replica := fr.Clone()
+		replica.SrcNode = nic.ID()
+		replica.DstNode = g.children[i]
+		nic.Inject(replica, func() {
+			g.ext.stats.McastSent++
+			g.ext.stats.McastForwarded++
+			if i+1 == len(g.children) {
+				buf.Release()
+				g.recordForwarded(fr, nil)
+				g.nextChain()
+				return
+			}
+			nic.HW.CPUDo(g.ext.cfg.HeaderRewriteCost, func() { sendTo(i + 1) })
+		})
+	}
+	sendTo(0)
+}
+
+// recordForwarded files the forwarder's send record for a packet. release,
+// when non-nil, pins a NIC receive buffer until the record retires (the
+// RetransmitHoldBuffer ablation).
+func (g *group) recordForwarded(fr *gm.Frame, release func()) {
+	pending := g.pendingChildren(fr.Seq)
+	if len(pending) == 0 {
+		// All children acked before the last replica's callback ran.
+		if release != nil {
+			release()
+		}
+		return
+	}
+	g.records = append(g.records, &mcastRecord{
+		seq: fr.Seq, frame: fr, sentAt: g.ext.nic.Engine().Now(),
+		pending: pending, release: release,
+	})
+	g.armTimer()
+}
+
+// ackParent sends a cumulative group acknowledgment toward the root.
+func (e *Ext) ackParent(g *group, ack uint32) {
+	if g.isRoot() {
+		return
+	}
+	e.stats.McastAcksSent++
+	e.nic.Inject(&gm.Frame{
+		Kind:    gm.KindMcastAck,
+		SrcNode: e.nic.ID(),
+		DstNode: g.parent,
+		Group:   g.id,
+		Ack:     ack,
+	}, nil)
+}
+
+// nackParent asks the tree parent for an immediate per-group go-back
+// (fast recovery, mirroring the unicast nack path).
+func (e *Ext) nackParent(g *group, lastGood uint32) {
+	if g.isRoot() {
+		return
+	}
+	e.stats.McastNacksSent++
+	e.nic.Inject(&gm.Frame{
+		Kind:    gm.KindMcastNack,
+		SrcNode: e.nic.ID(),
+		DstNode: g.parent,
+		Group:   g.id,
+		Ack:     lastGood,
+	}, nil)
+}
+
+// rxNack processes a group negative acknowledgment from one child: honor
+// the cumulative part, then retransmit to the unacknowledged children
+// immediately, bounded by the holdoff.
+func (e *Ext) rxNack(fr *gm.Frame) {
+	nic := e.nic
+	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
+		g, ok := e.groups[fr.Group]
+		if !ok {
+			return
+		}
+		e.stats.McastNacksRecv++
+		g.handleAck(fr.SrcNode, fr.Ack)
+		g.fastRetransmit()
+	})
+}
+
+// rxAck processes a group acknowledgment from one child.
+func (e *Ext) rxAck(fr *gm.Frame) {
+	nic := e.nic
+	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
+		g, ok := e.groups[fr.Group]
+		if !ok {
+			return // stale ack for a group we no longer know
+		}
+		e.stats.McastAcksRecv++
+		g.handleAck(fr.SrcNode, fr.Ack)
+	})
+}

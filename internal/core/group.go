@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// mcastToken is the firmware descriptor for one outgoing multicast message
+// at the root — the analogue of a GM send token, "queued by group".
+type mcastToken struct {
+	data    []byte
+	msgID   uint64
+	nextOff int
+	pending int // packets with at least one unacknowledged child
+	staged  bool
+	onDone  func()
+}
+
+func (t *mcastToken) remaining() int { return len(t.data) - t.nextOff }
+
+// mcastRecord is the send record for one multicast packet: one sequence
+// number shared by every child, with the set of children that have not yet
+// acknowledged it. Retransmission reads the payload from the host-memory
+// replica (the frame keeps the registered host slice).
+type mcastRecord struct {
+	seq     uint32
+	frame   *gm.Frame
+	sentAt  sim.Time
+	pending map[myrinet.NodeID]bool
+	tok     *mcastToken // non-nil at the root
+	// release, when non-nil, frees the pinned NIC receive buffer on
+	// retirement (RetransmitHoldBuffer ablation).
+	release func()
+}
+
+// group is one NIC's group-table entry: this node's place in the preposted
+// spanning tree plus the paper's per-group sequence state — "1) a receive
+// sequence number ... 2) a send sequence number ... 3) an array of
+// sequence numbers to record the acknowledged sequence number from each
+// child".
+type group struct {
+	ext      *Ext
+	id       gm.GroupID
+	root     myrinet.NodeID
+	parent   myrinet.NodeID
+	children []myrinet.NodeID
+	port     gm.PortID // local port receiving this group's messages
+	rootPort gm.PortID // port the root sends from (stable across hops)
+
+	// Sender side (root, or forwarder toward its children).
+	sendSeq uint32
+	acked   map[myrinet.NodeID]uint32
+	records []*mcastRecord
+	queue   []*mcastToken // root only: multicast send tokens by group
+	staging int
+	timer   *sim.Event
+
+	// lastFast is the last nack-triggered retransmission, for holdoff.
+	lastFast sim.Time
+	// backoff counts consecutive timeouts; the retransmit interval doubles
+	// with each until the configured cap, resetting on ack progress.
+	backoff int
+
+	// Replica chains (one per packet) execute strictly in sequence at the
+	// root: interleaving packet k+1's first replica ahead of packet k's
+	// later replicas would starve the later children's subtrees of early
+	// packets and defeat pipelined forwarding.
+	chains      []func()
+	chainActive bool
+
+	// Receiver side.
+	recvSeq uint32 // next expected from parent
+
+	// sf gathers per-message packets in the store-and-forward ablation.
+	sf map[uint64]*sfState
+
+	// NIC-based reduction state (core/reduce.go).
+	redSeq    uint32
+	red       map[uint32]*reduceState
+	redSeen   map[redDupKey]bool
+	redTimers map[barrierKey]*sim.Event
+}
+
+func (g *group) isRoot() bool { return g.root == g.ext.nic.ID() }
+
+// localView extracts this NIC's tree neighborhood from a full tree.
+func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID) *group {
+	self := ext.nic.ID()
+	g := &group{
+		ext:       ext,
+		id:        id,
+		root:      tr.Root,
+		children:  append([]myrinet.NodeID(nil), tr.Children(self)...),
+		port:      port,
+		rootPort:  rootPort,
+		sendSeq:   0,
+		recvSeq:   1,
+		acked:     make(map[myrinet.NodeID]uint32),
+		red:       make(map[uint32]*reduceState),
+		redSeen:   make(map[redDupKey]bool),
+		redTimers: make(map[barrierKey]*sim.Event),
+	}
+	if p, ok := tr.Parent(self); ok {
+		g.parent = p
+	} else {
+		g.parent = self
+	}
+	return g
+}
+
+// windowOpen mirrors the unicast window: outstanding multicast packets per
+// group are bounded by the same configuration.
+func (g *group) windowOpen() bool {
+	return len(g.records)+g.staging < g.ext.nic.Cfg.Window
+}
+
+// enqueue admits a root send token and starts the pump.
+func (g *group) enqueue(t *mcastToken) {
+	if !g.isRoot() {
+		panic("core: multicast send token enqueued at non-root")
+	}
+	g.queue = append(g.queue, t)
+	g.pump()
+}
+
+// pump stages packets at the root: one SDMA per chunk, then a replica
+// transmitted to each child through the header-rewrite callback chain.
+func (g *group) pump() {
+	nic := g.ext.nic
+	for len(g.queue) > 0 && g.windowOpen() {
+		t := g.queue[0]
+		chunk := t.remaining()
+		if chunk > nic.Cfg.MTU {
+			chunk = nic.Cfg.MTU
+		}
+		g.sendSeq++
+		fr := &gm.Frame{
+			Kind:    gm.KindMcastData,
+			SrcNode: nic.ID(),
+			SrcPort: g.rootPort,
+			DstPort: g.port,
+			Seq:     g.sendSeq,
+			MsgID:   t.msgID,
+			MsgLen:  len(t.data),
+			Offset:  t.nextOff,
+			Group:   g.id,
+		}
+		if chunk > 0 {
+			fr.Payload = t.data[t.nextOff : t.nextOff+chunk]
+		}
+		t.nextOff += chunk
+		t.pending++
+		if t.remaining() == 0 {
+			t.staged = true
+			g.queue = g.queue[1:]
+		}
+		g.staging++
+		g.stageRoot(fr, t)
+	}
+}
+
+// stageRoot runs one packet through the root's multisend path. In the
+// implemented ModeCallback, it acquires one send buffer, downloads the
+// chunk from the host once (the SDMA of the next chunk overlaps the
+// previous chunk's replica chain), then replicates in strict packet order.
+// In the ModeTokens ablation, each destination gets its own firmware send
+// token with its own buffer, DMA and per-token processing.
+func (g *group) stageRoot(fr *gm.Frame, t *mcastToken) {
+	if g.ext.cfg.Multisend == ModeTokens {
+		g.stageRootTokens(fr, t)
+		return
+	}
+	nic := g.ext.nic
+	nic.HW.SendBufs.Acquire(func(buf bufToken) {
+		nic.HW.HostToNIC(len(fr.Payload), func() {
+			nic.HW.CPUDo(nic.Cfg.TxSetupCost, func() {
+				g.enqueueChain(func() {
+					g.replicate(fr, buf, func() {
+						g.staging--
+						g.recordSent(fr, t)
+						g.nextChain()
+						g.pump()
+					})
+				})
+			})
+		})
+	})
+}
+
+// stageRootTokens implements design alternative 1: one send token per
+// destination, each repeating the token processing and host DMA. It saves
+// only the posting of multiple host send events relative to host-based
+// multiple unicasts.
+func (g *group) stageRootTokens(fr *gm.Frame, t *mcastToken) {
+	nic := g.ext.nic
+	remaining := len(g.children)
+	if remaining == 0 {
+		g.staging--
+		g.recordSent(fr, t)
+		g.pump()
+		return
+	}
+	for _, c := range g.children {
+		child := c
+		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() { // per-token processing
+			nic.HW.SendBufs.Acquire(func(buf bufToken) {
+				nic.HW.HostToNIC(len(fr.Payload), func() {
+					nic.HW.CPUDo(nic.Cfg.TxSetupCost, func() {
+						replica := fr.Clone()
+						replica.SrcNode = nic.ID()
+						replica.DstNode = child
+						nic.Inject(replica, func() {
+							buf.Release()
+							g.ext.stats.McastSent++
+							remaining--
+							if remaining == 0 {
+								g.staging--
+								g.recordSent(fr, t)
+								g.pump()
+							}
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+// enqueueChain runs fn now if no replica chain is active, else queues it.
+// Chains enqueue in packet order (the SDMA and CPU stages are FIFO), so
+// packets replicate to the children strictly in sequence.
+func (g *group) enqueueChain(fn func()) {
+	if g.chainActive {
+		g.chains = append(g.chains, fn)
+		return
+	}
+	g.chainActive = true
+	fn()
+}
+
+// nextChain starts the next queued replica chain, if any.
+func (g *group) nextChain() {
+	if len(g.chains) == 0 {
+		g.chainActive = false
+		return
+	}
+	fn := g.chains[0]
+	g.chains = g.chains[1:]
+	fn()
+}
+
+// replicate transmits fr to every child in tree order from a single NIC
+// buffer: when the transmit engine finishes one replica, the callback
+// handler rewrites the header (HeaderRewriteCost) and requeues the buffer
+// for the next destination. The buffer is released after the last replica,
+// then done runs.
+func (g *group) replicate(fr *gm.Frame, buf bufToken, done func()) {
+	nic := g.ext.nic
+	children := g.children
+	if len(children) == 0 {
+		buf.Release()
+		done()
+		return
+	}
+	var sendTo func(i int)
+	sendTo = func(i int) {
+		replica := fr.Clone()
+		replica.SrcNode = nic.ID()
+		replica.DstNode = children[i]
+		nic.Inject(replica, func() {
+			g.ext.stats.McastSent++
+			if i+1 == len(children) {
+				buf.Release()
+				done()
+				return
+			}
+			nic.HW.CPUDo(g.ext.cfg.HeaderRewriteCost, func() { sendTo(i + 1) })
+		})
+	}
+	sendTo(0)
+}
+
+// recordSent files the send record covering all children and arms the
+// group's retransmit timer.
+func (g *group) recordSent(fr *gm.Frame, t *mcastToken) {
+	r := &mcastRecord{
+		seq: fr.Seq, frame: fr, sentAt: g.ext.nic.Engine().Now(),
+		pending: g.pendingChildren(fr.Seq), tok: t,
+	}
+	if len(r.pending) == 0 {
+		// No children (degenerate group), or every child acked before the
+		// transmit callback ran: complete immediately.
+		g.retire(r)
+		return
+	}
+	g.records = append(g.records, r)
+	g.armTimer()
+}
+
+// pendingChildren builds the unacknowledged-children set for a new record,
+// honoring acknowledgments that raced ahead of the transmit callback.
+func (g *group) pendingChildren(seq uint32) map[myrinet.NodeID]bool {
+	pending := make(map[myrinet.NodeID]bool, len(g.children))
+	for _, c := range g.children {
+		if g.acked[c] < seq {
+			pending[c] = true
+		}
+	}
+	return pending
+}
+
+// handleAck processes a cumulative group acknowledgment from one child.
+func (g *group) handleAck(child myrinet.NodeID, ack uint32) {
+	if prev := g.acked[child]; ack > prev {
+		g.acked[child] = ack
+	}
+	for _, r := range g.records {
+		if r.seq <= ack {
+			delete(r.pending, child)
+		}
+	}
+	// Cumulative acks make fully-acknowledged records a prefix, but retire
+	// by predicate anyway; order among survivors is preserved.
+	out := g.records[:0]
+	retired := false
+	for _, r := range g.records {
+		if len(r.pending) == 0 {
+			g.retire(r)
+			retired = true
+			continue
+		}
+		out = append(out, r)
+	}
+	g.records = out
+	if retired {
+		g.backoff = 0 // forward progress resets the backoff
+	}
+	g.armTimer()
+	if g.isRoot() {
+		g.pump()
+	}
+}
+
+// retire completes a record; at the root this may finish the send token,
+// and in the hold-buffer ablation it frees the pinned receive buffer.
+func (g *group) retire(r *mcastRecord) {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	if r.tok == nil {
+		return
+	}
+	r.tok.pending--
+	if r.tok.staged && r.tok.pending == 0 && r.tok.onDone != nil {
+		r.tok.onDone()
+	}
+}
+
+// armTimer mirrors the unicast connection timer (including exponential
+// backoff) over group records.
+func (g *group) armTimer() {
+	eng := g.ext.nic.Engine()
+	eng.Cancel(g.timer)
+	g.timer = nil
+	if len(g.records) == 0 {
+		g.backoff = 0
+		return
+	}
+	capf := g.ext.nic.Cfg.BackoffCap
+	if capf <= 0 {
+		capf = 64
+	}
+	mult := 1 << min(g.backoff, 30)
+	if mult > capf {
+		mult = capf
+	}
+	deadline := g.records[0].sentAt + g.ext.nic.Cfg.RetransmitTimeout*sim.Time(mult)
+	if deadline < eng.Now() {
+		deadline = eng.Now()
+	}
+	g.timer = eng.At(deadline, g.onTimeout)
+}
+
+// onTimeout retransmits, per child, every outstanding packet that child
+// has not acknowledged — "the retransmission of the packet and the
+// following ones will be performed only for the destinations which have
+// not acknowledged". Data comes back over SDMA from the host replica; the
+// NIC receive buffer was released long ago.
+func (g *group) onTimeout() {
+	g.timer = nil
+	if len(g.records) == 0 {
+		return
+	}
+	g.backoff++
+	nic := g.ext.nic
+	now := nic.Engine().Now()
+	for _, r := range g.records {
+		r.sentAt = now
+		for _, c := range g.children {
+			if !r.pending[c] {
+				continue
+			}
+			child := c
+			fr := r.frame
+			g.ext.stats.Retransmits++
+			if nic.Trace.Enabled() {
+				nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.Retrans,
+					"grp=%d seq=%d to unacked child %v", g.id, fr.Seq, child)
+			}
+			nic.HW.CPUDo(nic.Cfg.RetransmitCost, func() {
+				nic.HW.SendBufs.Acquire(func(buf bufToken) {
+					nic.HW.HostToNIC(len(fr.Payload), func() {
+						replica := fr.Clone()
+						replica.SrcNode = nic.ID()
+						replica.DstNode = child
+						nic.Inject(replica, func() {
+							buf.Release()
+							g.ext.stats.McastSent++
+						})
+					})
+				})
+			})
+		}
+	}
+	g.armTimer()
+}
+
+// fastRetransmit performs an immediate per-child go-back in response to a
+// group nack, at most once per holdoff.
+func (g *group) fastRetransmit() {
+	now := g.ext.nic.Engine().Now()
+	if len(g.records) == 0 {
+		return
+	}
+	if g.lastFast != 0 && now-g.lastFast < g.ext.nic.Cfg.NackHoldoff {
+		return
+	}
+	g.lastFast = now
+	g.onTimeout()
+}
+
+func (g *group) String() string {
+	return fmt.Sprintf("group %d @%v root=%v parent=%v children=%v",
+		g.id, g.ext.nic.ID(), g.root, g.parent, g.children)
+}

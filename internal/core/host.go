@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/sim"
+)
+
+// Host-side API of the NIC-based multicast: the calls a GM client program
+// makes. A multicast consumes one host send token exactly like a unicast
+// send — the single host request is the whole point of the multisend.
+
+// Mcast posts one multicast of data on the given group from port. The
+// caller must be the group's root. The call blocks only until the request
+// is posted; completion (every packet acknowledged by every child) is
+// observable via port.WaitSendDone. The caller must not mutate data until
+// then — it is the registered host replica retransmissions read from.
+func (e *Ext) Mcast(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte) {
+	if port.NIC() != e.nic {
+		panic("core: Mcast from a port on a different NIC")
+	}
+	port.TakeSendToken(proc)
+	proc.Compute(e.nic.Cfg.HostSendPost)
+	nic := e.nic
+	nic.HW.HostPost(func() {
+		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
+			g, ok := e.groups[id]
+			if !ok {
+				panic(fmt.Sprintf("core: Mcast on uninstalled group %d at %v", id, nic.ID()))
+			}
+			if !g.isRoot() {
+				panic(fmt.Sprintf("core: Mcast on group %d from non-root %v", id, nic.ID()))
+			}
+			g.enqueue(&mcastToken{
+				data:   data,
+				msgID:  nic.NewMsgID(),
+				onDone: port.ReturnSendToken,
+			})
+		})
+	})
+}
+
+// McastSync multicasts and waits until every child of every packet in the
+// message has acknowledged — the root-side completion the paper's
+// multisend benchmarks time ("wait for an acknowledgment from the last
+// destination").
+func (e *Ext) McastSync(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte) {
+	e.Mcast(proc, port, id, data)
+	port.WaitSendDone(proc)
+}

@@ -1,0 +1,288 @@
+package gm
+
+import (
+	"repro/internal/lanai"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// sendToken is the firmware-side descriptor for one outgoing message,
+// translated from a host send event — GM's "send token".
+type sendToken struct {
+	port    *Port
+	conn    *conn
+	msgID   uint64
+	data    []byte
+	nextOff int // next byte offset to stage
+	pending int // packets staged or in flight, not yet acked
+	staged  bool
+	// directed marks a remote-DMA put: region names the remote region and
+	// base the starting write offset within it.
+	directed bool
+	region   RegionID
+	base     int
+	// onDone is posted to the host when every packet is acknowledged
+	// (returns the host-level send token).
+	onDone func()
+}
+
+func (t *sendToken) remaining() int { return len(t.data) - t.nextOff }
+
+// allStaged reports whether every chunk has been handed to the DMA engine.
+func (t *sendToken) allStaged() bool {
+	return t.staged
+}
+
+// sendRecord tracks one transmitted, unacknowledged packet — GM's "send
+// record": sequence number plus the time it was sent, kept until the
+// acknowledgment arrives, driving timeout retransmission.
+type sendRecord struct {
+	seq    uint32
+	frame  *Frame
+	sentAt sim.Time
+	tok    *sendToken
+	// retransmitted excludes the record from RTT sampling (Karn's rule).
+	retransmitted bool
+}
+
+// conn is the sender-side reliability state for one connection: FIFO send
+// queue, next sequence number, window of send records, retransmit timer.
+type conn struct {
+	nic     *NIC
+	key     connKey
+	nextSeq uint32
+	queue   []*sendToken
+	records []*sendRecord // ordered by seq
+	staging int           // packets between staging and record creation
+	timer   *sim.Event
+	// lastFast is the last nack-triggered retransmission, for holdoff.
+	lastFast sim.Time
+	// backoff counts consecutive timeouts; the retransmit interval doubles
+	// with each until the configured cap, and resets on ack progress.
+	backoff int
+	// Round-trip estimation (AdaptiveRTO): smoothed RTT and variance in
+	// the style of TCP (Jacobson/Karels).
+	srtt, rttvar sim.Time
+}
+
+func newConn(n *NIC, k connKey) *conn {
+	return &conn{nic: n, key: k, nextSeq: 1}
+}
+
+// enqueue admits a token and starts the pump.
+func (c *conn) enqueue(t *sendToken) {
+	c.queue = append(c.queue, t)
+	c.pump()
+}
+
+// windowOpen reports whether another packet may enter flight.
+func (c *conn) windowOpen() bool {
+	return len(c.records)+c.staging < c.nic.Cfg.Window
+}
+
+// pump stages packets from the head token while the window allows: acquire
+// a send buffer, SDMA the chunk from host memory, then hand the packet to
+// the transmit engine. Stages are pipelined — the SDMA engine fills the
+// next buffer while the transmit engine drains the previous one.
+func (c *conn) pump() {
+	for len(c.queue) > 0 && c.windowOpen() {
+		t := c.queue[0]
+		chunk := t.remaining()
+		if chunk > c.nic.Cfg.MTU {
+			chunk = c.nic.Cfg.MTU
+		}
+		fr := &Frame{
+			Kind:    KindData,
+			SrcNode: c.nic.ID(), DstNode: c.key.Node,
+			SrcPort: c.key.LocalP, DstPort: c.key.RemoteP,
+			Seq:    c.nextSeq,
+			MsgID:  t.msgID,
+			MsgLen: len(t.data),
+			Offset: t.nextOff,
+		}
+		if t.directed {
+			fr.Kind = KindDirected
+			fr.MsgID = uint64(t.region)
+			fr.Offset = t.base + t.nextOff
+		}
+		if chunk > 0 {
+			fr.Payload = t.data[t.nextOff : t.nextOff+chunk]
+		}
+		c.nextSeq++
+		t.nextOff += chunk
+		t.pending++
+		if t.remaining() == 0 {
+			t.staged = true
+			c.queue = c.queue[1:]
+		}
+		c.staging++
+		c.stage(fr, t)
+	}
+}
+
+// stage moves one packet through buffer acquisition, SDMA, and transmit.
+func (c *conn) stage(fr *Frame, t *sendToken) {
+	nic := c.nic
+	nic.HW.SendBufs.Acquire(func(buf *lanai.Buf) {
+		nic.HW.HostToNIC(len(fr.Payload), func() {
+			nic.HW.CPUDo(nic.Cfg.TxSetupCost, func() {
+				nic.Inject(fr, func() {
+					// Transmit engine done with the NIC buffer.
+					buf.Release()
+					nic.stats.DataSent++
+					c.staging--
+					c.recordSent(fr, t)
+					c.pump()
+				})
+			})
+		})
+	})
+}
+
+// recordSent files the send record and arms the retransmit timer.
+func (c *conn) recordSent(fr *Frame, t *sendToken) {
+	c.records = append(c.records, &sendRecord{
+		seq: fr.Seq, frame: fr, sentAt: c.nic.Engine().Now(), tok: t,
+	})
+	c.armTimer()
+}
+
+// handleAck retires records with seq <= ack (cumulative), completes tokens
+// whose last packet was acknowledged, and reopens the window.
+func (c *conn) handleAck(ack uint32) {
+	now := c.nic.Engine().Now()
+	retired := 0
+	for _, r := range c.records {
+		if r.seq > ack {
+			break
+		}
+		if c.nic.Cfg.AdaptiveRTO && !r.retransmitted {
+			// Karn's rule: never sample retransmitted packets.
+			c.observeRTT(now - r.sentAt)
+		}
+		retired++
+		r.tok.pending--
+		if r.tok.allStaged() && r.tok.pending == 0 {
+			r.tok.onDone()
+		}
+	}
+	if retired == 0 {
+		return
+	}
+	c.backoff = 0 // forward progress resets the backoff
+	c.records = c.records[retired:]
+	c.armTimer()
+	c.pump()
+}
+
+// armTimer (re)sets the retransmit timer to fire when the oldest
+// outstanding record expires (with exponential backoff after consecutive
+// timeouts), or cancels it when none remain.
+func (c *conn) armTimer() {
+	eng := c.nic.Engine()
+	eng.Cancel(c.timer)
+	c.timer = nil
+	if len(c.records) == 0 {
+		c.backoff = 0
+		return
+	}
+	deadline := c.records[0].sentAt + c.rto()
+	if deadline < eng.Now() {
+		deadline = eng.Now()
+	}
+	c.timer = eng.At(deadline, c.onTimeout)
+}
+
+// rto reports the current retransmission interval under backoff, using
+// the measured round-trip estimate when adaptive timeouts are enabled.
+func (c *conn) rto() sim.Time {
+	base := c.nic.Cfg.RetransmitTimeout
+	if c.nic.Cfg.AdaptiveRTO && c.srtt > 0 {
+		base = c.srtt + 4*c.rttvar
+		if floor := c.nic.Cfg.MinRTO; base < floor {
+			base = floor
+		}
+	}
+	cap := c.nic.Cfg.BackoffCap
+	if cap <= 0 {
+		cap = 64
+	}
+	mult := 1 << min(c.backoff, 30)
+	if mult > cap {
+		mult = cap
+	}
+	return base * sim.Time(mult)
+}
+
+// observeRTT folds one acknowledgment round trip into the estimator
+// (alpha 1/8, beta 1/4, the classic constants).
+func (c *conn) observeRTT(sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	diff := c.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar += (diff - c.rttvar) / 4
+	c.srtt += (sample - c.srtt) / 8
+}
+
+// onTimeout performs go-back-N: retransmit the oldest unacknowledged
+// packet and every later one on this connection, in order.
+func (c *conn) onTimeout() {
+	c.timer = nil
+	if len(c.records) == 0 {
+		return
+	}
+	c.backoff++
+	nic := c.nic
+	now := nic.Engine().Now()
+	for _, r := range c.records {
+		r.sentAt = now // pushed forward again below as each re-send completes
+		r.retransmitted = true
+		fr := r.frame
+		nic.stats.Retransmits++
+		if nic.Trace.Enabled() {
+			nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.Retrans, "go-back-N seq=%d to %v", fr.Seq, fr.DstNode)
+		}
+		nic.HW.CPUDo(nic.Cfg.RetransmitCost, func() {
+			nic.HW.SendBufs.Acquire(func(buf *lanai.Buf) {
+				// Retransmission re-reads the message from registered host
+				// memory — GM recycles NIC buffers after transmit.
+				nic.HW.HostToNIC(len(fr.Payload), func() {
+					nic.Inject(fr, func() {
+						buf.Release()
+						r.sentAt = nic.Engine().Now()
+					})
+				})
+			})
+		})
+	}
+	c.armTimer()
+}
+
+// rcvr is the receiver-side state of a connection: the next expected
+// sequence number.
+type rcvr struct {
+	expect uint32
+}
+
+// fastRetransmit performs an immediate go-back-N in response to a nack,
+// at most once per NackHoldoff so nack bursts collapse into one resend.
+func (c *conn) fastRetransmit() {
+	now := c.nic.Engine().Now()
+	if len(c.records) == 0 {
+		return
+	}
+	if c.lastFast != 0 && now-c.lastFast < c.nic.Cfg.NackHoldoff {
+		return
+	}
+	c.lastFast = now
+	c.onTimeout()
+}

@@ -1,0 +1,130 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/myrinet"
+)
+
+// Kind discriminates wire frame types.
+type Kind uint8
+
+const (
+	// KindData is a unicast data packet (one MTU-sized chunk of a message).
+	KindData Kind = iota
+	// KindAck is a cumulative unicast acknowledgment.
+	KindAck
+	// KindMcastData is a multicast data packet, handled by the core
+	// extension's group machinery.
+	KindMcastData
+	// KindMcastAck is a per-group cumulative acknowledgment from a child
+	// to its parent in the multicast tree.
+	KindMcastAck
+	// KindNack is a negative acknowledgment: the receiver saw a sequence
+	// hole and asks the sender to go back immediately instead of waiting
+	// for the timeout (optional fast recovery, Config.EnableNacks).
+	KindNack
+	// KindMcastNack is the per-group equivalent sent to the tree parent.
+	KindMcastNack
+	// KindBarrier is a NIC-level barrier round message (core extension):
+	// Seq is the barrier instance, Offset the dissemination round.
+	KindBarrier
+	// KindBarrierAck acknowledges one barrier round message.
+	KindBarrierAck
+	// KindReduce carries a combined reduction vector up the tree
+	// (core extension); KindReduceAck acknowledges it.
+	KindReduce
+	KindReduceAck
+	// KindDirected is a remote-DMA put into a registered region
+	// (gm_directed_send); MsgID carries the region id, Offset the write
+	// offset. Same reliability as KindData, but no receive token and no
+	// receive event.
+	KindDirected
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "DATA"
+	case KindAck:
+		return "ACK"
+	case KindMcastData:
+		return "MCAST"
+	case KindMcastAck:
+		return "MACK"
+	case KindNack:
+		return "NACK"
+	case KindMcastNack:
+		return "MNACK"
+	case KindBarrier:
+		return "BARR"
+	case KindBarrierAck:
+		return "BARRACK"
+	case KindReduce:
+		return "RED"
+	case KindReduceAck:
+		return "REDACK"
+	case KindDirected:
+		return "DSEND"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Frame is the protocol header plus payload carried inside a
+// myrinet.Packet. One frame is one wire packet.
+//
+// A Frame is immutable once injected except through Clone — the NIC-based
+// multisend "changes the packet header and queues it for transmission
+// again", which Clone models without aliasing the in-flight copy.
+type Frame struct {
+	Kind             Kind
+	SrcNode, DstNode myrinet.NodeID
+	SrcPort, DstPort PortID
+
+	// Seq is the connection sequence number (per source port → destination
+	// port pair) for unicast, or the group sequence number for multicast.
+	Seq uint32
+	// Ack is the cumulative acknowledged sequence number (KindAck/McastAck).
+	Ack uint32
+
+	// Message framing: a message is MsgLen bytes split into MTU chunks;
+	// this frame carries Payload at Offset.
+	MsgID  uint64
+	MsgLen int
+	Offset int
+
+	// Group tags multicast traffic.
+	Group GroupID
+
+	Payload []byte
+}
+
+// Clone returns a copy of f sharing the payload bytes (the NIC replicates
+// the header, not the data, when multisending).
+func (f *Frame) Clone() *Frame {
+	g := *f
+	return &g
+}
+
+// packet wraps f for the fabric, computing its wire size.
+func (f *Frame) packet(cfg Config, txDone func()) *myrinet.Packet {
+	size := cfg.WireSize(len(f.Payload))
+	switch f.Kind {
+	case KindAck, KindMcastAck, KindNack, KindMcastNack, KindBarrier, KindBarrierAck, KindReduceAck:
+		size = cfg.AckBytes
+	}
+	return &myrinet.Packet{
+		Src:     f.SrcNode,
+		Dst:     f.DstNode,
+		Size:    size,
+		Payload: f,
+		TxDone:  txDone,
+	}
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s %v:%d->%v:%d seq=%d ack=%d msg=%d off=%d/%d grp=%d len=%d",
+		f.Kind, f.SrcNode, f.SrcPort, f.DstNode, f.DstPort,
+		f.Seq, f.Ack, f.MsgID, f.Offset, f.MsgLen, f.Group, len(f.Payload))
+}

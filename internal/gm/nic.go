@@ -1,0 +1,182 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/lanai"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Extension is the firmware extension hook. The paper's contribution is a
+// modification of GM firmware; package core implements this interface and
+// installs itself with NIC.SetExtension, leaving the unicast paths of the
+// base protocol untouched.
+type Extension interface {
+	// HandleRx sees every frame arriving from the wire before the base
+	// protocol does. Returning true consumes the frame.
+	HandleRx(fr *Frame) bool
+}
+
+// Stats count protocol-level incidents on one NIC.
+type Stats struct {
+	DataSent        uint64
+	DataReceived    uint64
+	AcksSent        uint64
+	AcksReceived    uint64
+	Retransmits     uint64
+	Duplicates      uint64 // in-window duplicates re-acked
+	OutOfOrderDrops uint64
+	NoTokenDrops    uint64 // in-sequence packets dropped: no receive token
+	NacksSent       uint64
+	NacksReceived   uint64
+	// DirectedReceived counts accepted remote-DMA writes; DirectedRefused
+	// counts writes refused for unknown regions or bounds violations.
+	DirectedReceived uint64
+	DirectedRefused  uint64
+}
+
+// NIC is the GM firmware state for one lanai NIC.
+type NIC struct {
+	HW  *lanai.NIC
+	Cfg Config
+
+	// Trace, when non-nil, records protocol events for timeline rendering.
+	Trace *trace.Recorder
+
+	ports map[PortID]*Port
+	conns map[connKey]*conn // sender-side connections
+	rcvrs map[connKey]*rcvr // receiver-side connection state
+	ext   Extension
+	stats Stats
+
+	nextMsgID uint64
+}
+
+// connKey identifies a connection endpoint pair. On the send side Node is
+// the remote destination; on the receive side it is the remote source.
+type connKey struct {
+	Node            myrinet.NodeID
+	LocalP, RemoteP PortID
+}
+
+// NewNIC loads the GM firmware onto a hardware NIC.
+func NewNIC(hw *lanai.NIC, cfg Config) *NIC {
+	n := &NIC{
+		HW:    hw,
+		Cfg:   cfg,
+		ports: make(map[PortID]*Port),
+		conns: make(map[connKey]*conn),
+		rcvrs: make(map[connKey]*rcvr),
+	}
+	hw.RxDispatch = n.rxDispatch
+	return n
+}
+
+// ID reports the NIC's network ID.
+func (n *NIC) ID() myrinet.NodeID { return n.HW.ID }
+
+// Engine returns the simulation engine.
+func (n *NIC) Engine() *sim.Engine { return n.HW.Eng }
+
+// Stats returns a snapshot of protocol counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// SetExtension installs a firmware extension (at most one).
+func (n *NIC) SetExtension(e Extension) {
+	if n.ext != nil {
+		panic("gm: extension already installed")
+	}
+	n.ext = e
+}
+
+// Extension returns the installed firmware extension, if any.
+func (n *NIC) Extension() Extension { return n.ext }
+
+// OpenPort creates a host communication endpoint. Each simulated process
+// opens its own port; GM's memory protection between ports is implicit in
+// the model (ports share nothing).
+func (n *NIC) OpenPort(id PortID) *Port {
+	if _, ok := n.ports[id]; ok {
+		panic(fmt.Sprintf("gm: port %d already open on %v", id, n.ID()))
+	}
+	p := newPort(n, id)
+	n.ports[id] = p
+	return p
+}
+
+// Port returns an open port.
+func (n *NIC) Port(id PortID) *Port {
+	p, ok := n.ports[id]
+	if !ok {
+		panic(fmt.Sprintf("gm: port %d not open on %v", id, n.ID()))
+	}
+	return p
+}
+
+// NewMsgID allocates a node-unique message identifier.
+func (n *NIC) NewMsgID() uint64 {
+	n.nextMsgID++
+	return n.nextMsgID
+}
+
+// Inject wraps fr in a wire packet and starts transmitting it. txDone
+// (optional) fires when the transmit engine releases the packet buffer.
+// Exposed for the core extension, which transmits through the same engine.
+func (n *NIC) Inject(fr *Frame, txDone func()) {
+	if fr.SrcNode != n.ID() {
+		panic(fmt.Sprintf("gm: frame src %v injected at %v", fr.SrcNode, n.ID()))
+	}
+	if n.Trace.Enabled() {
+		n.Trace.Log(n.Engine().Now(), n.ID(), trace.TX, "%v", fr)
+	}
+	n.HW.Ifc.Inject(fr.packet(n.Cfg, txDone))
+}
+
+// rxDispatch is the wire entry point: every arriving packet lands here.
+func (n *NIC) rxDispatch(pkt *myrinet.Packet) {
+	fr, ok := pkt.Payload.(*Frame)
+	if !ok {
+		panic(fmt.Sprintf("gm: non-frame payload %T at %v", pkt.Payload, n.ID()))
+	}
+	if n.ext != nil && n.ext.HandleRx(fr) {
+		return
+	}
+	switch fr.Kind {
+	case KindData:
+		n.rxData(fr)
+	case KindAck:
+		n.rxAck(fr)
+	case KindNack:
+		n.rxNack(fr)
+	case KindDirected:
+		n.rxDirected(fr)
+	default:
+		panic(fmt.Sprintf("gm: unhandled frame kind %v at %v (no extension?)", fr.Kind, n.ID()))
+	}
+}
+
+// sendConn returns (creating on demand) the sender-side connection for the
+// (local port, destination node, destination port) triple.
+func (n *NIC) sendConn(localP PortID, dst myrinet.NodeID, dstP PortID) *conn {
+	k := connKey{Node: dst, LocalP: localP, RemoteP: dstP}
+	c, ok := n.conns[k]
+	if !ok {
+		c = newConn(n, k)
+		n.conns[k] = c
+	}
+	return c
+}
+
+// recvConn returns (creating on demand) the receiver-side state for a
+// (source node, source port, local port) triple.
+func (n *NIC) recvConn(src myrinet.NodeID, srcP, localP PortID) *rcvr {
+	k := connKey{Node: src, LocalP: localP, RemoteP: srcP}
+	r, ok := n.rcvrs[k]
+	if !ok {
+		r = &rcvr{expect: 1}
+		n.rcvrs[k] = r
+	}
+	return r
+}

@@ -1,0 +1,171 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Directed sends — GM's remote-DMA put (gm_directed_send), the transport
+// under MPICH-GM's rendezvous protocol. The receiver registers a memory
+// region and hands its identifier to the sender out of band (the CTS
+// message in MPI); the sender then writes into the region directly, with
+// no receive tokens involved and no receive event generated — the silence
+// is GM's actual behaviour, which is why MPICH-GM follows the data with a
+// FIN message. Reliability rides the ordinary per-connection sequence
+// space, so directed and normal traffic between the same ports stay
+// mutually ordered.
+
+// RegionID names a registered memory region on a port.
+type RegionID uint64
+
+// region is one registered, remotely writable buffer.
+type region struct {
+	id  RegionID
+	buf []byte
+	// written counts deposited bytes, a diagnostic for tests; directed
+	// sends do not signal the receiving host.
+	written int
+}
+
+// RegisterRegion pins a buffer of the given size for remote directed
+// writes and returns its identifier and the backing memory.
+func (p *Port) RegisterRegion(size int) (RegionID, []byte) {
+	p.nextRegion++
+	id := p.nextRegion
+	r := &region{id: id, buf: make([]byte, size)}
+	if p.regions == nil {
+		p.regions = make(map[RegionID]*region)
+	}
+	p.regions[id] = r
+	return id, r.buf
+}
+
+// DeregisterRegion unpins a region. Packets that arrive for it afterwards
+// are refused (and recovered by the sender's go-back-N until it stops).
+func (p *Port) DeregisterRegion(id RegionID) {
+	if _, ok := p.regions[id]; !ok {
+		panic(fmt.Sprintf("gm: deregistering unknown region %d", id))
+	}
+	delete(p.regions, id)
+}
+
+// RegionWritten reports how many bytes have been deposited into a region
+// (testing/diagnostics; the protocol itself never tells the host).
+func (p *Port) RegionWritten(id RegionID) int {
+	if r, ok := p.regions[id]; ok {
+		return r.written
+	}
+	return 0
+}
+
+// DirectedSend writes data into the remote port's registered region at
+// the given offset — a remote DMA put. It consumes a host send token like
+// any send; completion (all packets acknowledged) is observable via
+// WaitSendDone. The remote host is not notified.
+func (p *Port) DirectedSend(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte) {
+	p.directedSend(proc, dst, dstPort, remote, offset, data, nil)
+}
+
+// DirectedSendSync performs a directed send and blocks until the remote
+// NIC has acknowledged every packet — the write is then globally visible.
+func (p *Port) DirectedSendSync(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte) {
+	done := false
+	w := sim.NewWaiter(p.nic.Engine())
+	p.directedSend(proc, dst, dstPort, remote, offset, data, func() {
+		done = true
+		w.WakeAll()
+	})
+	for !done {
+		w.Wait(proc)
+	}
+}
+
+func (p *Port) directedSend(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte, onDone func()) {
+	if dst == p.Node() {
+		panic("gm: directed send to self is not supported")
+	}
+	if offset < 0 {
+		panic("gm: negative directed-send offset")
+	}
+	p.TakeSendToken(proc)
+	proc.Compute(p.nic.Cfg.HostSendPost)
+	n := p.nic
+	n.HW.HostPost(func() {
+		n.HW.CPUDo(n.Cfg.SendEventCost, func() {
+			c := n.sendConn(p.id, dst, dstPort)
+			tok := &sendToken{
+				port:     p,
+				conn:     c,
+				msgID:    n.NewMsgID(),
+				data:     data,
+				directed: true,
+				region:   remote,
+				base:     offset,
+				onDone: func() {
+					p.ReturnSendToken()
+					if onDone != nil {
+						onDone()
+					}
+				},
+			}
+			c.enqueue(tok)
+		})
+	})
+}
+
+// rxDirected handles an arriving directed-write packet: the same sequence
+// discipline as normal data, but the deposit goes straight into the
+// registered region — no receive token, no assembly, no host event.
+// Writes outside the region's bounds are refused: this is the protection
+// GM's registered memory provides.
+func (n *NIC) rxDirected(fr *Frame) {
+	buf, ok := n.HW.RecvBufs.TryAcquire()
+	if !ok {
+		n.HW.CountRxNoBuffer()
+		return
+	}
+	n.HW.CPUDo(n.Cfg.RecvProcCost, func() {
+		r := n.recvConn(fr.SrcNode, fr.SrcPort, fr.DstPort)
+		port, open := n.ports[fr.DstPort]
+		if !open {
+			buf.Release()
+			return
+		}
+		switch {
+		case fr.Seq < r.expect:
+			n.stats.Duplicates++
+			n.sendAck(fr, r.expect-1)
+			buf.Release()
+		case fr.Seq > r.expect:
+			n.stats.OutOfOrderDrops++
+			n.traceDrop("directed out-of-order seq=%d expect=%d", fr.Seq, r.expect)
+			if n.Cfg.EnableNacks {
+				n.sendNack(fr, r.expect-1)
+			}
+			buf.Release()
+		default:
+			reg, ok := port.regions[RegionID(fr.MsgID)]
+			if !ok || fr.Offset+len(fr.Payload) > len(reg.buf) {
+				// Unknown region or out-of-bounds write: refuse without
+				// acknowledging. The sender retries; a misprogrammed peer
+				// cannot scribble on memory it was not granted.
+				n.stats.DirectedRefused++
+				n.traceDrop("directed write refused: region=%d off=%d len=%d",
+					fr.MsgID, fr.Offset, len(fr.Payload))
+				buf.Release()
+				return
+			}
+			r.expect++
+			n.stats.DirectedReceived++
+			n.sendAck(fr, fr.Seq)
+			payload, off := fr.Payload, fr.Offset
+			n.HW.NICToHost(len(payload), func() {
+				copy(reg.buf[off:], payload)
+				reg.written += len(payload)
+				buf.Release()
+			})
+		}
+	})
+}

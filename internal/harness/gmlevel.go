@@ -1,0 +1,450 @@
+package harness
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+const benchPort gm.PortID = 1
+
+// gmGroup is the GroupID the GM-level experiments install.
+const gmGroup gm.GroupID = 1
+
+// MultisendNB measures the NIC-based multisend: one multisend request per
+// iteration to ndest destinations, waiting for the acknowledgment from the
+// last destination (the send token returning means every destination's NIC
+// acknowledged). Returns the averaged latency in microseconds — Figure 3's
+// NB curves.
+func (o Options) MultisendNB(ndest, size int) float64 {
+	c := cluster.New(o.config(ndest + 1))
+	ports := c.OpenPorts(benchPort)
+	tr := tree.Flat(0, c.Members())
+	c.InstallGroup(gmGroup, tr, benchPort, benchPort)
+	total := o.Warmup + o.Iters
+	for d := 1; d <= ndest; d++ {
+		d := d
+		c.Eng.Spawn("dest", func(p *sim.Proc) {
+			ports[d].ProvideN(total, size)
+			for i := 0; i < total; i++ {
+				ports[d].Recv(p)
+			}
+		})
+	}
+	var avg float64
+	msg := payload(size)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		ext := c.Nodes[0].Ext
+		for i := 0; i < o.Warmup; i++ {
+			ext.McastSync(p, ports[0], gmGroup, msg)
+		}
+		t0 := p.Now()
+		for i := 0; i < o.Iters; i++ {
+			ext.McastSync(p, ports[0], gmGroup, msg)
+		}
+		avg = (p.Now() - t0).Micros() / float64(o.Iters)
+	})
+	runToCompletion(c)
+	return avg
+}
+
+// MultisendHB measures the traditional host-based multiple unicasts that
+// Figure 3 compares against: ndest send requests posted per iteration,
+// waiting for all acknowledgments.
+func (o Options) MultisendHB(ndest, size int) float64 {
+	c := cluster.New(o.config(ndest + 1))
+	ports := c.OpenPorts(benchPort)
+	total := o.Warmup + o.Iters
+	for d := 1; d <= ndest; d++ {
+		d := d
+		c.Eng.Spawn("dest", func(p *sim.Proc) {
+			ports[d].ProvideN(total, size)
+			for i := 0; i < total; i++ {
+				ports[d].Recv(p)
+			}
+		})
+	}
+	var avg float64
+	msg := payload(size)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		iter := func() {
+			for d := 1; d <= ndest; d++ {
+				ports[0].Send(p, myrinet.NodeID(d), benchPort, msg)
+			}
+			for d := 1; d <= ndest; d++ {
+				ports[0].WaitSendDone(p)
+			}
+		}
+		for i := 0; i < o.Warmup; i++ {
+			iter()
+		}
+		t0 := p.Now()
+		for i := 0; i < o.Iters; i++ {
+			iter()
+		}
+		avg = (p.Now() - t0).Micros() / float64(o.Iters)
+	})
+	runToCompletion(c)
+	return avg
+}
+
+// Fig3 sweeps the multisend comparison over message sizes for one
+// destination count, reproducing one curve pair of Figures 3(a)/3(b).
+func (o Options) Fig3(ndest int, sizes []int) Series {
+	var out Series
+	for _, s := range sizes {
+		out = append(out, Point{Size: s, HB: o.MultisendHB(ndest, s), NB: o.MultisendNB(ndest, s)})
+	}
+	return out
+}
+
+// multicastNBOnce measures the NIC-based multicast over the size-specific
+// optimal tree with one designated leaf returning an application-level
+// 1-byte acknowledgment, the paper's Figure 5 protocol.
+func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) float64 {
+	cfg := o.config(nodes)
+	c := cluster.New(cfg)
+	ports := c.OpenPorts(benchPort)
+	tr := o.nbTree(cfg, 0, c.Members(), size)
+	c.InstallGroup(gmGroup, tr, benchPort, benchPort)
+	total := o.Warmup + o.Iters
+	for _, n := range tr.Nodes() {
+		if n == 0 {
+			continue
+		}
+		n := n
+		c.Eng.Spawn("dest", func(p *sim.Proc) {
+			ports[n].ProvideN(total, size)
+			for i := 0; i < total; i++ {
+				ports[n].Recv(p)
+				if n == designated {
+					ports[n].Send(p, 0, benchPort, ack1)
+				}
+			}
+		})
+	}
+	var avg float64
+	msg := payload(size)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		ext := c.Nodes[0].Ext
+		ports[0].ProvideN(total, 4)
+		iter := func() {
+			ext.Mcast(p, ports[0], gmGroup, msg)
+			ports[0].Recv(p) // designated leaf's acknowledgment
+		}
+		for i := 0; i < o.Warmup; i++ {
+			iter()
+		}
+		t0 := p.Now()
+		for i := 0; i < o.Iters; i++ {
+			iter()
+		}
+		avg = (p.Now() - t0).Micros() / float64(o.Iters)
+	})
+	runToCompletion(c)
+	return avg
+}
+
+// multicastHBOnce measures the traditional host-based multicast: unicasts
+// forwarded by the host process at every node of a binomial tree.
+func (o Options) multicastHBOnce(nodes, size int, designated myrinet.NodeID) float64 {
+	c := cluster.New(o.config(nodes))
+	ports := c.OpenPorts(benchPort)
+	tr := tree.Binomial(0, c.Members())
+	total := o.Warmup + o.Iters
+	for _, n := range tr.Nodes() {
+		if n == 0 {
+			continue
+		}
+		n := n
+		children := tr.Children(n)
+		c.Eng.Spawn("node", func(p *sim.Proc) {
+			ports[n].ProvideN(total, size)
+			for i := 0; i < total; i++ {
+				ev := ports[n].Recv(p)
+				for _, ch := range children {
+					ports[n].Send(p, ch, benchPort, ev.Data)
+				}
+				if n == designated {
+					ports[n].Send(p, 0, benchPort, ack1)
+				}
+			}
+		})
+	}
+	var avg float64
+	msg := payload(size)
+	children := tr.Children(0)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		ports[0].ProvideN(total, 4)
+		iter := func() {
+			for _, ch := range children {
+				ports[0].Send(p, ch, benchPort, msg)
+			}
+			ports[0].Recv(p)
+		}
+		for i := 0; i < o.Warmup; i++ {
+			iter()
+		}
+		t0 := p.Now()
+		for i := 0; i < o.Iters; i++ {
+			iter()
+		}
+		avg = (p.Now() - t0).Micros() / float64(o.Iters)
+	})
+	runToCompletion(c)
+	return avg
+}
+
+// MulticastNB takes the maximum over designated-leaf choices, as the paper
+// does ("the same test was repeated with different leaf nodes returning
+// the acknowledgment; the maximum from all the tests was taken").
+func (o Options) MulticastNB(nodes, size int) float64 {
+	cfg := o.config(nodes)
+	tr := o.nbTree(cfg, 0, membersOf(nodes), size)
+	var worst []float64
+	for _, leaf := range tr.Leaves() {
+		worst = append(worst, o.multicastNBOnce(nodes, size, leaf))
+	}
+	return stats.Max(worst)
+}
+
+// MulticastHB is the host-based counterpart over the binomial tree.
+func (o Options) MulticastHB(nodes, size int) float64 {
+	tr := tree.Binomial(0, membersOf(nodes))
+	var worst []float64
+	for _, leaf := range tr.Leaves() {
+		worst = append(worst, o.multicastHBOnce(nodes, size, leaf))
+	}
+	return stats.Max(worst)
+}
+
+// Fig5 sweeps the GM-level multicast comparison over message sizes for one
+// system size, reproducing one curve pair of Figures 5(a)/5(b).
+func (o Options) Fig5(nodes int, sizes []int) Series {
+	var out Series
+	for _, s := range sizes {
+		out = append(out, Point{Size: s, HB: o.MulticastHB(nodes, s), NB: o.MulticastNB(nodes, s)})
+	}
+	return out
+}
+
+// UnicastOneWay measures the plain GM one-way latency, used for the
+// no-regression check of Section 6.1 and for calibration reporting.
+func (o Options) UnicastOneWay(size int, withExtension bool) float64 {
+	cfg := o.config(2)
+	var c *cluster.Cluster
+	if withExtension {
+		c = cluster.New(cfg)
+	} else {
+		c = cluster.NewPlain(cfg)
+	}
+	ports := c.OpenPorts(benchPort)
+	total := o.Warmup + o.Iters
+	var avg float64
+	c.Eng.Spawn("echo", func(p *sim.Proc) {
+		ports[1].ProvideN(total, size)
+		for i := 0; i < total; i++ {
+			ports[1].Recv(p)
+			ports[1].Send(p, 0, benchPort, ack1)
+		}
+	})
+	msg := payload(size)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		ports[0].ProvideN(total, 4)
+		iter := func() {
+			ports[0].Send(p, 1, benchPort, msg)
+			ports[0].Recv(p)
+		}
+		for i := 0; i < o.Warmup; i++ {
+			iter()
+		}
+		t0 := p.Now()
+		for i := 0; i < o.Iters; i++ {
+			iter()
+		}
+		avg = (p.Now() - t0).Micros() / float64(o.Iters) / 2 // half round trip
+	})
+	runToCompletion(c)
+	return avg
+}
+
+var ack1 = []byte{0xA5}
+
+func payload(size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func membersOf(n int) []myrinet.NodeID {
+	out := make([]myrinet.NodeID, n)
+	for i := range out {
+		out[i] = myrinet.NodeID(i)
+	}
+	return out
+}
+
+// NICBarrier measures the average latency of the NIC-level barrier — the
+// future-work collective — over the given node count.
+func (o Options) NICBarrier(nodes int) float64 {
+	c := cluster.New(o.config(nodes))
+	ports := c.OpenPorts(benchPort)
+	for _, n := range c.Nodes {
+		n.Ext.InstallBarrier(gmGroup, c.Members(), benchPort, nil)
+	}
+	total := o.Warmup + o.Iters
+	var avg float64
+	for i := 0; i < nodes; i++ {
+		i := i
+		c.Eng.Spawn("p", func(p *sim.Proc) {
+			for r := 0; r < total; r++ {
+				c.Nodes[i].Ext.Barrier(p, ports[i], gmGroup)
+			}
+			if i == 0 {
+				avg = p.Now().Micros() / float64(total)
+			}
+		})
+	}
+	runToCompletion(c)
+	return avg
+}
+
+// HostBarrier measures a host-level dissemination barrier over GM
+// unicasts, the baseline for the NIC-level barrier.
+func (o Options) HostBarrier(nodes int) float64 {
+	c := cluster.New(o.config(nodes))
+	ports := c.OpenPorts(benchPort)
+	total := o.Warmup + o.Iters
+	rounds := 0
+	for k := 1; k < nodes; k <<= 1 {
+		rounds++
+	}
+	var avg float64
+	for i := 0; i < nodes; i++ {
+		i := i
+		c.Eng.Spawn("p", func(p *sim.Proc) {
+			ports[i].ProvideN(total*rounds, 16)
+			for r := 0; r < total; r++ {
+				for k := 1; k < nodes; k <<= 1 {
+					dst := myrinet.NodeID((i + k) % nodes)
+					ports[i].Send(p, dst, benchPort, ack1)
+					ports[i].Recv(p)
+				}
+			}
+			if i == 0 {
+				avg = p.Now().Micros() / float64(total)
+			}
+		})
+	}
+	runToCompletion(c)
+	return avg
+}
+
+// LossRecovery measures multicast latency on a lossy fabric under the
+// three recovery configurations: fixed timeout (the paper's), NACK fast
+// recovery, and adaptive RTT-estimated timeouts (both extensions).
+func (o Options) LossRecovery(nodes, size int, lossRate float64, mode string) float64 {
+	o2 := o
+	o2.Mut = func(c *cluster.Config) {
+		if o.Mut != nil {
+			o.Mut(c)
+		}
+		c.LossRate = lossRate
+		switch mode {
+		case "fixed":
+		case "nack":
+			c.GM.EnableNacks = true
+		case "adaptive":
+			c.GM.AdaptiveRTO = true
+		case "nack+adaptive":
+			c.GM.EnableNacks = true
+			c.GM.AdaptiveRTO = true
+		default:
+			panic("harness: unknown recovery mode " + mode)
+		}
+	}
+	return o2.MulticastNB(nodes, size)
+}
+
+// UnicastBandwidth measures streaming goodput (MB/s) for back-to-back
+// messages of one size over a single connection — the classic GM
+// bandwidth microbenchmark.
+func (o Options) UnicastBandwidth(size int) float64 {
+	c := cluster.New(o.config(2))
+	ports := c.OpenPorts(benchPort)
+	total := o.Warmup + o.Iters
+	var mbps float64
+	c.Eng.Spawn("recv", func(p *sim.Proc) {
+		ports[1].ProvideN(total, size)
+		for i := 0; i < total; i++ {
+			ports[1].Recv(p)
+		}
+	})
+	msg := payload(size)
+	c.Eng.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < o.Warmup; i++ {
+			ports[0].SendSync(p, 1, benchPort, msg)
+		}
+		t0 := p.Now()
+		for i := 0; i < o.Iters; i++ {
+			ports[0].Send(p, 1, benchPort, msg)
+		}
+		for i := 0; i < o.Iters; i++ {
+			ports[0].WaitSendDone(p)
+		}
+		elapsed := p.Now() - t0
+		mbps = float64(size*o.Iters) / elapsed.Micros()
+	})
+	runToCompletion(c)
+	return mbps
+}
+
+// MulticastAggregateBandwidth measures the total bytes-delivered rate of
+// a NIC-based multicast stream: payload bytes times receivers, divided by
+// the streaming time — the fabric-level win of forwarding at the NICs.
+func (o Options) MulticastAggregateBandwidth(nodes, size int) float64 {
+	cfg := o.config(nodes)
+	c := cluster.New(cfg)
+	ports := c.OpenPorts(benchPort)
+	tr := o.nbTree(cfg, 0, c.Members(), size)
+	c.InstallGroup(gmGroup, tr, benchPort, benchPort)
+	total := o.Warmup + o.Iters
+	var last sim.Time
+	for _, n := range tr.Nodes() {
+		if n == 0 {
+			continue
+		}
+		n := n
+		c.Eng.Spawn("recv", func(p *sim.Proc) {
+			ports[n].ProvideN(total, size)
+			for i := 0; i < total; i++ {
+				ports[n].Recv(p)
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	var t0 sim.Time
+	msg := payload(size)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		ext := c.Nodes[0].Ext
+		for i := 0; i < o.Warmup; i++ {
+			ext.McastSync(p, ports[0], gmGroup, msg)
+		}
+		t0 = p.Now()
+		for i := 0; i < o.Iters; i++ {
+			ext.Mcast(p, ports[0], gmGroup, msg)
+		}
+		for i := 0; i < o.Iters; i++ {
+			ports[0].WaitSendDone(p)
+		}
+	})
+	runToCompletion(c)
+	return float64(size*o.Iters*(nodes-1)) / (last - t0).Micros()
+}

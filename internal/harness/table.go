@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/plot"
+)
+
+// WriteSeries renders a Series as an aligned text table: one row per
+// message size with host-based latency, NIC-based latency, and the
+// improvement factor — the rows behind one curve pair of Figures 3/4/5.
+func WriteSeries(w io.Writer, title string, s Series) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "size(B)\tHB(µs)\tNB(µs)\tfactor\t\n")
+	for _, p := range s {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2f\t\n", p.Size, p.HB, p.NB, p.Factor())
+	}
+	tw.Flush()
+}
+
+// WriteSkew renders Figure 6 rows: average skew against average host CPU
+// time for both schemes, plus the improvement factor.
+func WriteSkew(w io.Writer, title string, pts []SkewPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "skew(µs)\tHB-cpu(µs)\tNB-cpu(µs)\tfactor\t\n")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.0f\t%.2f\t%.2f\t%.2f\t\n", p.AvgSkewUs, p.HB, p.NB, p.Factor())
+	}
+	tw.Flush()
+}
+
+// WriteFig7 renders Figure 7 rows: improvement factor per system size.
+func WriteFig7(w io.Writer, title string, pts []Fig7Point) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "nodes\tsize(B)\tfactor\t\n")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t\n", p.Nodes, p.Size, p.Factor)
+	}
+	tw.Flush()
+}
+
+// WriteScale renders the scalability sweep.
+func WriteScale(w io.Writer, title string, pts []ScalePoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "nodes\tHB(µs)\tNB(µs)\tfactor\t\n")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2f\t\n", p.Nodes, p.HB, p.NB, p.Factor())
+	}
+	tw.Flush()
+}
+
+// PlotFactors renders the improvement-factor curves of several series on
+// one ASCII chart — the shape of the paper's (b) panels.
+func PlotFactors(w io.Writer, title string, named map[string]Series) {
+	c := &plot.Chart{Title: title, XLabel: "message size", YLabel: "improvement factor HB/NB", Width: 64, Height: 14}
+	var ticks map[int]string
+	names := make([]string, 0, len(named))
+	for n := range named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := named[name]
+		y := make([]float64, len(s))
+		for i, p := range s {
+			y[i] = p.Factor()
+		}
+		c.Add(name, y)
+		if ticks == nil && len(s) > 0 {
+			ticks = map[int]string{0: sizeLabel(s[0].Size), len(s) - 1: sizeLabel(s[len(s)-1].Size)}
+			mid := len(s) / 2
+			ticks[mid] = sizeLabel(s[mid].Size)
+		}
+	}
+	c.XTicks = ticks
+	c.Render(w)
+}
+
+// PlotSkew renders Figure 6's CPU-time curves for both schemes.
+func PlotSkew(w io.Writer, title string, pts []SkewPoint) {
+	c := &plot.Chart{Title: title, XLabel: "avg skew (µs)", YLabel: "host CPU µs", Width: 64, Height: 14}
+	hb := make([]float64, len(pts))
+	nb := make([]float64, len(pts))
+	ticks := map[int]string{}
+	for i, p := range pts {
+		hb[i] = p.HB
+		nb[i] = p.NB
+		if i == 0 || i == len(pts)-1 {
+			ticks[i] = fmt.Sprintf("%.0f", p.AvgSkewUs)
+		}
+	}
+	c.Add("host-based", hb)
+	c.Add("NIC-based", nb)
+	c.XTicks = ticks
+	c.Render(w)
+}
+
+func sizeLabel(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%dK", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}

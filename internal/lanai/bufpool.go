@@ -1,0 +1,84 @@
+package lanai
+
+import "repro/internal/sim"
+
+// BufPool manages a fixed number of NIC SRAM packet buffers. Firmware
+// acquires a buffer before staging a packet and releases it when the
+// buffer's last use completes. Waiters are served FIFO; grants are
+// delivered through scheduled events so release chains cannot recurse.
+type BufPool struct {
+	eng     *sim.Engine
+	name    string
+	cap     int
+	free    int
+	waiters []func(*Buf)
+	// MaxQueued tracks the high-water mark of waiters, a resource
+	// pressure diagnostic.
+	MaxQueued int
+}
+
+// Buf is a token for one NIC packet buffer.
+type Buf struct {
+	pool     *BufPool
+	released bool
+}
+
+// NewBufPool returns a pool of n buffers.
+func NewBufPool(eng *sim.Engine, name string, n int) *BufPool {
+	if n < 1 {
+		panic("lanai: buffer pool needs at least one buffer")
+	}
+	return &BufPool{eng: eng, name: name, cap: n, free: n}
+}
+
+// Cap reports the pool's size; Free the currently-available count.
+func (p *BufPool) Cap() int  { return p.cap }
+func (p *BufPool) Free() int { return p.free }
+
+// Queued reports how many acquisitions are waiting.
+func (p *BufPool) Queued() int { return len(p.waiters) }
+
+// Acquire grants a buffer to fn, immediately if one is free, otherwise
+// when one is released (FIFO).
+func (p *BufPool) Acquire(fn func(*Buf)) {
+	if p.free > 0 {
+		p.free--
+		fn(&Buf{pool: p})
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+	if len(p.waiters) > p.MaxQueued {
+		p.MaxQueued = len(p.waiters)
+	}
+}
+
+// TryAcquire grants a buffer only if one is free right now; the receive
+// path uses it so a full NIC drops rather than blocks the wire.
+func (p *BufPool) TryAcquire() (*Buf, bool) {
+	if p.free == 0 {
+		return nil, false
+	}
+	p.free--
+	return &Buf{pool: p}, true
+}
+
+// Release returns b to its pool. The longest-waiting acquirer, if any, is
+// granted the buffer at the current virtual time. Double release panics:
+// it means the firmware's buffer lifetime accounting is broken.
+func (b *Buf) Release() {
+	if b.released {
+		panic("lanai: double release of " + b.pool.name + " buffer")
+	}
+	b.released = true
+	p := b.pool
+	if len(p.waiters) > 0 {
+		fn := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.eng.After(0, func() { fn(&Buf{pool: p}) })
+		return
+	}
+	p.free++
+	if p.free > p.cap {
+		panic("lanai: pool " + p.name + " over capacity")
+	}
+}

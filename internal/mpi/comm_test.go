@@ -1,0 +1,260 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSplitPartitionsByColor(t *testing.T) {
+	w := newWorld(t, 8, false)
+	sizes := make([]int, 8)
+	ranks := make([]int, 8)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(r.ID()%2, r.ID())
+		sizes[r.ID()] = sub.Size()
+		ranks[r.ID()] = sub.Rank()
+	})
+	for i := 0; i < 8; i++ {
+		if sizes[i] != 4 {
+			t.Fatalf("rank %d in sub-communicator of size %d, want 4", i, sizes[i])
+		}
+		if ranks[i] != i/2 {
+			t.Fatalf("world rank %d got comm rank %d, want %d", i, ranks[i], i/2)
+		}
+	}
+}
+
+func TestSplitNegativeColorReturnsNull(t *testing.T) {
+	w := newWorld(t, 4, false)
+	var gotNil, gotComm bool
+	w.Run(func(r *Rank) {
+		color := 0
+		if r.ID() == 3 {
+			color = -1
+		}
+		sub := r.World().Split(color, 0)
+		if r.ID() == 3 {
+			gotNil = sub == nil
+		} else if sub != nil && sub.Size() == 3 {
+			gotComm = true
+		}
+	})
+	if !gotNil {
+		t.Error("negative color did not return a null communicator")
+	}
+	if !gotComm {
+		t.Error("remaining ranks did not form a 3-member communicator")
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	w := newWorld(t, 4, false)
+	ranks := make([]int, 4)
+	w.Run(func(r *Rank) {
+		// Reverse ordering via descending keys.
+		sub := r.World().Split(0, -r.ID())
+		ranks[r.ID()] = sub.Rank()
+	})
+	for i := 0; i < 4; i++ {
+		if ranks[i] != 3-i {
+			t.Fatalf("world rank %d got comm rank %d, want %d", i, ranks[i], 3-i)
+		}
+	}
+}
+
+func TestSubCommBcastNB(t *testing.T) {
+	// NIC-based broadcast inside a sub-communicator: the multicast group
+	// spans only the member nodes; non-members never hear it.
+	w := newWorld(t, 8, true)
+	msg := pattern(600)
+	results := make(map[int][]byte)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(r.ID()%2, r.ID())
+		buf := make([]byte, len(msg))
+		if sub.Rank() == 0 {
+			copy(buf, msg)
+		}
+		results[r.ID()] = sub.Bcast(0, buf)
+		r.Barrier()
+	})
+	for i := 0; i < 8; i++ {
+		want := msg
+		if i%2 == 1 {
+			// Odd communicator's root is world rank 1, whose buffer is the
+			// same pattern.
+			want = msg
+		}
+		if !bytes.Equal(results[i], want) {
+			t.Fatalf("rank %d sub-comm bcast corrupted", i)
+		}
+	}
+	// Each node should hold group contexts only for its own communicator.
+	for i, n := range w.C.Nodes {
+		if got := n.Ext.Groups(); got != 1 {
+			t.Fatalf("node %d has %d group entries, want 1 (its sub-communicator's)", i, got)
+		}
+	}
+}
+
+func TestSubCommIsolatedTagSpace(t *testing.T) {
+	// The same (src, tag) on two communicators must not cross-match.
+	w := newWorld(t, 4, false)
+	var fromWorld, fromSub []byte
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(r.ID()%2, r.ID()) // {0,2} and {1,3}
+		switch r.ID() {
+		case 0:
+			r.Send(2, 5, []byte("world"))
+			sub.Send(1, 5, []byte("sub")) // comm rank 1 of {0,2} = world 2
+		case 2:
+			// Receive in the opposite order from the sends; communicator
+			// isolation must still route each message correctly.
+			fromSub = sub.Recv(0, 5)
+			fromWorld = r.Recv(0, 5)
+		}
+	})
+	if string(fromWorld) != "world" || string(fromSub) != "sub" {
+		t.Fatalf("communicator tag spaces crossed: world=%q sub=%q", fromWorld, fromSub)
+	}
+}
+
+func TestSubCommCollectives(t *testing.T) {
+	for _, useNB := range []bool{false, true} {
+		w := newWorld(t, 6, useNB)
+		sums := make([]float64, 6)
+		w.Run(func(r *Rank) {
+			sub := r.World().Split(r.ID()%2, r.ID())
+			sub.Barrier()
+			sums[r.ID()] = sub.Allreduce(float64(r.ID()), func(a, b float64) float64 { return a + b })
+			sub.Barrier()
+		})
+		// Evens: 0+2+4 = 6; odds: 1+3+5 = 9.
+		for i := 0; i < 6; i++ {
+			want := 6.0
+			if i%2 == 1 {
+				want = 9.0
+			}
+			if sums[i] != want {
+				t.Fatalf("rank %d allreduce = %v, want %v (NB=%v)", i, sums[i], want, useNB)
+			}
+		}
+	}
+}
+
+func TestRepeatedSplitsGetDistinctIDs(t *testing.T) {
+	w := newWorld(t, 4, false)
+	var id1, id2 uint32
+	w.Run(func(r *Rank) {
+		a := r.World().Split(0, r.ID())
+		b := r.World().Split(0, r.ID())
+		if r.ID() == 0 {
+			id1, id2 = a.ID(), b.ID()
+		}
+	})
+	if id1 == id2 {
+		t.Fatalf("two splits share communicator id %d", id1)
+	}
+}
+
+func TestSplitOfSplit(t *testing.T) {
+	w := newWorld(t, 8, true)
+	okCount := 0
+	w.Run(func(r *Rank) {
+		half := r.World().Split(r.ID()/4, r.ID())    // {0..3}, {4..7}
+		quarter := half.Split(half.Rank()/2, r.ID()) // pairs
+		if quarter.Size() != 2 {
+			return
+		}
+		buf := []byte{0}
+		if quarter.Rank() == 0 {
+			buf[0] = byte(r.ID() + 100)
+		}
+		out := quarter.Bcast(0, buf)
+		if out[0] >= 100 {
+			okCount++
+		}
+		r.Barrier()
+	})
+	if okCount != 8 {
+		t.Fatalf("nested split broadcast reached %d of 8 ranks", okCount)
+	}
+}
+
+func TestWorldRankTranslation(t *testing.T) {
+	w := newWorld(t, 6, false)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(r.ID()%3, r.ID())
+		if got := sub.WorldRank(sub.Rank()); got != r.ID() {
+			t.Errorf("rank %d round-trips to world rank %d", r.ID(), got)
+		}
+		if sub.ID() == worldCommID {
+			t.Error("sub-communicator has the world id")
+		}
+	})
+}
+
+func TestCommFreeRemovesGroupContexts(t *testing.T) {
+	w := newWorld(t, 6, true)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(0, r.ID()) // everyone, but not world
+		buf := make([]byte, 64)
+		if sub.Rank() == 0 {
+			copy(buf, pattern(64))
+		}
+		sub.Bcast(0, buf)
+		sub.Barrier()
+		sub.Free()
+	})
+	for i, n := range w.C.Nodes {
+		if got := n.Ext.Groups(); got != 0 {
+			t.Fatalf("node %d still holds %d group entries after Free", i, got)
+		}
+	}
+}
+
+func TestFreeWorldPanics(t *testing.T) {
+	w := newWorld(t, 2, false)
+	panicked := false
+	w.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			r.World().Barrier() // partner for the barrier rank 0 never reaches
+			return
+		}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.World().Free()
+	})
+	if !panicked {
+		t.Fatal("freeing MPI_COMM_WORLD did not panic")
+	}
+}
+
+func TestBcastAfterFreeRecreatesContext(t *testing.T) {
+	w := newWorld(t, 4, true)
+	results := make([][]byte, 4)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(0, r.ID())
+		buf := make([]byte, 32)
+		if sub.Rank() == 0 {
+			copy(buf, pattern(32))
+		}
+		sub.Bcast(0, buf)
+		sub.Barrier()
+		sub.Free()
+		// Broadcasting again pays the demand-driven creation again.
+		buf2 := make([]byte, 32)
+		if sub.Rank() == 0 {
+			copy(buf2, pattern(32))
+		}
+		results[r.ID()] = sub.Bcast(0, buf2)
+		sub.Barrier()
+	})
+	for i := range results {
+		if !bytes.Equal(results[i], pattern(32)) {
+			t.Fatalf("rank %d bcast after Free corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,652 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newWorld(t *testing.T, nodes int, useNB bool) *World {
+	t.Helper()
+	return NewWorld(cluster.New(cluster.DefaultConfig(nodes)), useNB)
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*167 + 3)
+	}
+	return b
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	w := newWorld(t, 2, false)
+	msg := pattern(1000)
+	var got []byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 5, msg)
+		case 1:
+			got = r.Recv(0, 5)
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("eager message corrupted")
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	w := newWorld(t, 2, false)
+	msg := pattern(100_000) // far beyond EagerMax
+	var got []byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 9, msg)
+		case 1:
+			got = r.Recv(0, 9)
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("rendezvous message corrupted")
+	}
+}
+
+func TestEagerMaxBoundary(t *testing.T) {
+	for _, size := range []int{EagerMax, EagerMax + 1} {
+		size := size
+		w := newWorld(t, 2, false)
+		msg := pattern(size)
+		var got []byte
+		w.Run(func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(1, 1, msg)
+			case 1:
+				got = r.Recv(0, 1)
+			}
+		})
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d corrupted across the eager/rendezvous boundary", size)
+		}
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := newWorld(t, 2, false)
+	var first, second []byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 1, []byte("tag-one"))
+			r.Send(1, 2, []byte("tag-two"))
+		case 1:
+			// Receive in reverse tag order; the unexpected queue must hold
+			// the earlier message.
+			second = r.Recv(0, 2)
+			first = r.Recv(0, 1)
+		}
+	})
+	if string(first) != "tag-one" || string(second) != "tag-two" {
+		t.Fatalf("tag matching broken: %q %q", first, second)
+	}
+}
+
+func TestUnexpectedMessagesBuffered(t *testing.T) {
+	w := newWorld(t, 2, false)
+	var got []byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 7, pattern(64))
+		case 1:
+			r.Proc().Sleep(5 * sim.Millisecond) // arrive long after the message
+			got = r.Recv(0, 7)
+		}
+	})
+	if !bytes.Equal(got, pattern(64)) {
+		t.Fatal("late receiver missed buffered message")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := newWorld(t, 7, false)
+	entry := make([]sim.Time, 7)
+	exit := make([]sim.Time, 7)
+	w.Run(func(r *Rank) {
+		r.Proc().Sleep(sim.Time(r.ID()) * 100 * sim.Microsecond)
+		entry[r.ID()] = r.Now()
+		r.Barrier()
+		exit[r.ID()] = r.Now()
+	})
+	var lastEntry sim.Time
+	for _, e := range entry {
+		if e > lastEntry {
+			lastEntry = e
+		}
+	}
+	for i, x := range exit {
+		if x < lastEntry {
+			t.Fatalf("rank %d left the barrier at %v before rank entry %v", i, x, lastEntry)
+		}
+	}
+}
+
+func testBcast(t *testing.T, nodes, size, root int, useNB bool) {
+	t.Helper()
+	w := newWorld(t, nodes, useNB)
+	msg := pattern(size)
+	results := make([][]byte, nodes)
+	w.Run(func(r *Rank) {
+		var buf []byte
+		if r.ID() == root {
+			buf = msg
+		} else {
+			buf = make([]byte, size)
+		}
+		results[r.ID()] = r.Bcast(root, buf)
+	})
+	for i, got := range results {
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("rank %d bcast result corrupted (nodes=%d size=%d NB=%v)", i, nodes, size, useNB)
+		}
+	}
+}
+
+func TestBcastHostBased(t *testing.T) {
+	for _, nodes := range []int{2, 3, 4, 8, 13, 16} {
+		for _, size := range []int{1, 100, 4096, 16287} {
+			testBcast(t, nodes, size, 0, false)
+		}
+	}
+}
+
+func TestBcastNICBased(t *testing.T) {
+	for _, nodes := range []int{2, 3, 4, 8, 13, 16} {
+		for _, size := range []int{1, 100, 4096, 16287} {
+			testBcast(t, nodes, size, 0, true)
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	testBcast(t, 8, 512, 5, false)
+	testBcast(t, 8, 512, 5, true)
+}
+
+func TestBcastRendezvousFallsBackToHostBased(t *testing.T) {
+	w := newWorld(t, 4, true)
+	msg := pattern(50_000)
+	results := make([][]byte, 4)
+	w.Run(func(r *Rank) {
+		buf := msg
+		if r.ID() != 0 {
+			buf = make([]byte, len(msg))
+		}
+		results[r.ID()] = r.Bcast(0, buf)
+	})
+	for i := range results {
+		if !bytes.Equal(results[i], msg) {
+			t.Fatalf("rank %d large bcast corrupted", i)
+		}
+	}
+	// No group contexts should have been created.
+	for _, n := range w.C.Nodes {
+		if n.Ext.Groups() != 0 {
+			t.Fatal("rendezvous-size bcast created a multicast group")
+		}
+	}
+}
+
+func TestBcastGroupContextReused(t *testing.T) {
+	w := newWorld(t, 8, true)
+	w.Run(func(r *Rank) {
+		for i := 0; i < 5; i++ {
+			buf := make([]byte, 256)
+			if r.ID() == 0 {
+				copy(buf, pattern(256))
+			}
+			r.Bcast(0, buf)
+			r.Barrier()
+		}
+	})
+	for _, n := range w.C.Nodes {
+		if got := n.Ext.Groups(); got != 1 {
+			t.Fatalf("node %v has %d group contexts after 5 same-size bcasts, want 1", n.ID, got)
+		}
+	}
+}
+
+func TestBcastDistinctRootsGetDistinctGroups(t *testing.T) {
+	w := newWorld(t, 4, true)
+	w.Run(func(r *Rank) {
+		for root := 0; root < 4; root++ {
+			buf := make([]byte, 64)
+			if r.ID() == root {
+				copy(buf, pattern(64))
+			}
+			r.Bcast(root, buf)
+			r.Barrier()
+		}
+	})
+	for _, n := range w.C.Nodes {
+		if got := n.Ext.Groups(); got != 4 {
+			t.Fatalf("node %v has %d group contexts, want 4", n.ID, got)
+		}
+	}
+}
+
+func TestBcastRepeatedBackToBack(t *testing.T) {
+	// Many NB bcasts without barriers: ordering within the group plus
+	// sufficient preposted tokens must keep every rank consistent.
+	const rounds = 20
+	w := newWorld(t, 8, true)
+	sums := make([]int, 8)
+	w.Run(func(r *Rank) {
+		for i := 0; i < rounds; i++ {
+			buf := make([]byte, 128)
+			if r.ID() == 0 {
+				buf[0] = byte(i)
+			}
+			out := r.Bcast(0, buf)
+			sums[r.ID()] += int(out[0])
+		}
+	})
+	want := rounds * (rounds - 1) / 2
+	for i, s := range sums {
+		if s != want {
+			t.Fatalf("rank %d accumulated %d, want %d (lost or reordered bcasts)", i, s, want)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, useNB := range []bool{false, true} {
+		w := newWorld(t, 9, useNB)
+		results := make([]float64, 9)
+		w.Run(func(r *Rank) {
+			results[r.ID()] = r.Allreduce(float64(r.ID()+1), func(a, b float64) float64 { return a + b })
+		})
+		for i, got := range results {
+			if got != 45 {
+				t.Fatalf("rank %d allreduce = %v, want 45 (NB=%v)", i, got, useNB)
+			}
+		}
+	}
+}
+
+func TestAlltoallBcast(t *testing.T) {
+	for _, useNB := range []bool{false, true} {
+		w := newWorld(t, 5, useNB)
+		results := make([][][]byte, 5)
+		w.Run(func(r *Rank) {
+			mine := []byte{byte(r.ID()), 0xAA, 0xBB, 0xCC}
+			results[r.ID()] = r.AlltoallBcast(mine)
+		})
+		for rank, all := range results {
+			if len(all) != 5 {
+				t.Fatalf("rank %d got %d buffers", rank, len(all))
+			}
+			for root, buf := range all {
+				if buf[0] != byte(root) {
+					t.Fatalf("rank %d slot %d has wrong origin %d (NB=%v)", rank, root, buf[0], useNB)
+				}
+			}
+		}
+	}
+}
+
+func TestNegativeUserTagPanics(t *testing.T) {
+	w := newWorld(t, 2, false)
+	var panicked bool
+	w.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.Send(1, -1, nil)
+	})
+	if !panicked {
+		t.Fatal("negative user tag accepted")
+	}
+}
+
+func TestSingletonWorld(t *testing.T) {
+	w := newWorld(t, 1, true)
+	w.Run(func(r *Rank) {
+		r.Barrier()
+		out := r.Bcast(0, []byte{42})
+		if out[0] != 42 {
+			t.Error("singleton bcast broken")
+		}
+	})
+}
+
+func TestWireEnvelopeRoundTrip(t *testing.T) {
+	e := envelope{kRTS, 77, 1234, 56}
+	enc := encodeEnvelope(e, []byte("payload"))
+	got, body := decodeEnvelope(enc)
+	if got != e || string(body) != "payload" {
+		t.Fatalf("envelope round trip: %+v %q", got, body)
+	}
+}
+
+func TestTreeEncodingRoundTrip(t *testing.T) {
+	cfg := cluster.DefaultConfig(16)
+	tr := cfg.OptimalTree(3, cluster.New(cfg).Members(), 256)
+	enc := encodeTree(77, tr)
+	gid, back := decodeTree(enc)
+	if gid != 77 {
+		t.Fatalf("gid %d, want 77", gid)
+	}
+	if back.Root != tr.Root || back.Size() != tr.Size() || back.Depth() != tr.Depth() {
+		t.Fatal("tree shape changed across encoding")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		a, b := tr.Children(n), back.Children(n)
+		if len(a) != len(b) {
+			t.Fatalf("node %v children differ", n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %v child order changed: %v vs %v", n, a, b)
+			}
+		}
+	}
+}
+
+func TestSizeBucket(t *testing.T) {
+	cases := []struct {
+		n      int
+		bucket uint8
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {4096, 12}, {16287, 14},
+	}
+	for _, c := range cases {
+		if got := sizeBucket(c.n); got != c.bucket {
+			t.Errorf("sizeBucket(%d) = %d, want %d", c.n, got, c.bucket)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8, 13} {
+		for _, root := range []int{0, 1} {
+			if root >= nodes {
+				continue
+			}
+			w := newWorld(t, nodes, false)
+			var got [][]byte
+			w.Run(func(r *Rank) {
+				mine := []byte{byte(r.ID()), byte(r.ID() * 3)}
+				res := r.Gather(root, mine)
+				if r.ID() == root {
+					got = res
+				} else if res != nil {
+					t.Errorf("non-root %d got a gather result", r.ID())
+				}
+			})
+			if len(got) != nodes {
+				t.Fatalf("nodes=%d root=%d: gathered %d parts", nodes, root, len(got))
+			}
+			for i, part := range got {
+				if part[0] != byte(i) || part[1] != byte(i*3) {
+					t.Fatalf("nodes=%d root=%d: slot %d holds %v", nodes, root, i, part)
+				}
+			}
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, nodes := range []int{2, 3, 5, 8, 13} {
+		for _, root := range []int{0, 2} {
+			if root >= nodes {
+				continue
+			}
+			w := newWorld(t, nodes, false)
+			results := make([][]byte, nodes)
+			w.Run(func(r *Rank) {
+				var parts [][]byte
+				if r.ID() == root {
+					parts = make([][]byte, nodes)
+					for i := range parts {
+						parts[i] = []byte{byte(i), byte(i * 7), 0xEE}
+					}
+				}
+				results[r.ID()] = r.Scatter(root, parts)
+			})
+			for i, res := range results {
+				if len(res) != 3 || res[0] != byte(i) || res[1] != byte(i*7) {
+					t.Fatalf("nodes=%d root=%d: rank %d scattered %v", nodes, root, i, res)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const nodes = 7
+	w := newWorld(t, nodes, false)
+	ok := true
+	w.Run(func(r *Rank) {
+		mine := []byte{byte(r.ID() + 50)}
+		all := r.Gather(0, mine)
+		var back []byte
+		if r.ID() == 0 {
+			back = r.Scatter(0, all)
+		} else {
+			back = r.Scatter(0, nil)
+		}
+		if back[0] != byte(r.ID()+50) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Fatal("gather->scatter did not round-trip")
+	}
+}
+
+func TestGatherOnSubComm(t *testing.T) {
+	w := newWorld(t, 6, false)
+	var evens [][]byte
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(r.ID()%2, r.ID())
+		res := sub.Gather(0, []byte{byte(r.ID())})
+		if r.ID() == 0 {
+			evens = res
+		}
+	})
+	if len(evens) != 3 || evens[0][0] != 0 || evens[1][0] != 2 || evens[2][0] != 4 {
+		t.Fatalf("sub-communicator gather = %v", evens)
+	}
+}
+
+func TestIsendIrecvEager(t *testing.T) {
+	w := newWorld(t, 2, false)
+	var got []byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			req := r.Isend(1, 3, pattern(500))
+			req.Wait()
+		case 1:
+			req := r.Irecv(0, 3)
+			got = req.Wait()
+		}
+	})
+	if !bytes.Equal(got, pattern(500)) {
+		t.Fatal("nonblocking eager transfer corrupted")
+	}
+}
+
+func TestIrecvOverlapsComputation(t *testing.T) {
+	// The message arrives while the receiver computes; Wait afterwards
+	// must return almost immediately — the NIC accepted it into the
+	// preposted buffers without the host.
+	w := newWorld(t, 2, false)
+	var computeEnd, waitEnd sim.Time
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 3, pattern(1000))
+		case 1:
+			req := r.Irecv(0, 3)
+			r.Proc().Compute(500 * sim.Microsecond)
+			computeEnd = r.Now()
+			req.Wait()
+			waitEnd = r.Now()
+		}
+	})
+	if gap := waitEnd - computeEnd; gap > 5*sim.Microsecond {
+		t.Fatalf("Wait took %v after compute; no overlap achieved", gap)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	w := newWorld(t, 2, false)
+	var before, afterDelay bool
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Proc().Sleep(100 * sim.Microsecond)
+			r.Send(1, 9, []byte{1})
+		case 1:
+			req := r.Irecv(0, 9)
+			before = req.Test()
+			r.Proc().Sleep(300 * sim.Microsecond)
+			afterDelay = req.Test()
+			req.Wait()
+		}
+	})
+	if before {
+		t.Fatal("Test reported completion before the message existed")
+	}
+	if !afterDelay {
+		t.Fatal("Test missed an arrived message")
+	}
+}
+
+func TestIsendRendezvousCompletesInWait(t *testing.T) {
+	w := newWorld(t, 2, false)
+	msg := pattern(40_000)
+	var got []byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			req := r.Isend(1, 2, msg)
+			if req.Test() {
+				t.Error("rendezvous Isend reported done before Wait")
+			}
+			req.Wait()
+		case 1:
+			got = r.Recv(0, 2)
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("rendezvous Isend corrupted")
+	}
+}
+
+func TestWaitall(t *testing.T) {
+	w := newWorld(t, 3, false)
+	var got [][]byte
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			got = Waitall(r.Irecv(1, 1), r.Irecv(2, 1))
+		default:
+			r.Send(0, 1, []byte{byte(r.ID())})
+		}
+	})
+	if len(got) != 2 || got[0][0] != 1 || got[1][0] != 2 {
+		t.Fatalf("Waitall results %v", got)
+	}
+}
+
+func TestIrecvNegativeTagPanics(t *testing.T) {
+	w := newWorld(t, 2, false)
+	panicked := false
+	w.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.Irecv(1, -3)
+	})
+	if !panicked {
+		t.Fatal("negative-tag Irecv accepted")
+	}
+}
+
+func TestReduceAtRoot(t *testing.T) {
+	for _, root := range []int{0, 3} {
+		w := newWorld(t, 7, false)
+		results := make([]float64, 7)
+		w.Run(func(r *Rank) {
+			results[r.ID()] = r.Reduce(root, float64(r.ID()+1), func(a, b float64) float64 { return a + b })
+		})
+		for i, v := range results {
+			if i == root && v != 28 {
+				t.Fatalf("root %d reduce = %v, want 28", root, v)
+			}
+			if i != root && v != 0 {
+				t.Fatalf("non-root %d got %v", i, v)
+			}
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	w := newWorld(t, 5, false)
+	var got float64
+	w.Run(func(r *Rank) {
+		v := r.Reduce(0, float64(r.ID()*10), func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if r.ID() == 0 {
+			got = v
+		}
+	})
+	if got != 40 {
+		t.Fatalf("reduce max = %v, want 40", got)
+	}
+}
+
+func TestWorldDeterministicReplay(t *testing.T) {
+	run := func() uint64 {
+		c := cluster.New(cluster.DefaultConfig(6))
+		w := NewWorld(c, true)
+		w.Run(func(r *Rank) {
+			for i := 0; i < 4; i++ {
+				buf := make([]byte, 256)
+				if r.ID() == i%3 {
+					copy(buf, pattern(256))
+				}
+				r.Bcast(i%3, buf)
+				r.Allreduce(float64(r.ID()), func(a, b float64) float64 { return a + b })
+			}
+		})
+		return c.Eng.EventsFired()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("MPI replay diverged: %d vs %d events", a, b)
+	}
+}

@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+)
+
+// Point-to-point protocol. Eager messages (<= EagerMax) are sent
+// immediately and copied out of the bounce buffer at the receiver (the
+// copy cost causes the paper's dip at 16,287 bytes). Larger messages use
+// rendezvous: RTS, then CTS once the receiver has posted an exactly-sized
+// landing buffer, then the bulk data — the shape of MPICH-GM's remote-DMA
+// rendezvous. All matching is on (communicator, source, tag), in order.
+
+// Send transmits data to world rank dst on MPI_COMM_WORLD.
+func (r *Rank) Send(dst int, tag int32, data []byte) {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	r.send(worldCommID, dst, tag, data)
+}
+
+// Recv blocks for a message from world rank src on MPI_COMM_WORLD and
+// returns its payload in a fresh buffer.
+func (r *Rank) Recv(src int, tag int32) []byte {
+	if tag < 0 {
+		panic("mpi: negative tags are reserved")
+	}
+	return r.recv(worldCommID, src, tag)
+}
+
+// Sendrecv exchanges messages with two world-rank peers (send first).
+func (r *Rank) Sendrecv(dst int, sdata []byte, src int, tag int32) []byte {
+	r.send(worldCommID, dst, tag, sdata)
+	return r.recv(worldCommID, src, tag)
+}
+
+func (r *Rank) send(comm uint32, dst int, tag int32, data []byte) {
+	if dst == r.id {
+		panic("mpi: send to self")
+	}
+	seq := r.nextSeq(comm, dst, tag)
+	if len(data) <= EagerMax {
+		r.port.Send(r.proc, r.node(dst), mpiPort,
+			encodeEnvelope(envelope{kEager, comm, tag, seq}, data))
+		return
+	}
+	// Rendezvous: RTS carries the length; the CTS answers with the
+	// receiver's registered landing region; the bulk data then moves as a
+	// remote-DMA put (gm_directed_send), followed by a FIN since directed
+	// writes are silent at the receiver.
+	r.port.Send(r.proc, r.node(dst), mpiPort,
+		encodeEnvelope(envelope{kRTS, comm, tag, seq}, encodeU32(uint32(len(data)))))
+	cts := r.awaitMatch(comm, dst, tag, seq, kCTS)
+	_, ctsBody := decodeEnvelope(cts.Data)
+	region := gm.RegionID(decodeU64(ctsBody))
+	r.replenish() // the CTS consumed an eager token
+	r.port.DirectedSendSync(r.proc, r.node(dst), mpiPort, region, 0, data)
+	// The FIN echoes the rendezvous sequence number so the receiver can
+	// pair it with its CTS.
+	r.port.Send(r.proc, r.node(dst), mpiPort,
+		encodeEnvelope(envelope{kFin, comm, tag, seq}, nil))
+}
+
+func (r *Rank) recv(comm uint32, src int, tag int32) []byte {
+	ev := r.awaitMatch(comm, src, tag, 0, kEager, kRTS)
+	env, body := decodeEnvelope(ev.Data)
+	switch env.kind {
+	case kEager:
+		out := make([]byte, len(body))
+		copy(out, body)
+		// Copying from the bounce buffer to the final location is host CPU
+		// work — the cost behind the 16,287-byte dip in Figure 4.
+		r.proc.Compute(r.w.C.Cfg.HostMemcpyTime(len(body)))
+		r.replenish()
+		return out
+	case kRTS:
+		size := int(decodeU32(body))
+		// Register the landing region and clear the sender to put.
+		region, landing := r.port.RegisterRegion(size)
+		r.replenish() // the RTS consumed an eager token
+		r.port.Send(r.proc, r.node(src), mpiPort,
+			encodeEnvelope(envelope{kCTS, comm, tag, env.seq}, encodeU64(uint64(region))))
+		r.awaitMatch(comm, src, tag, env.seq, kFin)
+		r.replenish() // ... as did the FIN
+		// The remote DMA landed in place: no bounce-buffer copy charged.
+		r.port.DeregisterRegion(region)
+		return landing
+	default:
+		panic(fmt.Sprintf("mpi: impossible match kind %d", env.kind))
+	}
+}
+
+// sendKind posts an internal protocol message with an explicit kind,
+// bypassing the user-facing eager/rendezvous selection.
+func (r *Rank) sendKind(comm uint32, dst int, tag int32, kind msgKind, body []byte) {
+	seq := r.nextSeq(comm, dst, tag)
+	r.port.Send(r.proc, r.node(dst), mpiPort,
+		encodeEnvelope(envelope{kind, comm, tag, seq}, body))
+}
+
+// awaitMatch returns the first message from (comm, src, tag) whose kind is
+// one of kinds (and, when seq != 0, whose sequence number matches),
+// consulting the unexpected queue first and then blocking on the GM port.
+func (r *Rank) awaitMatch(comm uint32, src int, tag int32, seq uint32, kinds ...msgKind) *gm.RecvEvent {
+	match := func(ev *gm.RecvEvent) bool {
+		if ev.Group != 0 || ev.Src != r.node(src) {
+			return false
+		}
+		env, _ := decodeEnvelope(ev.Data)
+		if env.comm != comm || env.tag != tag {
+			return false
+		}
+		if seq != 0 && env.seq != seq {
+			return false
+		}
+		for _, k := range kinds {
+			if env.kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	for i, ev := range r.unexpected {
+		if match(ev) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return ev
+		}
+	}
+	for {
+		ev := r.port.Recv(r.proc)
+		if match(ev) {
+			return ev
+		}
+		r.unexpected = append(r.unexpected, ev)
+	}
+}
+
+// awaitGroup returns the next message delivered on the given multicast
+// group, consulting the unexpected queue first.
+func (r *Rank) awaitGroup(gid gm.GroupID) *gm.RecvEvent {
+	for i, ev := range r.unexpected {
+		if ev.Group == gid {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return ev
+		}
+	}
+	for {
+		ev := r.port.Recv(r.proc)
+		if ev.Group == gid {
+			return ev
+		}
+		r.unexpected = append(r.unexpected, ev)
+	}
+}

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/myrinet"
+	"repro/internal/tree"
+)
+
+// Point-to-point messages carry a small MPI envelope ahead of the user
+// payload; multicast broadcast data rides groups raw (group identity and
+// ordering replace the envelope).
+
+type msgKind uint8
+
+const (
+	kEager    msgKind = iota + 1 // eager data: envelope + payload
+	kRTS                         // rendezvous request-to-send: envelope + length
+	kCTS                         // rendezvous clear-to-send: envelope
+	kRData                       // rendezvous data: envelope + payload
+	kCtlGroup                    // group-creation control: envelope + tree
+	kCtlAck                      // group-creation acknowledgment
+	kFin                         // rendezvous completion: the directed write landed
+)
+
+const envelopeBytes = 1 + 4 + 4 + 4 // kind, comm, tag, seq-within-(src,comm,tag)
+
+// envelope is the MPI matching header. comm isolates communicators: a
+// message sent on one communicator can never match a receive on another.
+type envelope struct {
+	kind msgKind
+	comm uint32
+	tag  int32
+	seq  uint32 // per (sender, comm, tag) counter; pairs RTS/CTS/RData legs
+}
+
+func encodeEnvelope(e envelope, body []byte) []byte {
+	out := make([]byte, envelopeBytes+len(body))
+	out[0] = byte(e.kind)
+	binary.LittleEndian.PutUint32(out[1:], e.comm)
+	binary.LittleEndian.PutUint32(out[5:], uint32(e.tag))
+	binary.LittleEndian.PutUint32(out[9:], e.seq)
+	copy(out[envelopeBytes:], body)
+	return out
+}
+
+func decodeEnvelope(data []byte) (envelope, []byte) {
+	if len(data) < envelopeBytes {
+		panic(fmt.Sprintf("mpi: short message (%d bytes)", len(data)))
+	}
+	return envelope{
+		kind: msgKind(data[0]),
+		comm: binary.LittleEndian.Uint32(data[1:]),
+		tag:  int32(binary.LittleEndian.Uint32(data[5:])),
+		seq:  binary.LittleEndian.Uint32(data[9:]),
+	}, data[envelopeBytes:]
+}
+
+func encodeU32(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func decodeU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+func encodeU64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func decodeU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// encodeTree flattens a spanning tree into (root, count, [node, parent]...)
+// for the group-creation control message.
+func encodeTree(gid uint32, tr *tree.Tree) []byte {
+	parents := tr.Parents()
+	out := make([]byte, 4+4+4+8*len(parents))
+	binary.LittleEndian.PutUint32(out[0:], gid)
+	binary.LittleEndian.PutUint32(out[4:], uint32(tr.Root))
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(parents)))
+	i := 12
+	for _, n := range tr.Nodes() { // deterministic order
+		p, ok := tr.Parent(n)
+		if !ok {
+			continue
+		}
+		binary.LittleEndian.PutUint32(out[i:], uint32(n))
+		binary.LittleEndian.PutUint32(out[i+4:], uint32(p))
+		i += 8
+	}
+	return out
+}
+
+func decodeTree(b []byte) (gid uint32, tr *tree.Tree) {
+	gid = binary.LittleEndian.Uint32(b[0:])
+	root := myrinet.NodeID(binary.LittleEndian.Uint32(b[4:]))
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	parents := make(map[myrinet.NodeID]myrinet.NodeID, n)
+	i := 12
+	for k := 0; k < n; k++ {
+		c := myrinet.NodeID(binary.LittleEndian.Uint32(b[i:]))
+		p := myrinet.NodeID(binary.LittleEndian.Uint32(b[i+4:]))
+		parents[c] = p
+		i += 8
+	}
+	return gid, tree.FromParents(root, parents)
+}

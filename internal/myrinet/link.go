@@ -1,0 +1,55 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LinkParams are the physical characteristics of every link in a fabric.
+// Myrinet-2000 defaults: 2 Gb/s (4 ns per byte) and a few hundred
+// nanoseconds of combined cable and crossbar routing delay per hop.
+type LinkParams struct {
+	// Latency is the per-hop head latency: propagation plus the switch's
+	// wormhole routing decision.
+	Latency sim.Time
+	// NsPerByte is the serialization cost; 4.0 models 2 Gb/s Myrinet-2000.
+	NsPerByte float64
+}
+
+// DefaultLinkParams returns Myrinet-2000-like link characteristics.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{Latency: 300 * sim.Nanosecond, NsPerByte: 4.0}
+}
+
+// SerializationTime reports how long a packet of the given size occupies
+// a link.
+func (lp LinkParams) SerializationTime(size int) sim.Time {
+	return sim.PerByte(lp.NsPerByte, size)
+}
+
+// vertex is a point in the fabric graph: either a host attachment or a
+// crossbar switch.
+type vertex struct {
+	idx    int
+	host   bool
+	hostID NodeID
+	label  string
+	out    []*Link
+}
+
+// Link is a directed physical channel between two vertices. Each link is a
+// FIFO resource: one packet serializes onto it at a time.
+type Link struct {
+	from, to *vertex
+	fac      *sim.Facility
+	params   LinkParams
+	// Drops counts packets lost on this link (fault injection).
+	Drops uint64
+}
+
+// String labels the link for diagnostics.
+func (l *Link) String() string { return fmt.Sprintf("%s->%s", l.from.label, l.to.label) }
+
+// BusyTime reports cumulative serialization time spent on the link.
+func (l *Link) BusyTime() sim.Time { return l.fac.BusyTime() }

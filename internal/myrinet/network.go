@@ -1,0 +1,217 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Network is an assembled fabric: host interfaces, switches, links, and a
+// routing function. Build one with NewSingleSwitch or NewClos.
+type Network struct {
+	eng    *sim.Engine
+	params LinkParams
+	hosts  []*Iface
+	verts  []*vertex
+	links  []*Link
+
+	routeFn    func(src, dst NodeID) []*Link
+	routeCache map[[2]NodeID][]*Link
+
+	// LossRate is the per-link probability that a packet is corrupted and
+	// discarded (models nonzero bit-error rates). Requires SetRNG.
+	LossRate float64
+	// DropFn, when non-nil, is consulted per link traversal; returning
+	// true drops the packet. It is the test hook for targeted loss.
+	DropFn func(p *Packet, l *Link) bool
+
+	rng   *sim.RNG
+	stats Stats
+}
+
+// Iface is a host's attachment to the fabric. The NIC model sets Deliver;
+// the fabric calls it when a packet has fully arrived.
+type Iface struct {
+	net     *Network
+	id      NodeID
+	up      *Link // host -> first switch
+	Deliver func(*Packet)
+}
+
+// ID reports the interface's network ID.
+func (ifc *Iface) ID() NodeID { return ifc.id }
+
+// Engine returns the simulation engine driving the network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Params returns the fabric's link parameters.
+func (n *Network) Params() LinkParams { return n.params }
+
+// Hosts reports the number of host interfaces.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+// Iface returns the interface for a node.
+func (n *Network) Iface(id NodeID) *Iface { return n.hosts[id] }
+
+// Stats returns a snapshot of fabric counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetRNG installs the randomness source used for loss injection.
+func (n *Network) SetRNG(rng *sim.RNG) { n.rng = rng }
+
+// Route returns the link path from src to dst, caching computed routes.
+// Routes are deterministic for a given topology.
+func (n *Network) Route(src, dst NodeID) []*Link {
+	key := [2]NodeID{src, dst}
+	if r, ok := n.routeCache[key]; ok {
+		return r
+	}
+	r := n.routeFn(src, dst)
+	if r == nil {
+		panic(fmt.Sprintf("myrinet: no route %v -> %v", src, dst))
+	}
+	n.routeCache[key] = r
+	return r
+}
+
+// HopCount reports the number of links on the route between two nodes.
+func (n *Network) HopCount(src, dst NodeID) int { return len(n.Route(src, dst)) }
+
+// Inject begins transmitting p from its source interface. The caller is
+// the NIC transmit engine; the injection link's FIFO discipline serializes
+// concurrent transmissions from one NIC. Delivery (or silent loss) happens
+// entirely through scheduled events.
+func (ifc *Iface) Inject(p *Packet) {
+	n := ifc.net
+	if p.Src != ifc.id {
+		panic(fmt.Sprintf("myrinet: packet src %v injected at %v", p.Src, ifc.id))
+	}
+	if p.Size <= 0 {
+		panic("myrinet: packet with nonpositive size")
+	}
+	n.stats.Injected++
+	route := n.Route(p.Src, p.Dst)
+	n.hop(p, route, 0, n.eng.Now())
+}
+
+// hop advances p onto route[i], whose head arrives at headAt. Virtual
+// cut-through: the head proceeds to the next hop after the link's latency
+// while the tail is still serializing behind it.
+func (n *Network) hop(p *Packet, route []*Link, i int, headAt sim.Time) {
+	l := route[i]
+	ser := l.params.SerializationTime(p.Size)
+	n.eng.At(headAt, func() {
+		start := l.fac.Reserve(ser)
+		if i == 0 && p.TxDone != nil {
+			// The source NIC's transmit engine finishes with the packet
+			// buffer when the tail clears the injection link.
+			n.eng.At(start+ser, p.TxDone)
+		}
+		if n.dropped(p, l) {
+			l.Drops++
+			n.stats.Dropped++
+			return
+		}
+		headOut := start + l.params.Latency
+		if i+1 < len(route) {
+			n.hop(p, route, i+1, headOut)
+			return
+		}
+		// Final hop: the destination NIC needs the whole packet (its
+		// receive DMA is store-and-forward), so deliver at tail arrival.
+		n.eng.At(headOut+ser, func() {
+			n.stats.Delivered++
+			dst := n.hosts[p.Dst]
+			if dst.Deliver == nil {
+				panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))
+			}
+			dst.Deliver(p)
+		})
+	})
+}
+
+func (n *Network) dropped(p *Packet, l *Link) bool {
+	if n.DropFn != nil && n.DropFn(p, l) {
+		return true
+	}
+	if n.LossRate > 0 {
+		if n.rng == nil {
+			panic("myrinet: LossRate set without SetRNG")
+		}
+		return n.rng.Bernoulli(n.LossRate)
+	}
+	return false
+}
+
+// newNetwork allocates the shell; topology builders fill it in.
+func newNetwork(eng *sim.Engine, params LinkParams) *Network {
+	return &Network{
+		eng:        eng,
+		params:     params,
+		routeCache: make(map[[2]NodeID][]*Link),
+	}
+}
+
+func (n *Network) addVertex(label string) *vertex {
+	v := &vertex{idx: len(n.verts), label: label}
+	n.verts = append(n.verts, v)
+	return v
+}
+
+func (n *Network) addHost(id NodeID) *vertex {
+	v := n.addVertex(fmt.Sprintf("host%d", id))
+	v.host = true
+	v.hostID = id
+	return v
+}
+
+// connect adds a pair of directed links between a and b.
+func (n *Network) connect(a, b *vertex) (ab, ba *Link) {
+	ab = &Link{from: a, to: b, params: n.params,
+		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", a.label, b.label))}
+	ba = &Link{from: b, to: a, params: n.params,
+		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", b.label, a.label))}
+	a.out = append(a.out, ab)
+	b.out = append(b.out, ba)
+	n.links = append(n.links, ab, ba)
+	return ab, ba
+}
+
+// bfsRoute computes the deterministic shortest link path between hosts.
+func (n *Network) bfsRoute(src, dst NodeID) []*Link {
+	from := n.hosts[src].up.from
+	goal := n.hosts[dst].up.from
+	if from == goal {
+		panic("myrinet: route to self")
+	}
+	prev := make([]*Link, len(n.verts))
+	seen := make([]bool, len(n.verts))
+	seen[from.idx] = true
+	queue := []*vertex{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == goal {
+			break
+		}
+		for _, l := range v.out {
+			if !seen[l.to.idx] {
+				seen[l.to.idx] = true
+				prev[l.to.idx] = l
+				queue = append(queue, l.to)
+			}
+		}
+	}
+	if !seen[goal.idx] {
+		return nil
+	}
+	var rev []*Link
+	for v := goal; v != from; v = prev[v.idx].from {
+		rev = append(rev, prev[v.idx])
+	}
+	route := make([]*Link, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		route = append(route, rev[i])
+	}
+	return route
+}

@@ -1,0 +1,42 @@
+// Package myrinet models a Myrinet-2000-style interconnect: point-to-point
+// links into wormhole-routed crossbar switches arranged as a Clos network,
+// with source-routed, virtual-cut-through packet transport.
+//
+// The fabric is payload-agnostic: it moves Packet values between network
+// interfaces, charging per-hop latency and per-link serialization time, and
+// optionally dropping packets (bit errors are rare but nonzero; the paper's
+// reliability machinery exists precisely because the network cannot be
+// assumed reliable). Protocol content lives in the upper layers.
+package myrinet
+
+import "fmt"
+
+// NodeID identifies a host/NIC attachment point on the fabric. The paper's
+// deadlock-avoidance rule sorts multicast destinations by this "network ID".
+type NodeID int
+
+func (id NodeID) String() string { return fmt.Sprintf("n%d", int(id)) }
+
+// Packet is one network packet in flight. Size is the total wire size in
+// bytes (headers included) and determines serialization time; Payload is
+// the upper-layer frame and is not interpreted by the fabric.
+//
+// TxDone, when non-nil, fires when the packet's tail leaves the source
+// NIC's injection link — the moment the transmit DMA engine is done with
+// the packet buffer. This is the hardware hook behind GM-2's per-packet
+// descriptor callback handlers, which the paper's multisend exploits to
+// rewrite the header and queue the same buffer for another destination.
+// It fires even if the packet is later lost downstream.
+type Packet struct {
+	Src, Dst NodeID
+	Size     int
+	Payload  any
+	TxDone   func()
+}
+
+// Stats are fabric-wide packet counters.
+type Stats struct {
+	Injected  uint64
+	Delivered uint64
+	Dropped   uint64
+}

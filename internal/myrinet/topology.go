@@ -1,0 +1,99 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NewSingleSwitch builds a fabric with all hosts on one crossbar — the
+// shape of the paper's 16-node testbed (one Myrinet-2000 Xbar16).
+func NewSingleSwitch(eng *sim.Engine, hosts int, params LinkParams) *Network {
+	if hosts < 1 {
+		panic("myrinet: need at least one host")
+	}
+	n := newNetwork(eng, params)
+	sw := n.addVertex("xbar0")
+	for i := 0; i < hosts; i++ {
+		hv := n.addHost(NodeID(i))
+		up, _ := n.connect(hv, sw)
+		n.hosts = append(n.hosts, &Iface{net: n, id: NodeID(i), up: up})
+	}
+	n.routeFn = n.bfsRoute
+	return n
+}
+
+// NewClos builds a two-level Clos network out of crossbars with the given
+// port count (16 for Myrinet-2000). Each leaf switch carries ports/2 hosts
+// and ports/2 uplinks; there are ports/2 spine switches, each linked to
+// every leaf. Cross-leaf traffic is spread over spines deterministically
+// by (src, dst) hash, the usual Myrinet dispersive source-routing.
+func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
+	if ports < 4 || ports%2 != 0 {
+		panic("myrinet: Clos needs an even port count >= 4")
+	}
+	hostsPerLeaf := ports / 2
+	leaves := (hosts + hostsPerLeaf - 1) / hostsPerLeaf
+	if leaves <= 1 {
+		return NewSingleSwitch(eng, hosts, params)
+	}
+	n := newNetwork(eng, params)
+
+	leafV := make([]*vertex, leaves)
+	for i := range leafV {
+		leafV[i] = n.addVertex(fmt.Sprintf("leaf%d", i))
+	}
+	spines := ports / 2
+	// up[l][s] is the leaf->spine link, down[s][l] the reverse.
+	up := make([][]*Link, leaves)
+	down := make([][]*Link, spines)
+	for s := 0; s < spines; s++ {
+		down[s] = make([]*Link, leaves)
+	}
+	for l := 0; l < leaves; l++ {
+		up[l] = make([]*Link, spines)
+	}
+	for s := 0; s < spines; s++ {
+		sv := n.addVertex(fmt.Sprintf("spine%d", s))
+		for l := 0; l < leaves; l++ {
+			u, d := n.connect(leafV[l], sv)
+			up[l][s] = u
+			down[s][l] = d
+		}
+	}
+	hostUp := make([]*Link, hosts)
+	hostDown := make([]*Link, hosts)
+	for i := 0; i < hosts; i++ {
+		hv := n.addHost(NodeID(i))
+		u, d := n.connect(hv, leafV[i/hostsPerLeaf])
+		hostUp[i], hostDown[i] = u, d
+		n.hosts = append(n.hosts, &Iface{net: n, id: NodeID(i), up: u})
+	}
+	n.routeFn = func(src, dst NodeID) []*Link {
+		if src == dst {
+			panic("myrinet: route to self")
+		}
+		sl, dl := int(src)/hostsPerLeaf, int(dst)/hostsPerLeaf
+		if sl == dl {
+			return []*Link{hostUp[src], hostDown[dst]}
+		}
+		spine := (int(src)*31 + int(dst)) % spines
+		return []*Link{hostUp[src], up[sl][spine], down[spine][dl], hostDown[dst]}
+	}
+	return n
+}
+
+// AutoTopology picks the smallest standard fabric that carries the host
+// count: one crossbar up to 16 hosts (the paper's testbed), a two-level
+// Clos up to 128, and a three-level fat tree beyond — matching "Myrinet
+// network uses its default hardware topology, Clos network".
+func AutoTopology(eng *sim.Engine, hosts int, params LinkParams) *Network {
+	switch {
+	case hosts <= 16:
+		return NewSingleSwitch(eng, hosts, params)
+	case hosts <= 128:
+		return NewClos(eng, hosts, 16, params)
+	default:
+		return NewFatTree(eng, hosts, 16, params)
+	}
+}

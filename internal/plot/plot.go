@@ -1,0 +1,193 @@
+// Package plot renders small ASCII line charts — enough to see the
+// paper's curve shapes (improvement factors over message size, CPU time
+// over skew) straight in a terminal, next to the numeric tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a fixed-size character canvas with labeled axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area in characters (defaults 60x16).
+	Width, Height int
+	// XTicks labels selected x positions (index -> label).
+	XTicks map[int]string
+	series []Series
+}
+
+// Add appends a curve; all curves share x indices 0..len(Y)-1.
+func (c *Chart) Add(name string, y []float64) {
+	c.series = append(c.series, Series{Name: name, Y: y})
+}
+
+// markers cycles distinct glyphs per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	maxN := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		if len(s.Y) > maxN {
+			maxN = len(s.Y)
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if maxN == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom so extremes don't sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if maxN == 1 {
+			return 0
+		}
+		return i * (width - 1) / (maxN - 1)
+	}
+	row := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - f)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				prevC = -1
+				continue
+			}
+			cc, rr := col(i), row(v)
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, cc, rr, '.')
+			}
+			grid[rr][cc] = m
+			prevC, prevR = cc, rr
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yTop := fmt.Sprintf("%.2f", hi)
+	yBot := fmt.Sprintf("%.2f", lo)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	if len(c.XTicks) > 0 {
+		ticks := []byte(strings.Repeat(" ", width+labelWidth+12)) // slack so edge labels fit
+		for i, lab := range c.XTicks {
+			pos := labelWidth + 2 + col(i)
+			for j := 0; j < len(lab) && pos+j < len(ticks); j++ {
+				ticks[pos+j] = lab[j]
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(string(ticks), " "))
+	}
+	var legend []string
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "  %s", strings.Join(legend, "   "))
+		if c.XLabel != "" {
+			fmt.Fprintf(w, "   [x: %s]", c.XLabel)
+		}
+		if c.YLabel != "" {
+			fmt.Fprintf(w, " [y: %s]", c.YLabel)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// drawLine traces a Bresenham segment with a soft glyph, leaving existing
+// markers intact.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, glyph byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = glyph
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

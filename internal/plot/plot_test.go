@@ -1,0 +1,93 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(c *Chart) string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{Title: "factors", Width: 40, Height: 10, XLabel: "size", YLabel: "x"}
+	c.Add("NB", []float64{1.0, 1.5, 2.0, 1.2, 1.5})
+	out := render(c)
+	for _, want := range []string{"factors", "*", "2.", "NB", "[x: size]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis + legend.
+	if len(lines) < 12 {
+		t.Fatalf("only %d lines rendered", len(lines))
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8}
+	c.Add("a", []float64{1, 2, 3})
+	c.Add("b", []float64{3, 2, 1})
+	out := render(c)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two marker glyphs:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(&Chart{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{Width: 20, Height: 6}
+	c.Add("flat", []float64{5, 5, 5})
+	out := render(c)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	c := &Chart{Width: 20, Height: 6}
+	c.Add("gappy", []float64{1, math.NaN(), 3})
+	out := render(c)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("series with NaN not drawn:\n%s", out)
+	}
+}
+
+func TestXTicksAppear(t *testing.T) {
+	c := &Chart{Width: 30, Height: 5, XTicks: map[int]string{0: "1B", 2: "16K"}}
+	c.Add("s", []float64{1, 2, 3})
+	out := render(c)
+	if !strings.Contains(out, "1B") || !strings.Contains(out, "16K") {
+		t.Fatalf("x ticks missing:\n%s", out)
+	}
+}
+
+func TestExtremesStayInFrame(t *testing.T) {
+	c := &Chart{Width: 25, Height: 7}
+	c.Add("s", []float64{-100, 0, 1000})
+	out := render(c)
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if len(l) > 25+12 {
+			t.Fatalf("row wider than frame: %q", l)
+		}
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	c.Add("p", []float64{7})
+	if out := render(c); !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created with Engine.At or
+// Engine.After and may be cancelled before they fire.
+type Event struct {
+	when  Time
+	seq   uint64 // insertion order; breaks ties deterministically
+	fn    func()
+	index int // position in the heap; -1 once fired or cancelled
+}
+
+// When reports the virtual time at which the event is scheduled to fire.
+func (ev *Event) When() Time { return ev.when }
+
+// Pending reports whether the event is still scheduled.
+func (ev *Event) Pending() bool { return ev.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	fired   uint64
+	procs   map[*Proc]struct{}
+	current *Proc // process currently executing, if any
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired reports how many events have executed, a cheap progress and
+// determinism probe for tests.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Reschedule moves a pending event to time t, or revives a fired/cancelled
+// event with the same callback semantics preserved by the caller.
+func (e *Engine) Reschedule(ev *Event, t Time) {
+	if ev.index < 0 {
+		panic("sim: reschedule of non-pending event")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.events, ev.index)
+}
+
+// Step fires the next event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain. Parked processes do not keep Run
+// going: a simulation that ends with processes still waiting has simply
+// gone quiet (use Kill to release their goroutines).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].when <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor runs the simulation for d more virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

@@ -1,0 +1,69 @@
+package sim
+
+// Facility models a resource that serves requests one at a time in FIFO
+// order — a DMA engine, a NIC processor, a link transmitter. Reservations
+// are analytic: Reserve returns when service would begin given the queue
+// ahead, without creating events; callers schedule their own completion.
+type Facility struct {
+	eng    *Engine
+	name   string
+	freeAt Time
+	// accounting
+	busy     Time
+	requests uint64
+}
+
+// NewFacility returns a facility bound to e. The name appears in
+// diagnostics only.
+func NewFacility(e *Engine, name string) *Facility {
+	return &Facility{eng: e, name: name}
+}
+
+// Name reports the facility's diagnostic name.
+func (f *Facility) Name() string { return f.name }
+
+// Reserve books the facility for a service time of d, returning the time
+// service starts (>= now). The facility is busy until start+d.
+func (f *Facility) Reserve(d Time) (start Time) {
+	if d < 0 {
+		d = 0
+	}
+	start = f.eng.now
+	if f.freeAt > start {
+		start = f.freeAt
+	}
+	f.freeAt = start + d
+	f.busy += d
+	f.requests++
+	return start
+}
+
+// Do reserves d of service and schedules fn at completion time,
+// returning the completion time.
+func (f *Facility) Do(d Time, fn func()) Time {
+	start := f.Reserve(d)
+	end := start + d
+	f.eng.At(end, fn)
+	return end
+}
+
+// FreeAt reports the time at which all currently-reserved work completes.
+func (f *Facility) FreeAt() Time { return f.freeAt }
+
+// BusyTime reports the cumulative service time reserved so far.
+func (f *Facility) BusyTime() Time { return f.busy }
+
+// Requests reports how many reservations have been made.
+func (f *Facility) Requests() uint64 { return f.requests }
+
+// Utilization reports busy time divided by elapsed time, 0 at time zero.
+func (f *Facility) Utilization() float64 {
+	if f.eng.now == 0 {
+		return 0
+	}
+	b := f.busy
+	if f.freeAt > f.eng.now {
+		b -= f.freeAt - f.eng.now // don't count booked-but-future time
+	}
+	return float64(b) / float64(f.eng.now)
+}

@@ -1,0 +1,157 @@
+package sim
+
+import "fmt"
+
+// errKilled is the sentinel panic value used to unwind a parked process
+// when the engine shuts it down.
+type killedError struct{ name string }
+
+func (k killedError) Error() string { return "sim: process killed: " + k.name }
+
+// Proc is a simulated process: a goroutine that runs cooperatively under
+// the engine. At any instant at most one process (or event callback) is
+// executing; a process gives up control by calling Sleep, or by waiting on
+// a Waiter, and the engine resumes it at the proper virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan bool // engine -> proc; true means "kill yourself"
+	yield  chan struct{}
+	done   bool
+	parked bool // true while the goroutine is blocked awaiting resume
+	// busy accumulates time the process spent "computing" via Compute,
+	// as opposed to parked; used for host-CPU accounting.
+	busy Time
+}
+
+// Name reports the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports current virtual time; shorthand for p.Engine().Now().
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn starts fn as a simulated process. fn begins executing at the
+// current virtual time, after the currently-running work yields.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan bool),
+		yield:  make(chan struct{}),
+		parked: true, // awaiting its start resume
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			p.done = true
+			delete(e.procs, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); ok {
+					p.yield <- struct{}{}
+					return
+				}
+				// Re-panicking here would crash an unrelated goroutine
+				// stack; surface the failure on the engine side instead.
+				p.yield <- struct{}{}
+				panic(r)
+			}
+			p.yield <- struct{}{}
+		}()
+		if kill := <-p.resume; kill {
+			panic(killedError{name})
+		}
+		fn(p)
+	}()
+	e.At(e.now, func() { e.step(p, false) })
+	return p
+}
+
+// step hands control to p and blocks until p parks again or finishes.
+// A stale wake-up (the process was already resumed by another event at the
+// same timestamp) is dropped harmlessly: only parked processes resume.
+func (e *Engine) step(p *Proc, kill bool) {
+	if p.done || !p.parked {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.parked = false
+	p.resume <- kill
+	<-p.yield
+	e.current = prev
+}
+
+// park gives control back to the engine and blocks until resumed.
+// Must be called from the process's own goroutine.
+func (p *Proc) park() {
+	p.parked = true
+	p.yield <- struct{}{}
+	if kill := <-p.resume; kill {
+		panic(killedError{p.name})
+	}
+}
+
+// checkContext panics if called from outside the process's goroutine while
+// the engine believes another process is running; it catches the classic
+// mistake of calling a blocking Proc method from an event callback.
+func (p *Proc) checkContext() {
+	if p.eng.current != p {
+		panic(fmt.Sprintf("sim: blocking call on process %q from outside its goroutine", p.name))
+	}
+}
+
+// Sleep parks the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.checkContext()
+	if d < 0 {
+		d = 0
+	}
+	p.eng.At(p.eng.now+d, func() { p.eng.step(p, false) })
+	p.park()
+}
+
+// Compute is Sleep that also accounts the time as host computation;
+// use it to model CPU work performed by the process.
+func (p *Proc) Compute(d Time) {
+	p.busy += d
+	p.Sleep(d)
+}
+
+// BusyTime reports the total virtual time the process has spent in Compute.
+func (p *Proc) BusyTime() Time { return p.busy }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Kill unwinds all live processes so their goroutines exit. It must be
+// called from outside any process (e.g. after Run returns in a test).
+func (e *Engine) Kill() {
+	if e.current != nil {
+		panic("sim: Kill called from inside a process")
+	}
+	for len(e.procs) > 0 {
+		// Take any process; map order is fine since each is killed
+		// independently and cannot observe the others.
+		var victim *Proc
+		for p := range e.procs {
+			victim = p
+			break
+		}
+		delete(e.procs, victim)
+		victim.kill()
+	}
+}
+
+func (p *Proc) kill() {
+	if p.done {
+		return
+	}
+	p.resume <- true
+	<-p.yield
+}
+
+// LiveProcs reports how many spawned processes have not yet finished.
+func (e *Engine) LiveProcs() int { return len(e.procs) }

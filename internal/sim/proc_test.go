@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 100 {
+		t.Fatalf("woke at %v, want 100", wake)
+	}
+	if n := e.LiveProcs(); n != 0 {
+		t.Fatalf("%d live procs after completion, want 0", n)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(10)
+					log = append(log, name)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	first := run()
+	if len(first) != 9 {
+		t.Fatalf("got %d entries, want 9", len(first))
+	}
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestWaiterWakeOne(t *testing.T) {
+	e := NewEngine()
+	w := NewWaiter(e)
+	var order []string
+	for _, name := range []string{"p1", "p2"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			w.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.At(50, func() { w.WakeOne() })
+	e.At(60, func() { w.WakeOne() })
+	e.Run()
+	if len(order) != 2 || order[0] != "p1" || order[1] != "p2" {
+		t.Fatalf("wake order %v, want [p1 p2]", order)
+	}
+	e.Kill()
+}
+
+func TestWaiterWakeAll(t *testing.T) {
+	e := NewEngine()
+	w := NewWaiter(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("p", func(p *Proc) {
+			w.Wait(p)
+			woken++
+		})
+	}
+	e.At(10, func() { w.WakeAll() })
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woke %d, want 5", woken)
+	}
+}
+
+func TestWaiterPredicateLoop(t *testing.T) {
+	e := NewEngine()
+	w := NewWaiter(e)
+	ready := false
+	var sawReadyAt Time
+	e.Spawn("consumer", func(p *Proc) {
+		for !ready {
+			w.Wait(p)
+		}
+		sawReadyAt = p.Now()
+	})
+	// Spurious wake at t=10 with predicate still false.
+	e.At(10, func() { w.WakeAll() })
+	e.At(20, func() { ready = true; w.WakeAll() })
+	e.Run()
+	if sawReadyAt != 20 {
+		t.Fatalf("consumer proceeded at %v, want 20", sawReadyAt)
+	}
+}
+
+func TestWaitTimeoutTimesOut(t *testing.T) {
+	e := NewEngine()
+	w := NewWaiter(e)
+	var woken bool
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		woken = w.WaitTimeout(p, 100)
+		at = p.Now()
+	})
+	e.Run()
+	if woken {
+		t.Fatal("reported woken, want timeout")
+	}
+	if at != 100 {
+		t.Fatalf("resumed at %v, want 100", at)
+	}
+	if w.Waiting() != 0 {
+		t.Fatalf("%d still queued after timeout, want 0", w.Waiting())
+	}
+}
+
+func TestWaitTimeoutWoken(t *testing.T) {
+	e := NewEngine()
+	w := NewWaiter(e)
+	var woken bool
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		woken = w.WaitTimeout(p, 100)
+		at = p.Now()
+	})
+	e.At(30, func() { w.WakeOne() })
+	e.Run()
+	if !woken {
+		t.Fatal("reported timeout, want woken")
+	}
+	if at != 30 {
+		t.Fatalf("resumed at %v, want 30", at)
+	}
+}
+
+func TestKillReleasesParkedProcs(t *testing.T) {
+	e := NewEngine()
+	w := NewWaiter(e)
+	finished := false
+	e.Spawn("stuck", func(p *Proc) {
+		w.Wait(p)
+		finished = true // must never run
+	})
+	e.Run()
+	if e.LiveProcs() != 1 {
+		t.Fatalf("live procs = %d, want 1", e.LiveProcs())
+	}
+	e.Kill()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs after Kill = %d, want 0", e.LiveProcs())
+	}
+	if finished {
+		t.Fatal("killed process ran past its wait")
+	}
+}
+
+func TestComputeAccountsBusyTime(t *testing.T) {
+	e := NewEngine()
+	var p0 *Proc
+	e.Spawn("worker", func(p *Proc) {
+		p0 = p
+		p.Compute(40)
+		p.Sleep(60)
+		p.Compute(10)
+	})
+	e.Run()
+	if p0.BusyTime() != 50 {
+		t.Fatalf("busy time %v, want 50", p0.BusyTime())
+	}
+}
+
+func TestBlockingCallOutsideProcPanics(t *testing.T) {
+	e := NewEngine()
+	var p0 *Proc
+	e.Spawn("p", func(p *Proc) {
+		p0 = p
+		p.Sleep(10)
+	})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Sleep from outside process context did not panic")
+		}
+	}()
+	p0.Sleep(1)
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childRan Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childRan = c.Now()
+		})
+		p.Sleep(100)
+	})
+	e.Run()
+	if childRan != 15 {
+		t.Fatalf("child finished at %v, want 15", childRan)
+	}
+}
+
+func TestStaleWakeAfterTimeoutIsDropped(t *testing.T) {
+	// A WakeOne scheduled at the same instant the timeout fires must not
+	// resume the process twice.
+	e := NewEngine()
+	w := NewWaiter(e)
+	resumes := 0
+	e.Spawn("p", func(p *Proc) {
+		w.WaitTimeout(p, 50)
+		resumes++
+		p.Sleep(100) // park again; a stray resume here would corrupt timing
+		resumes++
+	})
+	e.At(50, func() { w.WakeAll() })
+	e.Run()
+	if resumes != 2 {
+		t.Fatalf("process resumed %d times, want 2", resumes)
+	}
+}
+
+func TestFacilityFIFO(t *testing.T) {
+	e := NewEngine()
+	f := NewFacility(e, "dma")
+	var done []Time
+	e.At(0, func() {
+		f.Do(10, func() { done = append(done, e.Now()) })
+		f.Do(10, func() { done = append(done, e.Now()) })
+	})
+	e.At(5, func() {
+		f.Do(10, func() { done = append(done, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+	if f.Requests() != 3 {
+		t.Fatalf("requests = %d, want 3", f.Requests())
+	}
+	if f.BusyTime() != 30 {
+		t.Fatalf("busy = %v, want 30", f.BusyTime())
+	}
+}
+
+func TestFacilityIdleGap(t *testing.T) {
+	e := NewEngine()
+	f := NewFacility(e, "link")
+	var second Time
+	e.At(0, func() { f.Do(10, func() {}) })
+	e.At(50, func() { f.Do(10, func() { second = e.Now() }) })
+	e.Run()
+	if second != 60 {
+		t.Fatalf("second completion at %v, want 60 (idle gap not preserved)", second)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Intn(1<<30) != c.Intn(1<<30) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSymmetricDuration(t *testing.T) {
+	g := NewRNG(7)
+	const max = Time(1000)
+	var lo, hi bool
+	for i := 0; i < 10000; i++ {
+		v := g.SymmetricDuration(max)
+		if v < -max/2 || v >= max/2 {
+			t.Fatalf("value %d outside [-%d, %d)", v, max/2, max/2)
+		}
+		if v < 0 {
+			lo = true
+		}
+		if v > 0 {
+			hi = true
+		}
+	}
+	if !lo || !hi {
+		t.Fatal("distribution is one-sided")
+	}
+	if g.SymmetricDuration(0) != 0 {
+		t.Fatal("zero max must give zero skew")
+	}
+}
+
+func TestRNGBernoulliEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Fatal("empty Min/Max not infinite sentinels")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 5}, {100, 10}, {90, 9},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestFactor(t *testing.T) {
+	if Factor(30, 15) != 2 {
+		t.Fatal("Factor(30,15) != 2")
+	}
+	if !math.IsInf(Factor(1, 0), 1) {
+		t.Fatal("Factor with zero improved not +Inf")
+	}
+}
+
+func TestFormatUs(t *testing.T) {
+	if got := FormatUs(12.345); got != "12.35µs" {
+		t.Fatalf("FormatUs = %q", got)
+	}
+	if got := FormatUs(2500); got != "2.50ms" {
+		t.Fatalf("FormatUs = %q", got)
+	}
+}
+
+// Property: Min <= Mean <= Max for nonempty input.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return Min(xs) <= m && m <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package trace records protocol-level events with virtual timestamps so
+// a run can be rendered as a packet timeline — the tool one actually
+// debugs a NIC firmware with. Recording is off unless a Recorder is
+// attached to the NICs, and costs nothing in virtual time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Category classifies events for filtering.
+type Category string
+
+const (
+	TX      Category = "tx"      // packet handed to the transmit engine
+	RX      Category = "rx"      // packet accepted from the wire
+	Drop    Category = "drop"    // packet refused (sequence, token, buffer)
+	Fwd     Category = "fwd"     // NIC-based forward of a multicast packet
+	Ack     Category = "ack"     // acknowledgment sent or processed
+	Retrans Category = "retrans" // timeout or nack retransmission
+	Host    Category = "host"    // host-visible event (delivery, post)
+)
+
+// Event is one timestamped record.
+type Event struct {
+	At   sim.Time
+	Node myrinet.NodeID
+	Cat  Category
+	Msg  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12s  n%-3d %-8s %s", e.At, int(e.Node), e.Cat, e.Msg)
+}
+
+// Recorder accumulates events. The zero value records nothing until
+// Enable; NewRecorder returns an enabled one.
+type Recorder struct {
+	enabled bool
+	events  []Event
+	// Cap bounds memory for long runs; 0 means unbounded. When full, new
+	// events are dropped and Truncated reports how many.
+	Cap       int
+	truncated int
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{enabled: true} }
+
+// Enable turns recording on; Disable turns it off.
+func (r *Recorder) Enable()  { r.enabled = true }
+func (r *Recorder) Disable() { r.enabled = false }
+
+// Enabled reports whether events are being recorded.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Log records one event. Safe to call on a nil recorder.
+func (r *Recorder) Log(at sim.Time, node myrinet.NodeID, cat Category, format string, args ...any) {
+	if r == nil || !r.enabled {
+		return
+	}
+	if r.Cap > 0 && len(r.events) >= r.Cap {
+		r.truncated++
+		return
+	}
+	r.events = append(r.events, Event{At: at, Node: node, Cat: cat, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Events returns all recorded events in insertion order (which is
+// timestamp order, since simulation time is monotone during recording).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports the recorded event count; Truncated how many were dropped
+// at the cap.
+func (r *Recorder) Len() int       { return len(r.events) }
+func (r *Recorder) Truncated() int { return r.truncated }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.events = nil
+	r.truncated = 0
+}
+
+// Filter returns the events matching any of the given categories, and all
+// events when none are given.
+func (r *Recorder) Filter(cats ...Category) []Event {
+	if len(cats) == 0 {
+		return r.events
+	}
+	want := make(map[Category]bool, len(cats))
+	for _, c := range cats {
+		want[c] = true
+	}
+	var out []Event
+	for _, e := range r.events {
+		if want[e.Cat] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByNode groups events per node, each group in time order.
+func (r *Recorder) ByNode() map[myrinet.NodeID][]Event {
+	out := make(map[myrinet.NodeID][]Event)
+	for _, e := range r.events {
+		out[e.Node] = append(out[e.Node], e)
+	}
+	return out
+}
+
+// WriteTimeline renders all events in time order, one per line.
+func (r *Recorder) WriteTimeline(w io.Writer) {
+	for _, e := range r.events {
+		fmt.Fprintln(w, e)
+	}
+	if r.truncated > 0 {
+		fmt.Fprintf(w, "... %d events truncated at cap %d\n", r.truncated, r.Cap)
+	}
+}
+
+// WriteLanes renders a per-node lane view: nodes as columns sorted by ID,
+// events as rows in time order, with each event marked in its node's lane
+// — a text Gantt of the multicast.
+func (r *Recorder) WriteLanes(w io.Writer) {
+	nodes := make([]myrinet.NodeID, 0)
+	seen := map[myrinet.NodeID]bool{}
+	for _, e := range r.events {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			nodes = append(nodes, e.Node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	lane := make(map[myrinet.NodeID]int, len(nodes))
+	var header strings.Builder
+	header.WriteString(fmt.Sprintf("%12s  ", "time"))
+	for i, n := range nodes {
+		lane[n] = i
+		header.WriteString(fmt.Sprintf("%-6s", fmt.Sprintf("n%d", int(n))))
+	}
+	fmt.Fprintln(w, header.String())
+	for _, e := range r.events {
+		var row strings.Builder
+		row.WriteString(fmt.Sprintf("%12s  ", e.At))
+		for range nodes[:lane[e.Node]] {
+			row.WriteString("      ")
+		}
+		mark := string(e.Cat)
+		if len(mark) > 5 {
+			mark = mark[:5]
+		}
+		row.WriteString(fmt.Sprintf("%-6s", mark))
+		fmt.Fprintf(w, "%s %s\n", row.String(), e.Msg)
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/myrinet"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Log(1, 0, TX, "ignored")
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+}
+
+func TestDisabledRecorderDropsEvents(t *testing.T) {
+	r := &Recorder{}
+	r.Log(1, 0, TX, "dropped")
+	if r.Len() != 0 {
+		t.Fatal("disabled recorder stored an event")
+	}
+	r.Enable()
+	r.Log(2, 0, TX, "kept")
+	if r.Len() != 1 {
+		t.Fatal("enabled recorder dropped an event")
+	}
+	r.Disable()
+	r.Log(3, 0, TX, "dropped again")
+	if r.Len() != 1 {
+		t.Fatal("disabled recorder stored an event")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder()
+	r.Log(1, 0, TX, "a")
+	r.Log(2, 1, RX, "b")
+	r.Log(3, 0, Drop, "c")
+	r.Log(4, 2, TX, "d")
+	if got := len(r.Filter(TX)); got != 2 {
+		t.Fatalf("Filter(TX) = %d events, want 2", got)
+	}
+	if got := len(r.Filter(TX, Drop)); got != 3 {
+		t.Fatalf("Filter(TX, Drop) = %d events, want 3", got)
+	}
+	if got := len(r.Filter()); got != 4 {
+		t.Fatalf("Filter() = %d events, want all 4", got)
+	}
+}
+
+func TestByNode(t *testing.T) {
+	r := NewRecorder()
+	r.Log(1, 0, TX, "a")
+	r.Log(2, 1, RX, "b")
+	r.Log(3, 0, Ack, "c")
+	groups := r.ByNode()
+	if len(groups[myrinet.NodeID(0)]) != 2 || len(groups[myrinet.NodeID(1)]) != 1 {
+		t.Fatalf("ByNode grouping wrong: %v", groups)
+	}
+}
+
+func TestCapTruncates(t *testing.T) {
+	r := NewRecorder()
+	r.Cap = 2
+	for i := 0; i < 5; i++ {
+		r.Log(1, 0, TX, "x")
+	}
+	if r.Len() != 2 || r.Truncated() != 3 {
+		t.Fatalf("len=%d truncated=%d, want 2/3", r.Len(), r.Truncated())
+	}
+	var b strings.Builder
+	r.WriteTimeline(&b)
+	if !strings.Contains(b.String(), "truncated") {
+		t.Fatal("timeline does not report truncation")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.Cap = 1
+	r.Log(1, 0, TX, "a")
+	r.Log(2, 0, TX, "b")
+	r.Reset()
+	if r.Len() != 0 || r.Truncated() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestWriteTimelineFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Log(1500, 3, Fwd, "grp=7 seq=2 -> n5")
+	var b strings.Builder
+	r.WriteTimeline(&b)
+	out := b.String()
+	for _, want := range []string{"n3", "fwd", "grp=7 seq=2 -> n5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline %q missing %q", out, want)
+		}
+	}
+}
+
+func TestWriteLanes(t *testing.T) {
+	r := NewRecorder()
+	r.Log(1, 2, TX, "first")
+	r.Log(2, 0, RX, "second")
+	var b strings.Builder
+	r.WriteLanes(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lane view has %d lines, want header + 2 events", len(lines))
+	}
+	if !strings.Contains(lines[0], "n0") || !strings.Contains(lines[0], "n2") {
+		t.Fatalf("lane header %q missing node columns", lines[0])
+	}
+	// Node 0's lane comes before node 2's: the RX mark should appear at a
+	// smaller column offset than the TX mark.
+	txCol := strings.Index(lines[1], "tx")
+	rxCol := strings.Index(lines[2], "rx")
+	if rxCol >= txCol {
+		t.Fatalf("lane columns not ordered by node: tx@%d rx@%d", txCol, rxCol)
+	}
+}

@@ -1,0 +1,345 @@
+// Package tree constructs multicast spanning trees: the binomial tree the
+// traditional host-based broadcast uses, and the latency-optimal tree of
+// Bar-Noy & Kipnis's postal model that the paper's NIC-based multicast
+// uses. All constructions first sort destinations by network ID and keep
+// every child's ID greater than its parent's (unless the parent is the
+// root) — the paper's deadlock-avoidance rule for receive-token cycles.
+package tree
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Tree is a rooted multicast spanning tree. Children of each node are
+// ordered: the first child is sent to first.
+type Tree struct {
+	Root     myrinet.NodeID
+	children map[myrinet.NodeID][]myrinet.NodeID
+	parent   map[myrinet.NodeID]myrinet.NodeID
+	nodes    []myrinet.NodeID // all members, root first, then sorted
+}
+
+func newTree(root myrinet.NodeID, dests []myrinet.NodeID) *Tree {
+	t := &Tree{
+		Root:     root,
+		children: make(map[myrinet.NodeID][]myrinet.NodeID, len(dests)+1),
+		parent:   make(map[myrinet.NodeID]myrinet.NodeID, len(dests)),
+		nodes:    append([]myrinet.NodeID{root}, dests...),
+	}
+	return t
+}
+
+// sortedDests validates and returns the destination set sorted by network
+// ID with the root removed — "we sort the list of destinations linearly by
+// their network IDs before tree construction".
+func sortedDests(root myrinet.NodeID, members []myrinet.NodeID) []myrinet.NodeID {
+	seen := map[myrinet.NodeID]bool{root: true}
+	dests := make([]myrinet.NodeID, 0, len(members))
+	for _, m := range members {
+		if m == root {
+			continue
+		}
+		if seen[m] {
+			panic(fmt.Sprintf("tree: duplicate member %v", m))
+		}
+		seen[m] = true
+		dests = append(dests, m)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	return dests
+}
+
+func (t *Tree) link(parent, child myrinet.NodeID) {
+	t.children[parent] = append(t.children[parent], child)
+	t.parent[child] = parent
+}
+
+// Children returns a node's children in send order.
+func (t *Tree) Children(n myrinet.NodeID) []myrinet.NodeID { return t.children[n] }
+
+// Parent returns a node's parent; the root reports itself with ok=false.
+func (t *Tree) Parent(n myrinet.NodeID) (myrinet.NodeID, bool) {
+	p, ok := t.parent[n]
+	return p, ok
+}
+
+// Nodes returns all members (root first, destinations in sorted order).
+func (t *Tree) Nodes() []myrinet.NodeID { return t.nodes }
+
+// Size reports the member count including the root.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Depth reports the longest root-to-leaf path length in edges.
+func (t *Tree) Depth() int {
+	var walk func(n myrinet.NodeID) int
+	walk = func(n myrinet.NodeID) int {
+		max := 0
+		for _, c := range t.children[n] {
+			if d := walk(c) + 1; d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return walk(t.Root)
+}
+
+// MaxFanout reports the largest child count of any node.
+func (t *Tree) MaxFanout() int {
+	max := 0
+	for _, cs := range t.children {
+		if len(cs) > max {
+			max = len(cs)
+		}
+	}
+	return max
+}
+
+// Leaves returns all members with no children.
+func (t *Tree) Leaves() []myrinet.NodeID {
+	var out []myrinet.NodeID
+	for _, n := range t.nodes {
+		if len(t.children[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks structural soundness and the deadlock-avoidance
+// invariant: every member except the root has exactly one parent, the
+// graph is a single tree, and each child's network ID exceeds its parent's
+// unless the parent is the root.
+func (t *Tree) Validate() error {
+	reached := map[myrinet.NodeID]bool{}
+	var walk func(n myrinet.NodeID) error
+	walk = func(n myrinet.NodeID) error {
+		if reached[n] {
+			return fmt.Errorf("tree: node %v reached twice (cycle or diamond)", n)
+		}
+		reached[n] = true
+		for _, c := range t.children[n] {
+			if p, ok := t.parent[c]; !ok || p != n {
+				return fmt.Errorf("tree: child %v has inconsistent parent", c)
+			}
+			if n != t.Root && c <= n {
+				return fmt.Errorf("tree: child %v not greater than non-root parent %v", c, n)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	if len(reached) != len(t.nodes) {
+		return fmt.Errorf("tree: reached %d of %d members", len(reached), len(t.nodes))
+	}
+	return nil
+}
+
+// String renders the tree as an indented outline.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n myrinet.NodeID, depth int)
+	walk = func(n myrinet.NodeID, depth int) {
+		fmt.Fprintf(&b, "%s%v\n", strings.Repeat("  ", depth), n)
+		for _, c := range t.children[n] {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// Binomial builds the binomial spanning tree the traditional host-based
+// broadcast uses, over the sorted destination list so parent/child IDs
+// satisfy the deadlock-avoidance ordering.
+func Binomial(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
+	dests := sortedDests(root, members)
+	t := newTree(root, dests)
+	// Index 0 is the root; indices 1..n-1 are the sorted destinations.
+	at := func(i int) myrinet.NodeID {
+		if i == 0 {
+			return root
+		}
+		return dests[i-1]
+	}
+	n := len(dests) + 1
+	for i := 1; i < n; i++ {
+		// Parent of i clears i's lowest set bit.
+		p := i & (i - 1)
+		t.link(at(p), at(i))
+	}
+	// Binomial send order: each parent sends to its farthest subtree
+	// first (largest stride). The loop above appends nearest-first;
+	// reverse each child list to match the conventional schedule.
+	for k := range t.children {
+		cs := t.children[k]
+		for i, j := 0, len(cs)-1; i < j; i, j = i+1, j-1 {
+			cs[i], cs[j] = cs[j], cs[i]
+		}
+	}
+	return t
+}
+
+// Chain builds a linear pipeline tree (each node forwards to the next
+// sorted destination) — useful in tests and as a degenerate shape.
+func Chain(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
+	dests := sortedDests(root, members)
+	t := newTree(root, dests)
+	prev := root
+	for _, d := range dests {
+		t.link(prev, d)
+		prev = d
+	}
+	return t
+}
+
+// Flat builds a one-level tree: the root sends to every destination
+// directly. This is the shape of the paper's multisend experiments.
+func Flat(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
+	dests := sortedDests(root, members)
+	t := newTree(root, dests)
+	for _, d := range dests {
+		t.link(root, d)
+	}
+	return t
+}
+
+// KAry builds a balanced k-ary tree over the sorted destinations in heap
+// layout (node at index i parents indices k·i+1 … k·i+k), so parent
+// indices precede child indices and the ID-sorting invariant holds. Low
+// fan-outs keep every node's injection link un-oversubscribed, which is
+// what per-packet pipelined forwarding of multi-packet messages needs.
+func KAry(root myrinet.NodeID, members []myrinet.NodeID, k int) *Tree {
+	if k < 1 {
+		panic("tree: k-ary fanout must be >= 1")
+	}
+	dests := sortedDests(root, members)
+	t := newTree(root, dests)
+	at := func(i int) myrinet.NodeID {
+		if i == 0 {
+			return root
+		}
+		return dests[i-1]
+	}
+	n := len(dests) + 1
+	for i := 1; i < n; i++ {
+		t.link(at((i-1)/k), at(i))
+	}
+	return t
+}
+
+// FromParents rebuilds a tree from its parent relation, attaching each
+// node's children in ascending ID order. Trees whose construction emits
+// children in ascending order per sender (Optimal, Chain, Flat) round-trip
+// exactly; use it to decode trees shipped over the wire.
+func FromParents(root myrinet.NodeID, parents map[myrinet.NodeID]myrinet.NodeID) *Tree {
+	members := make([]myrinet.NodeID, 0, len(parents)+1)
+	members = append(members, root)
+	for n := range parents {
+		if n != root {
+			members = append(members, n)
+		}
+	}
+	dests := sortedDests(root, members)
+	t := newTree(root, dests)
+	for _, d := range dests { // ascending ID: children lists come out sorted
+		p, ok := parents[d]
+		if !ok {
+			panic(fmt.Sprintf("tree: member %v has no parent", d))
+		}
+		t.link(p, d)
+	}
+	return t
+}
+
+// Parents returns the tree's parent relation, the wire-portable form.
+func (t *Tree) Parents() map[myrinet.NodeID]myrinet.NodeID {
+	out := make(map[myrinet.NodeID]myrinet.NodeID, len(t.parent))
+	for c, p := range t.parent {
+		out[c] = p
+	}
+	return out
+}
+
+// PostalParams characterize one hop of the postal model for a given
+// message size: Lambda is the end-to-end delivery time (send call until
+// the receiver can itself forward), Gap the extra time a sender spends per
+// additional destination. The paper computes the fan-out ratio from
+// exactly these two quantities.
+type PostalParams struct {
+	Lambda sim.Time
+	Gap    sim.Time
+}
+
+// Ratio reports Lambda/Gap, the average fan-out degree of the optimal tree.
+func (p PostalParams) Ratio() float64 {
+	if p.Gap <= 0 {
+		return float64(p.Lambda)
+	}
+	return float64(p.Lambda) / float64(p.Gap)
+}
+
+// senderHeap orders senders by the time they can emit their next copy,
+// breaking ties toward the earliest-joined sender for determinism.
+type sender struct {
+	node  myrinet.NodeID
+	ready sim.Time
+	order int
+}
+
+type senderHeap []*sender
+
+func (h senderHeap) Len() int { return len(h) }
+func (h senderHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].order < h[j].order
+}
+func (h senderHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *senderHeap) Push(x any)   { *h = append(*h, x.(*sender)) }
+func (h *senderHeap) Pop() any     { old := *h; n := len(old); s := old[n-1]; *h = old[:n-1]; return s }
+
+// Optimal builds the latency-optimal broadcast tree of Bar-Noy and Kipnis:
+// destinations are assigned, in sorted order, to whichever member can emit
+// the next copy earliest; a node that received the message at time t joins
+// the sender pool ready at t. The result maximizes the number of nodes
+// sending at any time. Large Lambda/Gap produces wide shallow trees (small
+// messages on a NIC-based multisend); a ratio near 1 degenerates toward a
+// binomial shape, exactly as Section 6.1 of the paper observes.
+func Optimal(root myrinet.NodeID, members []myrinet.NodeID, pp PostalParams) *Tree {
+	if pp.Lambda <= 0 {
+		panic("tree: postal Lambda must be positive")
+	}
+	if pp.Gap <= 0 {
+		pp.Gap = 1
+	}
+	if pp.Gap > pp.Lambda {
+		// A sender is always ready again by the time its copy lands.
+		pp.Lambda = pp.Gap
+	}
+	dests := sortedDests(root, members)
+	t := newTree(root, dests)
+	h := &senderHeap{{node: root, ready: 0, order: 0}}
+	heap.Init(h)
+	for i, d := range dests {
+		s := heap.Pop(h).(*sender)
+		t.link(s.node, d)
+		emit := s.ready
+		s.ready = emit + pp.Gap
+		heap.Push(h, s)
+		heap.Push(h, &sender{node: d, ready: emit + pp.Lambda, order: i + 1})
+	}
+	return t
+}

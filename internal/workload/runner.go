@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Report is the outcome of running a workload on a cluster.
+type Report struct {
+	Messages  int
+	Bytes     int
+	Elapsed   sim.Time
+	ThroughMB float64 // aggregate goodput in MB/s of virtual time
+	// MeanLatencyUs is the mean message latency (injection to host
+	// delivery) in microseconds.
+	MeanLatencyUs float64
+	MaxLatencyUs  float64
+	Retransmits   uint64
+	RxNoBuffer    uint64
+	MaxCPUUtil    float64 // busiest NIC processor utilization
+}
+
+// Run drives the workload on a fresh cluster built from cfg and reports
+// aggregate behaviour. An optional background broadcast group can be
+// layered on by the caller before invoking Run via the returned cluster —
+// here we keep it to point-to-point traffic.
+func Run(cfg *cluster.Config, spec Spec) (Report, error) {
+	spec.Nodes = cfg.Nodes
+	c := cluster.New(cfg)
+	msgs, err := Generate(spec, c.RNG)
+	if err != nil {
+		return Report{}, err
+	}
+	ports := c.OpenPorts(1)
+
+	// Count per-destination expectations and pre-post tokens.
+	tot := Summarize(msgs)
+	latencies := make([]sim.Time, 0, len(msgs))
+	for d, n := range tot.PerDst {
+		d, n := d, n
+		c.Eng.Spawn("sink", func(p *sim.Proc) {
+			ports[d].ProvideN(n, 64*1024)
+			for i := 0; i < n; i++ {
+				ev := ports[d].Recv(p)
+				// The first 8 payload bytes carry the injection time.
+				if len(ev.Data) >= 8 {
+					t0 := sim.Time(0)
+					for b := 7; b >= 0; b-- {
+						t0 = t0<<8 | sim.Time(ev.Data[b])
+					}
+					latencies = append(latencies, p.Now()-t0)
+				}
+			}
+		})
+	}
+	// One source process per node replays its injection schedule.
+	perSrc := make(map[int][]Message)
+	for _, m := range msgs {
+		perSrc[m.Src] = append(perSrc[m.Src], m)
+	}
+	for s, list := range perSrc {
+		s, list := s, list
+		c.Eng.Spawn("src", func(p *sim.Proc) {
+			for _, m := range list {
+				if m.At > p.Now() {
+					p.Sleep(m.At - p.Now())
+				}
+				size := m.Size
+				if size < 8 {
+					size = 8
+				}
+				buf := make([]byte, size)
+				t0 := p.Now()
+				for b := 0; b < 8; b++ {
+					buf[b] = byte(t0 >> (8 * b))
+				}
+				ports[s].Send(p, myrinet.NodeID(m.Dst), 1, buf)
+			}
+			for range list {
+				ports[s].WaitSendDone(p)
+			}
+		})
+	}
+	c.Eng.Run()
+	if live := c.Eng.LiveProcs(); live != 0 {
+		c.Eng.Kill()
+		return Report{}, fmt.Errorf("workload: stalled with %d live processes", live)
+	}
+	c.Eng.Kill()
+
+	rep := Report{
+		Messages: tot.Messages,
+		Bytes:    tot.Bytes,
+		Elapsed:  c.Eng.Now(),
+	}
+	if c.Eng.Now() > 0 {
+		rep.ThroughMB = float64(tot.Bytes) / c.Eng.Now().Micros()
+	}
+	var sum, worst sim.Time
+	for _, l := range latencies {
+		sum += l
+		if l > worst {
+			worst = l
+		}
+	}
+	if len(latencies) > 0 {
+		rep.MeanLatencyUs = sum.Micros() / float64(len(latencies))
+		rep.MaxLatencyUs = worst.Micros()
+	}
+	for _, n := range c.Nodes {
+		rep.Retransmits += n.NIC.Stats().Retransmits
+		rep.RxNoBuffer += n.HW.Stats().RxNoBuffer
+		if u := n.HW.CPU.Utilization(); u > rep.MaxCPUUtil {
+			rep.MaxCPUUtil = u
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := Generate(Spec{Nodes: 1, Messages: 5}, rng); err == nil {
+		t.Error("single-node workload accepted")
+	}
+	if _, err := Generate(Spec{Nodes: 4, Messages: 0}, rng); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Generate(Spec{Nodes: 4, Messages: 5, Pattern: "bogus"}, rng); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := Generate(Spec{Nodes: 4, Messages: 5, Pattern: Uniform, Sizes: "bogus"}, rng); err == nil {
+		t.Error("unknown size distribution accepted")
+	}
+}
+
+func TestGenerateNeverSelfSends(t *testing.T) {
+	for _, pat := range Patterns() {
+		msgs, err := Generate(Spec{Nodes: 5, Messages: 500, Pattern: pat, MeanSize: 64}, sim.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if m.Src == m.Dst {
+				t.Fatalf("pattern %s produced a self-send", pat)
+			}
+			if m.Src < 0 || m.Src >= 5 || m.Dst < 0 || m.Dst >= 5 {
+				t.Fatalf("pattern %s out of range: %+v", pat, m)
+			}
+		}
+	}
+}
+
+func TestHotspotConcentratesTraffic(t *testing.T) {
+	msgs, err := Generate(Spec{Nodes: 8, Messages: 2000, Pattern: Hotspot, MeanSize: 16}, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := Summarize(msgs)
+	if frac := float64(tot.PerDst[0]) / float64(tot.Messages); frac < 0.5 {
+		t.Fatalf("hotspot node got only %.0f%% of traffic", frac*100)
+	}
+}
+
+func TestPermutationIsOneToOne(t *testing.T) {
+	msgs, err := Generate(Spec{Nodes: 6, Messages: 600, Pattern: Permutation, MeanSize: 16}, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstOf := map[int]int{}
+	for _, m := range msgs {
+		if prev, ok := dstOf[m.Src]; ok && prev != m.Dst {
+			t.Fatalf("source %d sent to both %d and %d", m.Src, prev, m.Dst)
+		}
+		dstOf[m.Src] = m.Dst
+	}
+}
+
+func TestBimodalSizes(t *testing.T) {
+	msgs, err := Generate(Spec{Nodes: 4, Messages: 1000, Pattern: Uniform,
+		MeanSize: 1024, Sizes: Bimodal}, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for _, m := range msgs {
+		switch m.Size {
+		case 256:
+			small++
+		case 16384:
+			large++
+		default:
+			t.Fatalf("unexpected bimodal size %d", m.Size)
+		}
+	}
+	if small < large {
+		t.Fatalf("bimodal mix inverted: %d small, %d large", small, large)
+	}
+}
+
+func TestInjectionTimesAdvancePerSource(t *testing.T) {
+	msgs, err := Generate(Spec{Nodes: 3, Messages: 300, Pattern: Uniform,
+		MeanSize: 16, MeanGap: 10 * sim.Microsecond}, sim.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]sim.Time{}
+	for _, m := range msgs {
+		if m.At < last[m.Src] {
+			t.Fatal("injection times went backwards for a source")
+		}
+		last[m.Src] = m.At
+	}
+}
+
+// Property: generation is deterministic per seed and every message is
+// well-formed.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64, patPick, sizePick uint8, count uint8) bool {
+		pats := Patterns()
+		sizes := []SizeDist{Fixed, Bimodal, UniformSize}
+		spec := Spec{
+			Nodes:    6,
+			Messages: int(count)%64 + 1,
+			Pattern:  pats[int(patPick)%len(pats)],
+			MeanSize: 512,
+			Sizes:    sizes[int(sizePick)%len(sizes)],
+			MeanGap:  5 * sim.Microsecond,
+		}
+		a, err1 := Generate(spec, sim.NewRNG(seed))
+		b, err2 := Generate(spec, sim.NewRNG(seed))
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if a[i].Size <= 0 || a[i].Src == a[i].Dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUniformWorkload(t *testing.T) {
+	cfg := cluster.DefaultConfig(8)
+	rep, err := Run(cfg, Spec{Pattern: Uniform, Messages: 200, MeanSize: 1024,
+		MeanGap: 5 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 200 {
+		t.Fatalf("report counts %d messages", rep.Messages)
+	}
+	if rep.MeanLatencyUs <= 0 || rep.MaxLatencyUs < rep.MeanLatencyUs {
+		t.Fatalf("implausible latencies: mean %.1f max %.1f", rep.MeanLatencyUs, rep.MaxLatencyUs)
+	}
+	if rep.ThroughMB <= 0 {
+		t.Fatal("no throughput reported")
+	}
+	if rep.Retransmits != 0 {
+		t.Fatalf("lossless uniform run retransmitted %d times", rep.Retransmits)
+	}
+}
+
+func TestRunHotspotCongestsVsUniform(t *testing.T) {
+	base := Spec{Messages: 400, MeanSize: 4096, MeanGap: 2 * sim.Microsecond}
+	uni := base
+	uni.Pattern = Uniform
+	hot := base
+	hot.Pattern = Hotspot
+	ru, err := Run(cluster.DefaultConfig(8), uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Run(cluster.DefaultConfig(8), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.MeanLatencyUs <= ru.MeanLatencyUs {
+		t.Fatalf("hotspot latency %.1fus not above uniform %.1fus — no contention modeled",
+			rh.MeanLatencyUs, ru.MeanLatencyUs)
+	}
+}
+
+func TestRunUnderLossRecovers(t *testing.T) {
+	cfg := cluster.DefaultConfig(6)
+	cfg.LossRate = 0.02
+	cfg.Seed = 9
+	rep, err := Run(cfg, Spec{Pattern: Neighbor, Messages: 150, MeanSize: 2048,
+		MeanGap: 10 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retransmits == 0 {
+		t.Fatal("lossy workload completed without retransmissions")
+	}
+}
