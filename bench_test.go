@@ -301,7 +301,7 @@ func BenchmarkNICReduce(b *testing.B) {
 // returns the per-operation latency in microseconds.
 func measureAllreduce(nodes, elems, rounds int) float64 {
 	cfg := cluster.DefaultConfig(nodes)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(1)
 	tr := tree.Binomial(0, c.Members())
 	c.InstallGroup(2, tr, 1, 1)

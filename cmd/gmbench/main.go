@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -24,22 +25,35 @@ func main() {
 	warmup := flag.Int("warmup", 20, "warm-up iterations per point")
 	maxSize := flag.Int("maxsize", 16384, "largest message size in the sweep")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	showMetrics := flag.Bool("metrics", false, "report per-layer metrics after each figure")
+	metricsJSON := flag.Bool("metrics-json", false, "emit the metrics report as JSON")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.Iters = *iters
 	o.Warmup = *warmup
 	o.Seed = *seed
+	if *showMetrics || *metricsJSON {
+		o.Metrics = metrics.New()
+	}
+	rep := harness.NewReporter(o.Metrics)
+	if rep.Enabled() {
+		rep.JSON = *metricsJSON
+	}
 	sizes := harness.MessageSizes(*maxSize)
 
 	switch *fig {
 	case 0:
 		fig3(o, sizes, *doPlot)
+		rep.Report(os.Stdout, "figure 3")
 		fig5(o, sizes, *doPlot)
+		rep.Report(os.Stdout, "figure 5")
 	case 3:
 		fig3(o, sizes, *doPlot)
+		rep.Report(os.Stdout, "figure 3")
 	case 5:
 		fig5(o, sizes, *doPlot)
+		rep.Report(os.Stdout, "figure 5")
 	default:
 		fmt.Fprintf(os.Stderr, "gmbench: unknown figure %d (want 3 or 5)\n", *fig)
 		os.Exit(2)

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 )
 
 type check struct {
@@ -36,6 +37,7 @@ func record(name, claim string, passed bool, format string, args ...any) {
 func main() {
 	full := flag.Bool("full", false, "full iteration counts (slower)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	showMetrics := flag.Bool("metrics", false, "print a per-layer metrics breakdown after each figure")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -44,17 +46,26 @@ func main() {
 		o.Iters = 30
 		o.SkewIters = 60
 	}
+	if *showMetrics {
+		o.Metrics = metrics.New()
+	}
+	rep := harness.NewReporter(o.Metrics)
 
 	fmt.Println("Reproducing: High Performance and Reliable NIC-Based Multicast over Myrinet/GM-2 (ICPP 2003)")
 	fmt.Println()
 
 	fig3(o)
+	rep.Report(os.Stdout, "figure 3 (multisend)")
 	fig5(o)
+	rep.Report(os.Stdout, "figure 5 (GM-level multicast)")
 	fig4(o)
+	rep.Report(os.Stdout, "figure 4 (MPI broadcast)")
 	fig6(o)
 	fig7(o)
+	rep.Report(os.Stdout, "figures 6-7 (process skew)")
 	section61(o)
 	futureWork(o)
+	rep.Mark()
 
 	failed := 0
 	for _, c := range checks {

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -22,21 +23,34 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	large := flag.Bool("large", false, "figure 6: also sweep 2/4/8 KB messages (technical-report companion)")
 	doPlot := flag.Bool("plot", false, "render ASCII curves after the tables")
+	showMetrics := flag.Bool("metrics", false, "report per-layer metrics after each figure")
+	metricsJSON := flag.Bool("metrics-json", false, "emit the metrics report as JSON")
 	flag.Parse()
 	plotFlag = *doPlot
 
 	o := harness.DefaultOptions()
 	o.SkewIters = *iters
 	o.Seed = *seed
+	if *showMetrics || *metricsJSON {
+		o.Metrics = metrics.New()
+	}
+	rep := harness.NewReporter(o.Metrics)
+	if rep.Enabled() {
+		rep.JSON = *metricsJSON
+	}
 
 	switch *fig {
 	case 0:
 		fig6(o, *nodes, *large)
+		rep.Report(os.Stdout, "figure 6")
 		fig7(o)
+		rep.Report(os.Stdout, "figure 7")
 	case 6:
 		fig6(o, *nodes, *large)
+		rep.Report(os.Stdout, "figure 6")
 	case 7:
 		fig7(o)
+		rep.Report(os.Stdout, "figure 7")
 	default:
 		fmt.Fprintf(os.Stderr, "skewbench: unknown figure %d (want 6 or 7)\n", *fig)
 		os.Exit(2)

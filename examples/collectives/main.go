@@ -29,7 +29,7 @@ func main() {
 }
 
 func run(useNB bool) (sim.Time, float64) {
-	w := mpi.NewWorld(cluster.New(cluster.DefaultConfig(ranks)), useNB)
+	w := mpi.NewWorld(cluster.New(ranks), useNB)
 	var out float64
 	var end sim.Time
 	w.Run(func(r *mpi.Rank) {

@@ -81,7 +81,7 @@ func runSerial() []float64 {
 }
 
 func runParallel(useNB bool) (sim.Time, []float64) {
-	w := mpi.NewWorld(cluster.New(cluster.DefaultConfig(ranks)), useNB)
+	w := mpi.NewWorld(cluster.New(ranks), useNB)
 	final := make([]float64, ranks*cellsEach)
 	var elapsed sim.Time
 	w.Run(func(r *mpi.Rank) {

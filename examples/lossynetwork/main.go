@@ -28,7 +28,7 @@ func main() {
 	cfg := cluster.DefaultConfig(nodes)
 	cfg.LossRate = lossRate
 	cfg.Seed = 2026
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(port)
 	tr := tree.Binomial(0, c.Members())
 	c.InstallGroup(group, tr, port, port)

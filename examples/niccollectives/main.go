@@ -40,7 +40,7 @@ func main() {
 }
 
 func nicBarrier() float64 {
-	c := cluster.New(cluster.DefaultConfig(nodes))
+	c := cluster.New(nodes)
 	ports := c.OpenPorts(port)
 	for _, n := range c.Nodes {
 		n.Ext.InstallBarrier(groupID, c.Members(), port, nil)
@@ -63,7 +63,7 @@ func nicBarrier() float64 {
 }
 
 func hostBarrier() float64 {
-	c := cluster.New(cluster.DefaultConfig(nodes))
+	c := cluster.New(nodes)
 	ports := c.OpenPorts(port)
 	var total sim.Time
 	for i := 0; i < nodes; i++ {
@@ -92,7 +92,7 @@ func hostBarrier() float64 {
 
 func nicAllreduce() (float64, int64) {
 	cfg := cluster.DefaultConfig(nodes)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(port)
 	tr := tree.Binomial(0, c.Members())
 	c.InstallGroup(groupID, tr, port, port)

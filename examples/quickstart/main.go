@@ -37,7 +37,7 @@ func main() {
 // nicBased broadcasts via the NIC-based multicast over the optimal tree.
 func nicBased(message []byte) sim.Time {
 	cfg := cluster.DefaultConfig(nodes)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(port)
 
 	// The host builds the size-specific optimal spanning tree and preposts
@@ -71,7 +71,7 @@ func nicBased(message []byte) sim.Time {
 // hostBased broadcasts the traditional way: unicasts along a binomial
 // tree, with every intermediate host receiving and re-sending.
 func hostBased(message []byte) sim.Time {
-	c := cluster.New(cluster.DefaultConfig(nodes))
+	c := cluster.New(nodes)
 	ports := c.OpenPorts(port)
 	tr := tree.Binomial(0, c.Members())
 

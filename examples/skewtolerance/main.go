@@ -35,7 +35,7 @@ func main() {
 }
 
 func run(useNB bool) float64 {
-	w := mpi.NewWorld(cluster.New(cluster.DefaultConfig(ranks)), useNB)
+	w := mpi.NewWorld(cluster.New(ranks), useNB)
 	// Identical per-rank skew streams for both protocols.
 	rngs := make([]*sim.RNG, ranks)
 	for i := range rngs {

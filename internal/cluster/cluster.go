@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gm"
 	"repro/internal/lanai"
+	"repro/internal/metrics"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -36,6 +37,16 @@ type Config struct {
 	// Trace, when non-nil, is attached to every NIC so the run can be
 	// rendered as a packet timeline.
 	Trace *trace.Recorder
+
+	// Metrics, when non-nil, is wired through every layer (fabric, NIC
+	// hardware, GM firmware, multicast extension). Leave nil for the
+	// legacy behaviour (per-NIC private registries backing the deprecated
+	// Stats accessors); set metrics.Disabled() for true no-op
+	// instruments.
+	Metrics *metrics.Registry
+
+	// noExt skips installing the multicast extension (WithoutExtension).
+	noExt bool
 }
 
 // DefaultConfig returns the calibrated testbed for n nodes.
@@ -77,43 +88,63 @@ type Cluster struct {
 	Nodes []*Node
 }
 
-// New builds a cluster: engine, fabric (single crossbar up to 16 nodes, a
-// Clos of 16-port crossbars beyond — the testbed's default topology), and
-// one full node per host, with the multicast extension installed.
-func New(cfg *Config) *Cluster {
+// New builds a cluster of n nodes: engine, fabric (single crossbar up to
+// 16 nodes, a Clos of 16-port crossbars beyond — the testbed's default
+// topology), and one full node per host, with the multicast extension
+// installed. Options adjust the calibrated default configuration:
+//
+//	cluster.New(16, cluster.WithMetrics(reg), cluster.WithLossRate(1e-4))
+func New(n int, opts ...Option) *Cluster {
+	cfg := DefaultConfig(n)
+	for _, o := range opts {
+		o(cfg)
+	}
+	cfg.Nodes = n // the positional node count always wins
+	return build(cfg)
+}
+
+// NewFromConfig builds a cluster from a fully-specified configuration.
+//
+// Deprecated: use New with WithConfig (or finer-grained options).
+func NewFromConfig(cfg *Config) *Cluster { return build(cfg) }
+
+// NewPlain builds a cluster without the multicast extension — the stock-GM
+// baseline used to verify the extension has no impact on unicast traffic.
+//
+// Deprecated: use New with WithoutExtension (plus WithConfig if needed).
+func NewPlain(cfg *Config) *Cluster {
+	c := *cfg
+	c.noExt = true
+	return build(&c)
+}
+
+// build assembles the cluster described by cfg, wiring the metrics
+// registry (if any) through every layer before firmware is attached.
+func build(cfg *Config) *Cluster {
 	eng := sim.NewEngine()
 	net := myrinet.AutoTopology(eng, cfg.Nodes, cfg.Link)
 	rng := sim.NewRNG(cfg.Seed)
 	net.SetRNG(rng)
 	net.LossRate = cfg.LossRate
+	net.SetMetrics(cfg.Metrics)
 	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, RNG: rng}
 	for i := 0; i < cfg.Nodes; i++ {
 		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), cfg.NIC)
+		hw.SetMetrics(cfg.Metrics)
 		nic := gm.NewNIC(hw, cfg.GM)
 		nic.Trace = cfg.Trace
-		ext := core.Install(nic, cfg.Mcast)
-		c.Nodes = append(c.Nodes, &Node{ID: myrinet.NodeID(i), HW: hw, NIC: nic, Ext: ext})
+		node := &Node{ID: myrinet.NodeID(i), HW: hw, NIC: nic}
+		if !cfg.noExt {
+			node.Ext = core.InstallWithConfig(nic, cfg.Mcast)
+		}
+		c.Nodes = append(c.Nodes, node)
 	}
 	return c
 }
 
-// NewPlain builds a cluster without the multicast extension — the stock-GM
-// baseline used to verify the extension has no impact on unicast traffic.
-func NewPlain(cfg *Config) *Cluster {
-	eng := sim.NewEngine()
-	net := myrinet.AutoTopology(eng, cfg.Nodes, cfg.Link)
-	rng := sim.NewRNG(cfg.Seed)
-	net.SetRNG(rng)
-	net.LossRate = cfg.LossRate
-	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, RNG: rng}
-	for i := 0; i < cfg.Nodes; i++ {
-		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), cfg.NIC)
-		nic := gm.NewNIC(hw, cfg.GM)
-		nic.Trace = cfg.Trace
-		c.Nodes = append(c.Nodes, &Node{ID: myrinet.NodeID(i), HW: hw, NIC: nic})
-	}
-	return c
-}
+// Registry reports the metrics registry the cluster was built with (nil
+// when none was wired).
+func (c *Cluster) Registry() *metrics.Registry { return c.Cfg.Metrics }
 
 // OpenPorts opens the same port number on every node and returns the
 // ports indexed by node.

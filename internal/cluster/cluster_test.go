@@ -10,7 +10,7 @@ import (
 )
 
 func TestNewBuildsFullNodes(t *testing.T) {
-	c := New(DefaultConfig(8))
+	c := New(8)
 	if len(c.Nodes) != 8 {
 		t.Fatalf("built %d nodes, want 8", len(c.Nodes))
 	}
@@ -35,18 +35,18 @@ func TestNewPlainOmitsExtension(t *testing.T) {
 }
 
 func TestTopologySelection(t *testing.T) {
-	small := New(DefaultConfig(16))
+	small := New(16)
 	if got := small.Net.HopCount(0, 15); got != 2 {
 		t.Errorf("16 nodes: %d hops, want 2 (single crossbar)", got)
 	}
-	big := New(DefaultConfig(24))
+	big := New(24)
 	if got := big.Net.HopCount(0, 23); got != 4 {
 		t.Errorf("24 nodes: %d hops, want 4 (Clos)", got)
 	}
 }
 
 func TestInstallGroupReportsReadiness(t *testing.T) {
-	c := New(DefaultConfig(4))
+	c := New(4)
 	c.OpenPorts(1)
 	tr := tree.Binomial(0, c.Members())
 	ready := c.InstallGroup(9, tr, 1, 1)
@@ -85,7 +85,7 @@ func TestPostalRatioShrinksWithSize(t *testing.T) {
 
 func TestOptimalTreeShapes(t *testing.T) {
 	cfg := DefaultConfig(16)
-	members := New(cfg).Members()
+	members := NewFromConfig(cfg).Members()
 	smallTree := cfg.OptimalTree(0, members, 4)
 	if err := smallTree.Validate(); err != nil {
 		t.Fatal(err)
@@ -113,7 +113,7 @@ func TestOptimalTreeShapes(t *testing.T) {
 // model drifting from the simulated data path after recalibration.
 func TestPostalLambdaMatchesSimulatedHop(t *testing.T) {
 	cfg := DefaultConfig(3)
-	c := New(cfg)
+	c := NewFromConfig(cfg)
 	ports := c.OpenPorts(1)
 	tr := tree.Chain(0, c.Members())
 	c.InstallGroup(3, tr, 1, 1)
@@ -144,7 +144,7 @@ func TestPostalLambdaMatchesSimulatedHop(t *testing.T) {
 
 func TestDeterministicClusters(t *testing.T) {
 	run := func() uint64 {
-		c := New(DefaultConfig(4))
+		c := New(4)
 		ports := c.OpenPorts(1)
 		c.Eng.Spawn("recv", func(p *sim.Proc) {
 			ports[1].Provide(128)

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Option adjusts a cluster configuration before assembly. Options are
+// applied in order on top of DefaultConfig(n), so later options override
+// earlier ones; WithConfig replaces the whole configuration and is
+// normally first when used at all.
+type Option func(*Config)
+
+// WithConfig replaces the entire configuration (the node count passed to
+// New still wins).
+func WithConfig(cfg *Config) Option {
+	return func(c *Config) { *c = *cfg }
+}
+
+// WithMutate applies an arbitrary configuration mutation — the escape
+// hatch for experiment sweeps that perturb one calibrated cost.
+func WithMutate(f func(*Config)) Option {
+	return func(c *Config) {
+		if f != nil {
+			f(c)
+		}
+	}
+}
+
+// WithMetrics wires the registry through every layer of every node:
+// fabric link counters, LANai busy time and buffer-pool occupancy, GM
+// protocol counters, and multicast forwarding statistics.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithoutMetrics wires a disabled registry through the stack: every
+// instrument is a true no-op and the legacy Stats accessors read zero.
+// Benchmarks use it to pin down the cost of the instrumentation itself.
+func WithoutMetrics() Option {
+	return func(c *Config) { c.Metrics = metrics.Disabled() }
+}
+
+// WithSeed sets the simulation RNG seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithLossRate sets the per-link packet-loss probability.
+func WithLossRate(rate float64) Option {
+	return func(c *Config) { c.LossRate = rate }
+}
+
+// WithTrace attaches a trace recorder to every NIC.
+func WithTrace(tr *trace.Recorder) Option {
+	return func(c *Config) { c.Trace = tr }
+}
+
+// WithNacks enables fast recovery (negative acknowledgments) in the GM
+// firmware of every node.
+func WithNacks() Option {
+	return func(c *Config) { c.GM.EnableNacks = true }
+}
+
+// WithAdaptiveRTO enables measured round-trip retransmission timeouts in
+// the GM firmware of every node.
+func WithAdaptiveRTO() Option {
+	return func(c *Config) { c.GM.AdaptiveRTO = true }
+}
+
+// WithoutExtension skips installing the multicast extension — the
+// stock-GM baseline.
+func WithoutExtension() Option {
+	return func(c *Config) { c.noExt = true }
+}

@@ -58,7 +58,7 @@ func (e *Ext) InstallBarrier(id gm.GroupID, members []myrinet.NodeID, port gm.Po
 		}
 	}
 	if myIdx < 0 {
-		panic(fmt.Sprintf("core: node %v installing barrier %d it is not a member of", e.nic.ID(), id))
+		panic(fmt.Errorf("%w: node %v installing barrier %d", ErrNotMember, e.nic.ID(), id))
 	}
 	rounds := 0
 	for k := 1; k < len(ms); k <<= 1 {
@@ -67,7 +67,7 @@ func (e *Ext) InstallBarrier(id gm.GroupID, members []myrinet.NodeID, port gm.Po
 	e.nic.HW.HostPost(func() {
 		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
 			if _, dup := e.barriers[id]; dup {
-				panic(fmt.Sprintf("core: barrier %d already installed at %v", id, e.nic.ID()))
+				panic(fmt.Errorf("%w: barrier %d at %v", ErrGroupInstalled, id, e.nic.ID()))
 			}
 			e.barriers[id] = &barrierGroup{
 				ext: e, id: id, members: ms, myIdx: myIdx, port: port,
@@ -87,7 +87,7 @@ func (e *Ext) InstallBarrier(id gm.GroupID, members []myrinet.NodeID, port gm.Po
 // rest; a zero-byte group event signals completion.
 func (e *Ext) Barrier(proc *sim.Proc, port *gm.Port, id gm.GroupID) {
 	if port.NIC() != e.nic {
-		panic("core: Barrier from a port on a different NIC")
+		panic(fmt.Errorf("%w: Barrier", ErrWrongNIC))
 	}
 	proc.Compute(e.nic.Cfg.HostSendPost)
 	nic := e.nic
@@ -95,10 +95,10 @@ func (e *Ext) Barrier(proc *sim.Proc, port *gm.Port, id gm.GroupID) {
 		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
 			b, ok := e.barriers[id]
 			if !ok {
-				panic(fmt.Sprintf("core: Barrier on uninstalled group %d at %v", id, nic.ID()))
+				panic(fmt.Errorf("%w: Barrier on group %d at %v", ErrNoSuchGroup, id, nic.ID()))
 			}
 			if b.active {
-				panic(fmt.Sprintf("core: concurrent Barrier on group %d at %v", id, nic.ID()))
+				panic(fmt.Errorf("%w: concurrent Barrier on group %d at %v", ErrGroupBusy, id, nic.ID()))
 			}
 			b.enter()
 		})
@@ -149,9 +149,9 @@ func (b *barrierGroup) sendRound(r int) {
 	var attempt func()
 	attempt = func() {
 		nic.Inject(fr.Clone(), nil)
-		b.ext.stats.BarrierSent++
+		b.ext.m.barrierSent.Inc()
 		b.timers[k] = nic.Engine().After(nic.Cfg.RetransmitTimeout, func() {
-			b.ext.stats.Retransmits++
+			b.ext.m.retransmits.Inc()
 			attempt()
 		})
 	}
@@ -182,7 +182,7 @@ func (b *barrierGroup) advance() {
 // would abandon a lost packet a slower member depends on.
 func (b *barrierGroup) complete() {
 	b.active = false
-	b.ext.stats.BarriersDone++
+	b.ext.m.barriersDone.Inc()
 	port := b.ext.nic.Port(b.port)
 	port.PostGroupEvent(&gm.RecvEvent{Group: b.id})
 }
@@ -193,7 +193,7 @@ func (e *Ext) rxBarrier(fr *gm.Frame) {
 	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
 		b, ok := e.barriers[fr.Group]
 		if !ok {
-			e.stats.NotMemberDrops++
+			e.m.notMemberDrops.Inc()
 			return
 		}
 		// Always acknowledge — duplicates included — so the peer's

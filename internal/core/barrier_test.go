@@ -19,7 +19,7 @@ func barrierRig(t *testing.T, nodes int, mut func(*cluster.Config)) (*cluster.Cl
 	if mut != nil {
 		mut(cfg)
 	}
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(9) // dedicated barrier port
 	for _, n := range c.Nodes {
 		n.Ext.InstallBarrier(barrierGID, c.Members(), 9, nil)
@@ -141,7 +141,7 @@ func TestNICBarrierFasterThanHostDissemination(t *testing.T) {
 	}()
 	host := func() sim.Time {
 		cfg := cluster.DefaultConfig(nodes)
-		c := cluster.New(cfg)
+		c := cluster.NewFromConfig(cfg)
 		ports := c.OpenPorts(9)
 		var done sim.Time
 		for i := 0; i < nodes; i++ {
@@ -171,7 +171,7 @@ func TestNICBarrierFasterThanHostDissemination(t *testing.T) {
 
 func TestBarrierValidation(t *testing.T) {
 	cfg := cluster.DefaultConfig(3)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(9)
 	// Installing a barrier this node is not a member of panics.
 	func() {

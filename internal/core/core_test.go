@@ -29,7 +29,7 @@ func newRig(t *testing.T, nodes int, build func(root myrinet.NodeID, members []m
 	if mut != nil {
 		mut(cfg)
 	}
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	r := &rig{c: c, ports: c.OpenPorts(testPort), gid: 7}
 	r.tr = build(0, c.Members())
 	c.InstallGroup(r.gid, r.tr, testPort, testPort)
@@ -316,7 +316,7 @@ func TestUnicastUnaffectedByExtension(t *testing.T) {
 		if plain {
 			c = cluster.NewPlain(cfg)
 		} else {
-			c = cluster.New(cfg)
+			c = cluster.NewFromConfig(cfg)
 		}
 		ports := c.OpenPorts(testPort)
 		c.Eng.Spawn("recv", func(p *sim.Proc) {
@@ -347,7 +347,7 @@ func TestConcurrentBroadcastsNoDeadlock(t *testing.T) {
 	cfg := cluster.DefaultConfig(nodes)
 	cfg.NIC.SendBuffers = 2
 	cfg.NIC.RecvBuffers = 2
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
 	roots := []myrinet.NodeID{0, 3, 5}
 	for i, root := range roots {
@@ -410,7 +410,7 @@ func TestNonMemberDropsMcast(t *testing.T) {
 	// A group over nodes {0,1,2} of a 4-node cluster: node 3 must never
 	// see a delivery, and stray packets to it are counted.
 	cfg := cluster.DefaultConfig(4)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
 	members := []myrinet.NodeID{0, 1, 2}
 	tr := tree.Flat(0, members)
@@ -434,7 +434,7 @@ func TestNonMemberDropsMcast(t *testing.T) {
 
 func TestGroupInstallValidatesTree(t *testing.T) {
 	cfg := cluster.DefaultConfig(4)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	c.OpenPorts(testPort)
 	// Hand-build an invalid tree (child < parent under non-root).
 	defer func() {
@@ -457,7 +457,7 @@ func TestMulticastIntegrityProperty(t *testing.T) {
 		size := int(rawSize) % 20000
 		cfg := cluster.DefaultConfig(nodes)
 		cfg.Seed = int64(seed) + 1
-		c := cluster.New(cfg)
+		c := cluster.NewFromConfig(cfg)
 		ports := c.OpenPorts(testPort)
 		tr := tree.Binomial(0, c.Members())
 		c.InstallGroup(3, tr, testPort, testPort)
@@ -556,7 +556,7 @@ func TestMulticastAcrossClosFabric(t *testing.T) {
 	// 64 nodes span a two-level Clos: the multicast tree crosses leaf and
 	// spine switches; everything must still deliver intact and in order.
 	cfg := cluster.DefaultConfig(64)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
 	tr := cfg.OptimalTree(0, c.Members(), 512)
 	c.InstallGroup(31, tr, testPort, testPort)
@@ -589,7 +589,7 @@ func TestMulticastAcrossFatTree(t *testing.T) {
 	// 200 nodes need the three-level fat tree; cross-pod forwarding hops
 	// through six links.
 	cfg := cluster.DefaultConfig(200)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
 	tr := cfg.OptimalTree(0, c.Members(), 64)
 	c.InstallGroup(32, tr, testPort, testPort)

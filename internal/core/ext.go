@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gm"
 	"repro/internal/lanai"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/tree"
 )
@@ -19,17 +20,21 @@ type Ext struct {
 	cfg      Config
 	groups   map[gm.GroupID]*group
 	barriers map[gm.GroupID]*barrierGroup
-	stats    Stats
+	m        instruments
 }
 
-// Install loads the multicast extension onto a GM NIC.
-func Install(nic *gm.NIC, cfg Config) *Ext {
+// install is the option-independent core of Install and the deprecated
+// shims. Multicast counters go to the registry wired via the hardware
+// NIC's SetMetrics; when none is wired, a private always-on registry
+// backs the legacy Stats accessor.
+func install(nic *gm.NIC, cfg Config) *Ext {
 	e := &Ext{
 		nic:      nic,
 		cfg:      cfg,
 		groups:   make(map[gm.GroupID]*group),
 		barriers: make(map[gm.GroupID]*barrierGroup),
 	}
+	e.initMetrics(metrics.Ensure(nic.HW.Registry()))
 	nic.SetExtension(e)
 	return e
 }
@@ -38,16 +43,13 @@ func Install(nic *gm.NIC, cfg Config) *Ext {
 func FromNIC(nic *gm.NIC) *Ext {
 	e, ok := nic.Extension().(*Ext)
 	if !ok {
-		panic(fmt.Sprintf("core: NIC %v has no multicast extension", nic.ID()))
+		panic(fmt.Errorf("%w: NIC %v", ErrNoExtension, nic.ID()))
 	}
 	return e
 }
 
 // NIC returns the firmware NIC the extension runs on.
 func (e *Ext) NIC() *gm.NIC { return e.nic }
-
-// Stats returns a snapshot of multicast counters.
-func (e *Ext) Stats() Stats { return e.stats }
 
 // Groups reports how many group-table entries are installed.
 func (e *Ext) Groups() int { return len(e.groups) }
@@ -85,12 +87,12 @@ func (e *Ext) OutstandingRecords() int {
 // the entry is live.
 func (e *Ext) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID, fn func()) {
 	if err := tr.Validate(); err != nil {
-		panic(fmt.Sprintf("core: refusing group %d: %v", id, err))
+		panic(fmt.Errorf("%w: group %d: %v", ErrInvalidTree, id, err))
 	}
 	e.nic.HW.HostPost(func() {
 		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
 			if _, dup := e.groups[id]; dup {
-				panic(fmt.Sprintf("core: group %d already installed at %v", id, e.nic.ID()))
+				panic(fmt.Errorf("%w: group %d at %v", ErrGroupInstalled, id, e.nic.ID()))
 			}
 			e.groups[id] = localView(e, id, tr, port, rootPort)
 			if fn != nil {
@@ -111,11 +113,11 @@ func (e *Ext) RemoveGroup(id gm.GroupID, fn func()) {
 		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
 			g, ok := e.groups[id]
 			if !ok {
-				panic(fmt.Sprintf("core: removing unknown group %d at %v", id, e.nic.ID()))
+				panic(fmt.Errorf("%w: removing group %d at %v", ErrNoSuchGroup, id, e.nic.ID()))
 			}
 			if len(g.records) > 0 {
-				panic(fmt.Sprintf("core: removing group %d at %v with %d outstanding records",
-					id, e.nic.ID(), len(g.records)))
+				panic(fmt.Errorf("%w: removing group %d at %v with %d outstanding records",
+					ErrGroupBusy, id, e.nic.ID(), len(g.records)))
 			}
 			e.nic.Engine().Cancel(g.timer)
 			delete(e.groups, id)
@@ -171,17 +173,17 @@ func (e *Ext) rxData(fr *gm.Frame) {
 	nic.HW.CPUDo(nic.Cfg.RecvProcCost, func() {
 		g, member := e.groups[fr.Group]
 		if !member {
-			e.stats.NotMemberDrops++
+			e.m.notMemberDrops.Inc()
 			buf.Release()
 			return
 		}
 		switch {
 		case fr.Seq < g.recvSeq:
-			e.stats.Duplicates++
+			e.m.duplicates.Inc()
 			e.ackParent(g, g.recvSeq-1)
 			buf.Release()
 		case fr.Seq > g.recvSeq:
-			e.stats.OutOfOrderDrops++
+			e.m.oooDrops.Inc()
 			if nic.Cfg.EnableNacks {
 				e.nackParent(g, g.recvSeq-1)
 			}
@@ -193,12 +195,12 @@ func (e *Ext) rxData(fr *gm.Frame) {
 				// No receive token: refuse; the parent retransmits.
 				// "The responsibility of making receive tokens available
 				// ... is left to client programs."
-				e.stats.NoTokenDrops++
+				e.m.noTokenDrops.Inc()
 				buf.Release()
 				return
 			}
 			g.recvSeq++
-			e.stats.McastReceived++
+			e.m.mcastReceived.Inc()
 			if nic.Trace.Enabled() {
 				nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.RX, "%v", fr)
 			}
@@ -245,6 +247,12 @@ func (e *Ext) rxData(fr *gm.Frame) {
 func (e *Ext) forward(g *group, fr *gm.Frame, release func()) {
 	nic := e.nic
 	g.sendSeq = fr.Seq
+	if fr.Offset+len(fr.Payload) < fr.MsgLen {
+		// The message's tail has not arrived yet — this forward is the
+		// per-packet pipelining the paper's scheme exists to enable.
+		e.m.fwdBeforeFull.Inc()
+	}
+	e.m.fanout.Observe(int64(len(g.children)))
 	out := fr.Clone() // header rewrite; payload shared with the host replica
 	nic.HW.CPUDo(e.cfg.ForwardSetupCost, func() {
 		var sendTo func(i int)
@@ -253,8 +261,8 @@ func (e *Ext) forward(g *group, fr *gm.Frame, release func()) {
 			replica.SrcNode = nic.ID()
 			replica.DstNode = g.children[i]
 			nic.Inject(replica, func() {
-				e.stats.McastSent++
-				e.stats.McastForwarded++
+				e.m.mcastSent.Inc()
+				e.m.mcastForwarded.Inc()
 				if i+1 == len(g.children) {
 					if e.cfg.Retransmit == RetransmitHoldBuffer {
 						g.recordForwarded(fr, release)
@@ -264,6 +272,7 @@ func (e *Ext) forward(g *group, fr *gm.Frame, release func()) {
 					}
 					return
 				}
+				e.m.headerRewrites.Inc()
 				nic.HW.CPUDo(e.cfg.HeaderRewriteCost, func() { sendTo(i + 1) })
 			})
 		}
@@ -320,14 +329,15 @@ func (g *group) replicateForward(fr *gm.Frame, buf bufToken) {
 		replica.SrcNode = nic.ID()
 		replica.DstNode = g.children[i]
 		nic.Inject(replica, func() {
-			g.ext.stats.McastSent++
-			g.ext.stats.McastForwarded++
+			g.ext.m.mcastSent.Inc()
+			g.ext.m.mcastForwarded.Inc()
 			if i+1 == len(g.children) {
 				buf.Release()
 				g.recordForwarded(fr, nil)
 				g.nextChain()
 				return
 			}
+			g.ext.m.headerRewrites.Inc()
 			nic.HW.CPUDo(g.ext.cfg.HeaderRewriteCost, func() { sendTo(i + 1) })
 		})
 	}
@@ -358,7 +368,7 @@ func (e *Ext) ackParent(g *group, ack uint32) {
 	if g.isRoot() {
 		return
 	}
-	e.stats.McastAcksSent++
+	e.m.acksSent.Inc()
 	e.nic.Inject(&gm.Frame{
 		Kind:    gm.KindMcastAck,
 		SrcNode: e.nic.ID(),
@@ -374,7 +384,7 @@ func (e *Ext) nackParent(g *group, lastGood uint32) {
 	if g.isRoot() {
 		return
 	}
-	e.stats.McastNacksSent++
+	e.m.nacksSent.Inc()
 	e.nic.Inject(&gm.Frame{
 		Kind:    gm.KindMcastNack,
 		SrcNode: e.nic.ID(),
@@ -394,7 +404,7 @@ func (e *Ext) rxNack(fr *gm.Frame) {
 		if !ok {
 			return
 		}
-		e.stats.McastNacksRecv++
+		e.m.nacksRecv.Inc()
 		g.handleAck(fr.SrcNode, fr.Ack)
 		g.fastRetransmit()
 	})
@@ -408,7 +418,7 @@ func (e *Ext) rxAck(fr *gm.Frame) {
 		if !ok {
 			return // stale ack for a group we no longer know
 		}
-		e.stats.McastAcksRecv++
+		e.m.acksRecv.Inc()
 		g.handleAck(fr.SrcNode, fr.Ack)
 	})
 }

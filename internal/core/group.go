@@ -199,6 +199,7 @@ func (g *group) stageRoot(fr *gm.Frame, t *mcastToken) {
 func (g *group) stageRootTokens(fr *gm.Frame, t *mcastToken) {
 	nic := g.ext.nic
 	remaining := len(g.children)
+	g.ext.m.fanout.Observe(int64(remaining))
 	if remaining == 0 {
 		g.staging--
 		g.recordSent(fr, t)
@@ -216,7 +217,7 @@ func (g *group) stageRootTokens(fr *gm.Frame, t *mcastToken) {
 						replica.DstNode = child
 						nic.Inject(replica, func() {
 							buf.Release()
-							g.ext.stats.McastSent++
+							g.ext.m.mcastSent.Inc()
 							remaining--
 							if remaining == 0 {
 								g.staging--
@@ -262,6 +263,7 @@ func (g *group) nextChain() {
 func (g *group) replicate(fr *gm.Frame, buf bufToken, done func()) {
 	nic := g.ext.nic
 	children := g.children
+	g.ext.m.fanout.Observe(int64(len(children)))
 	if len(children) == 0 {
 		buf.Release()
 		done()
@@ -273,12 +275,13 @@ func (g *group) replicate(fr *gm.Frame, buf bufToken, done func()) {
 		replica.SrcNode = nic.ID()
 		replica.DstNode = children[i]
 		nic.Inject(replica, func() {
-			g.ext.stats.McastSent++
+			g.ext.m.mcastSent.Inc()
 			if i+1 == len(children) {
 				buf.Release()
 				done()
 				return
 			}
+			g.ext.m.headerRewrites.Inc()
 			nic.HW.CPUDo(g.ext.cfg.HeaderRewriteCost, func() { sendTo(i + 1) })
 		})
 	}
@@ -326,10 +329,12 @@ func (g *group) handleAck(child myrinet.NodeID, ack uint32) {
 	}
 	// Cumulative acks make fully-acknowledged records a prefix, but retire
 	// by predicate anyway; order among survivors is preserved.
+	now := g.ext.nic.Engine().Now()
 	out := g.records[:0]
 	retired := false
 	for _, r := range g.records {
 		if len(r.pending) == 0 {
+			g.ext.m.ackLatencyNs.Observe(int64(now - r.sentAt))
 			g.retire(r)
 			retired = true
 			continue
@@ -399,6 +404,7 @@ func (g *group) onTimeout() {
 	}
 	g.backoff++
 	nic := g.ext.nic
+	g.ext.m.timeouts.Inc()
 	now := nic.Engine().Now()
 	for _, r := range g.records {
 		r.sentAt = now
@@ -408,7 +414,7 @@ func (g *group) onTimeout() {
 			}
 			child := c
 			fr := r.frame
-			g.ext.stats.Retransmits++
+			g.ext.m.retransmits.Inc()
 			if nic.Trace.Enabled() {
 				nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.Retrans,
 					"grp=%d seq=%d to unacked child %v", g.id, fr.Seq, child)
@@ -421,7 +427,7 @@ func (g *group) onTimeout() {
 						replica.DstNode = child
 						nic.Inject(replica, func() {
 							buf.Release()
-							g.ext.stats.McastSent++
+							g.ext.m.mcastSent.Inc()
 						})
 					})
 				})

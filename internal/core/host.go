@@ -18,7 +18,7 @@ import (
 // then — it is the registered host replica retransmissions read from.
 func (e *Ext) Mcast(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte) {
 	if port.NIC() != e.nic {
-		panic("core: Mcast from a port on a different NIC")
+		panic(fmt.Errorf("%w: Mcast", ErrWrongNIC))
 	}
 	port.TakeSendToken(proc)
 	proc.Compute(e.nic.Cfg.HostSendPost)
@@ -27,10 +27,10 @@ func (e *Ext) Mcast(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte) {
 		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
 			g, ok := e.groups[id]
 			if !ok {
-				panic(fmt.Sprintf("core: Mcast on uninstalled group %d at %v", id, nic.ID()))
+				panic(fmt.Errorf("%w: Mcast on group %d at %v", ErrNoSuchGroup, id, nic.ID()))
 			}
 			if !g.isRoot() {
-				panic(fmt.Sprintf("core: Mcast on group %d from non-root %v", id, nic.ID()))
+				panic(fmt.Errorf("%w: group %d at %v", ErrNotRoot, id, nic.ID()))
 			}
 			g.enqueue(&mcastToken{
 				data:   data,

@@ -17,7 +17,7 @@ func mcastLossyRun(t *testing.T, nacks bool) (sim.Time, uint64) {
 	t.Helper()
 	cfg := cluster.DefaultConfig(3)
 	cfg.GM.EnableNacks = nacks
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
 	tr := tree.Chain(0, c.Members())
 	c.InstallGroup(21, tr, testPort, testPort)
@@ -72,7 +72,7 @@ func TestMcastNacksUnderRandomLossStillCorrect(t *testing.T) {
 	cfg.GM.EnableNacks = true
 	cfg.LossRate = 0.04
 	cfg.Seed = 17
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
 	tr := tree.Binomial(0, c.Members())
 	c.InstallGroup(22, tr, testPort, testPort)

@@ -45,7 +45,7 @@ func (op ReduceOp) apply(a, b int64) int64 {
 		}
 		return a
 	default:
-		panic(fmt.Sprintf("core: unknown reduce op %d", op))
+		panic(fmt.Errorf("%w: unknown op %d", ErrBadReduce, op))
 	}
 }
 
@@ -65,10 +65,10 @@ type reduceState struct {
 // Vectors must fit one packet (MTU/8 elements).
 func (e *Ext) Reduce(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, op ReduceOp) []int64 {
 	if port.NIC() != e.nic {
-		panic("core: Reduce from a port on a different NIC")
+		panic(fmt.Errorf("%w: Reduce", ErrWrongNIC))
 	}
 	if len(vec)*8 > e.nic.Cfg.MTU {
-		panic(fmt.Sprintf("core: reduce vector of %d elements exceeds one packet", len(vec)))
+		panic(fmt.Errorf("%w: vector of %d elements exceeds one packet", ErrBadReduce, len(vec)))
 	}
 	proc.Compute(e.nic.Cfg.HostSendPost)
 	nic := e.nic
@@ -77,7 +77,7 @@ func (e *Ext) Reduce(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, 
 		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
 			g, ok := e.groups[id]
 			if !ok {
-				panic(fmt.Sprintf("core: Reduce on uninstalled group %d at %v", id, nic.ID()))
+				panic(fmt.Errorf("%w: Reduce on group %d at %v", ErrNoSuchGroup, id, nic.ID()))
 			}
 			g.redSeq++
 			e.contribute(g, g.redSeq, op, vec)
@@ -117,7 +117,7 @@ func (e *Ext) contribute(g *group, seq uint32, op ReduceOp, vec []int64) {
 		g.red[seq] = st
 	}
 	if st.op != op {
-		panic(fmt.Sprintf("core: reduce op mismatch on group %d instance %d", g.id, seq))
+		panic(fmt.Errorf("%w: op mismatch on group %d instance %d", ErrBadReduce, g.id, seq))
 	}
 	cost := sim.Time(len(vec)) * e.cfg.ReduceElemCost
 	nic.HW.CPUDo(cost, func() {
@@ -125,14 +125,14 @@ func (e *Ext) contribute(g *group, seq uint32, op ReduceOp, vec []int64) {
 			st.acc = append([]int64(nil), vec...)
 		} else {
 			if len(vec) != len(st.acc) {
-				panic(fmt.Sprintf("core: reduce length mismatch on group %d", g.id))
+				panic(fmt.Errorf("%w: length mismatch on group %d", ErrBadReduce, g.id))
 			}
 			for i := range st.acc {
 				st.acc[i] = op.apply(st.acc[i], vec[i])
 			}
 		}
 		st.got++
-		e.stats.ReduceCombines++
+		e.m.reduceCombines.Inc()
 		if st.got < st.need {
 			return
 		}
@@ -163,9 +163,9 @@ func (e *Ext) sendReduce(g *group, seq uint32, st *reduceState) {
 	var attempt func()
 	attempt = func() {
 		nic.Inject(fr.Clone(), nil)
-		e.stats.ReduceSent++
+		e.m.reduceSent.Inc()
 		g.redTimers[key] = nic.Engine().After(nic.Cfg.RetransmitTimeout, func() {
-			e.stats.Retransmits++
+			e.m.retransmits.Inc()
 			attempt()
 		})
 	}
@@ -184,7 +184,7 @@ func (e *Ext) rxReduce(fr *gm.Frame) {
 		defer buf.Release()
 		g, ok := e.groups[fr.Group]
 		if !ok {
-			e.stats.NotMemberDrops++
+			e.m.notMemberDrops.Inc()
 			return
 		}
 		// Ack unconditionally; duplicates must stop the child's timer too.
@@ -197,7 +197,7 @@ func (e *Ext) rxReduce(fr *gm.Frame) {
 		}, nil)
 		key := redDupKey{fr.SrcNode, fr.Seq}
 		if g.redSeen[key] {
-			e.stats.Duplicates++
+			e.m.duplicates.Inc()
 			return
 		}
 		g.redSeen[key] = true

@@ -19,7 +19,7 @@ func reduceRig(t *testing.T, nodes int, mut func(*cluster.Config)) (*cluster.Clu
 	if mut != nil {
 		mut(cfg)
 	}
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(8)
 	tr := tree.Binomial(0, c.Members())
 	c.InstallGroup(reduceGID, tr, 8, 8)

@@ -42,7 +42,7 @@ func TestSoakMixedTraffic(t *testing.T) {
 	cfg := cluster.DefaultConfig(nodes)
 	cfg.LossRate = lossRate
 	cfg.Seed = 2003
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 
 	portsA := c.OpenPorts(mcPortA)
 	portsB := c.OpenPorts(mcPortB)

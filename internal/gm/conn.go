@@ -129,7 +129,7 @@ func (c *conn) stage(fr *Frame, t *sendToken) {
 				nic.Inject(fr, func() {
 					// Transmit engine done with the NIC buffer.
 					buf.Release()
-					nic.stats.DataSent++
+					nic.m.dataSent.Inc()
 					c.staging--
 					c.recordSent(fr, t)
 					c.pump()
@@ -242,12 +242,13 @@ func (c *conn) onTimeout() {
 	}
 	c.backoff++
 	nic := c.nic
+	nic.m.timeouts.Inc()
 	now := nic.Engine().Now()
 	for _, r := range c.records {
 		r.sentAt = now // pushed forward again below as each re-send completes
 		r.retransmitted = true
 		fr := r.frame
-		nic.stats.Retransmits++
+		nic.m.retransmits.Inc()
 		if nic.Trace.Enabled() {
 			nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.Retrans, "go-back-N seq=%d to %v", fr.Seq, fr.DstNode)
 		}

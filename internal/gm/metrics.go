@@ -1,0 +1,70 @@
+package gm
+
+import "repro/internal/metrics"
+
+// Component is the metrics component name for the GM protocol layer.
+const Component = "gm"
+
+// instruments are the protocol counters for one NIC, cached so hot paths
+// do no registry lookups. When the stack is wired with a disabled registry
+// every field is nil and updates are no-ops; when no registry is wired at
+// all, NewNIC falls back to a private enabled registry so the legacy
+// Stats accessor still counts.
+type instruments struct {
+	dataSent         *metrics.Counter
+	dataReceived     *metrics.Counter
+	acksSent         *metrics.Counter
+	acksReceived     *metrics.Counter
+	retransmits      *metrics.Counter
+	timeouts         *metrics.Counter
+	duplicates       *metrics.Counter
+	oooDrops         *metrics.Counter
+	noTokenDrops     *metrics.Counter
+	nacksSent        *metrics.Counter
+	nacksReceived    *metrics.Counter
+	directedReceived *metrics.Counter
+	directedRefused  *metrics.Counter
+	tokenWaitNs      *metrics.Histogram
+}
+
+func (n *NIC) initMetrics(reg *metrics.Registry) {
+	id := int(n.ID())
+	n.m = instruments{
+		dataSent:         reg.Counter(Component, id, "data_sent"),
+		dataReceived:     reg.Counter(Component, id, "data_received"),
+		acksSent:         reg.Counter(Component, id, "acks_sent"),
+		acksReceived:     reg.Counter(Component, id, "acks_received"),
+		retransmits:      reg.Counter(Component, id, "retransmits"),
+		timeouts:         reg.Counter(Component, id, "timeouts"),
+		duplicates:       reg.Counter(Component, id, "duplicates"),
+		oooDrops:         reg.Counter(Component, id, "out_of_order_drops"),
+		noTokenDrops:     reg.Counter(Component, id, "no_token_drops"),
+		nacksSent:        reg.Counter(Component, id, "nacks_sent"),
+		nacksReceived:    reg.Counter(Component, id, "nacks_received"),
+		directedReceived: reg.Counter(Component, id, "directed_received"),
+		directedRefused:  reg.Counter(Component, id, "directed_refused"),
+		tokenWaitNs:      reg.Histogram(Component, id, "token_wait_ns"),
+	}
+}
+
+// Stats returns a snapshot of protocol counters.
+//
+// Deprecated: the counters now live in the metrics registry (component
+// "gm"); read them through a Snapshot. This accessor remains for callers
+// that predate the registry.
+func (n *NIC) Stats() Stats {
+	return Stats{
+		DataSent:         n.m.dataSent.Value(),
+		DataReceived:     n.m.dataReceived.Value(),
+		AcksSent:         n.m.acksSent.Value(),
+		AcksReceived:     n.m.acksReceived.Value(),
+		Retransmits:      n.m.retransmits.Value(),
+		Duplicates:       n.m.duplicates.Value(),
+		OutOfOrderDrops:  n.m.oooDrops.Value(),
+		NoTokenDrops:     n.m.noTokenDrops.Value(),
+		NacksSent:        n.m.nacksSent.Value(),
+		NacksReceived:    n.m.nacksReceived.Value(),
+		DirectedReceived: n.m.directedReceived.Value(),
+		DirectedRefused:  n.m.directedRefused.Value(),
+	}
+}

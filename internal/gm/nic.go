@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/lanai"
+	"repro/internal/metrics"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -49,7 +50,7 @@ type NIC struct {
 	conns map[connKey]*conn // sender-side connections
 	rcvrs map[connKey]*rcvr // receiver-side connection state
 	ext   Extension
-	stats Stats
+	m     instruments
 
 	nextMsgID uint64
 }
@@ -61,7 +62,9 @@ type connKey struct {
 	LocalP, RemoteP PortID
 }
 
-// NewNIC loads the GM firmware onto a hardware NIC.
+// NewNIC loads the GM firmware onto a hardware NIC. Protocol counters go
+// to the registry wired via hw.SetMetrics; when none is wired, a private
+// always-on registry backs the legacy Stats accessor.
 func NewNIC(hw *lanai.NIC, cfg Config) *NIC {
 	n := &NIC{
 		HW:    hw,
@@ -70,6 +73,7 @@ func NewNIC(hw *lanai.NIC, cfg Config) *NIC {
 		conns: make(map[connKey]*conn),
 		rcvrs: make(map[connKey]*rcvr),
 	}
+	n.initMetrics(metrics.Ensure(hw.Registry()))
 	hw.RxDispatch = n.rxDispatch
 	return n
 }
@@ -80,13 +84,10 @@ func (n *NIC) ID() myrinet.NodeID { return n.HW.ID }
 // Engine returns the simulation engine.
 func (n *NIC) Engine() *sim.Engine { return n.HW.Eng }
 
-// Stats returns a snapshot of protocol counters.
-func (n *NIC) Stats() Stats { return n.stats }
-
 // SetExtension installs a firmware extension (at most one).
 func (n *NIC) SetExtension(e Extension) {
 	if n.ext != nil {
-		panic("gm: extension already installed")
+		panic(ErrExtensionInstalled)
 	}
 	n.ext = e
 }
@@ -99,7 +100,7 @@ func (n *NIC) Extension() Extension { return n.ext }
 // the model (ports share nothing).
 func (n *NIC) OpenPort(id PortID) *Port {
 	if _, ok := n.ports[id]; ok {
-		panic(fmt.Sprintf("gm: port %d already open on %v", id, n.ID()))
+		panic(fmt.Errorf("%w: port %d on %v", ErrPortInUse, id, n.ID()))
 	}
 	p := newPort(n, id)
 	n.ports[id] = p
@@ -110,7 +111,7 @@ func (n *NIC) OpenPort(id PortID) *Port {
 func (n *NIC) Port(id PortID) *Port {
 	p, ok := n.ports[id]
 	if !ok {
-		panic(fmt.Sprintf("gm: port %d not open on %v", id, n.ID()))
+		panic(fmt.Errorf("%w: port %d on %v", ErrNoSuchPort, id, n.ID()))
 	}
 	return p
 }
@@ -126,7 +127,7 @@ func (n *NIC) NewMsgID() uint64 {
 // Exposed for the core extension, which transmits through the same engine.
 func (n *NIC) Inject(fr *Frame, txDone func()) {
 	if fr.SrcNode != n.ID() {
-		panic(fmt.Sprintf("gm: frame src %v injected at %v", fr.SrcNode, n.ID()))
+		panic(fmt.Errorf("%w: frame src %v injected at %v", ErrForeignSource, fr.SrcNode, n.ID()))
 	}
 	if n.Trace.Enabled() {
 		n.Trace.Log(n.Engine().Now(), n.ID(), trace.TX, "%v", fr)

@@ -128,7 +128,7 @@ func (p *Port) Node() myrinet.NodeID { return p.nic.ID() }
 // Like GM, receiving is impossible without posted tokens.
 func (p *Port) Provide(capacity int) {
 	if max := p.nic.Cfg.RecvTokensMax; max > 0 && len(p.recvTokens) >= max {
-		panic(fmt.Sprintf("gm: port %d exceeds %d receive tokens", p.id, max))
+		panic(fmt.Errorf("%w: port %d exceeds %d", ErrTokenExhausted, p.id, max))
 	}
 	p.recvTokens = append(p.recvTokens, &recvToken{buf: make([]byte, capacity)})
 }
@@ -144,12 +144,16 @@ func (p *Port) ProvideN(n, capacity int) {
 func (p *Port) RecvTokens() int { return len(p.recvTokens) }
 
 // TakeSendToken blocks the caller until a host-level send token is free
-// and consumes it. Exposed for the multicast extension's host API.
+// and consumes it. Exposed for the multicast extension's host API. The
+// wait (zero when a token is free) feeds the token_wait_ns histogram —
+// the host-visible cost of send-descriptor backpressure.
 func (p *Port) TakeSendToken(proc *sim.Proc) {
+	began := p.nic.Engine().Now()
 	for p.sendTokens == 0 {
 		p.sendWaiter.Wait(proc)
 	}
 	p.sendTokens--
+	p.nic.m.tokenWaitNs.Observe(int64(p.nic.Engine().Now() - began))
 }
 
 // ReturnSendToken releases a host-level send token and wakes waiters.
@@ -167,7 +171,7 @@ func (p *Port) ReturnSendToken() {
 // data until the send completes.
 func (p *Port) Send(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, data []byte) {
 	if dst == p.Node() {
-		panic("gm: send to self is not supported")
+		panic(ErrSelfSend)
 	}
 	p.TakeSendToken(proc)
 	proc.Compute(p.nic.Cfg.HostSendPost)

@@ -34,14 +34,14 @@ func (n *NIC) rxData(fr *Frame) {
 		case fr.Seq < r.expect:
 			// Duplicate of an already-accepted packet (its ack was lost, or
 			// go-back-N resent it). Re-ack so the sender advances.
-			n.stats.Duplicates++
+			n.m.duplicates.Inc()
 			n.traceDrop("duplicate seq=%d expect=%d", fr.Seq, r.expect)
 			n.sendAck(fr, r.expect-1)
 			buf.Release()
 		case fr.Seq > r.expect:
 			// Hole ahead of us: drop; the sender's timeout resends in
 			// order. With fast recovery enabled, tell the sender now.
-			n.stats.OutOfOrderDrops++
+			n.m.oooDrops.Inc()
 			n.traceDrop("out-of-order seq=%d expect=%d", fr.Seq, r.expect)
 			if n.Cfg.EnableNacks {
 				n.sendNack(fr, r.expect-1)
@@ -54,13 +54,13 @@ func (n *NIC) rxData(fr *Frame) {
 				// large enough. Don't ack: the sender will retransmit,
 				// and accepting would violate ordered delivery. Providing
 				// tokens in time is the client program's responsibility.
-				n.stats.NoTokenDrops++
+				n.m.noTokenDrops.Inc()
 				n.traceDrop("no receive token for %d bytes", fr.MsgLen)
 				buf.Release()
 				return
 			}
 			r.expect++
-			n.stats.DataReceived++
+			n.m.dataReceived.Inc()
 			if n.Trace.Enabled() {
 				n.Trace.Log(n.Engine().Now(), n.ID(), trace.RX, "%v", fr)
 			}
@@ -79,7 +79,7 @@ func (n *NIC) rxData(fr *Frame) {
 // frame arrived on. Acks are NIC-generated (no host memory touched, no
 // send buffer consumed) and ride the same wire as data.
 func (n *NIC) sendAck(data *Frame, ack uint32) {
-	n.stats.AcksSent++
+	n.m.acksSent.Inc()
 	n.Inject(&Frame{
 		Kind:    KindAck,
 		SrcNode: n.ID(), DstNode: data.SrcNode,
@@ -91,7 +91,7 @@ func (n *NIC) sendAck(data *Frame, ack uint32) {
 // rxAck handles an arriving unicast acknowledgment.
 func (n *NIC) rxAck(fr *Frame) {
 	n.HW.CPUDo(n.Cfg.AckProcCost, func() {
-		n.stats.AcksReceived++
+		n.m.acksReceived.Inc()
 		c := n.sendConn(fr.DstPort, fr.SrcNode, fr.SrcPort)
 		c.handleAck(fr.Ack)
 	})
@@ -101,7 +101,7 @@ func (n *NIC) rxAck(fr *Frame) {
 // sequence number, asking the sender to go back without waiting for its
 // timer (fast recovery; GM-2 rejects out-of-sequence packets similarly).
 func (n *NIC) sendNack(data *Frame, lastGood uint32) {
-	n.stats.NacksSent++
+	n.m.nacksSent.Inc()
 	n.Inject(&Frame{
 		Kind:    KindNack,
 		SrcNode: n.ID(), DstNode: data.SrcNode,
@@ -115,7 +115,7 @@ func (n *NIC) sendNack(data *Frame, lastGood uint32) {
 // per-connection holdoff so a burst of nacks triggers one resend).
 func (n *NIC) rxNack(fr *Frame) {
 	n.HW.CPUDo(n.Cfg.AckProcCost, func() {
-		n.stats.NacksReceived++
+		n.m.nacksReceived.Inc()
 		c := n.sendConn(fr.DstPort, fr.SrcNode, fr.SrcPort)
 		c.handleAck(fr.Ack)
 		c.fastRetransmit()

@@ -46,7 +46,7 @@ func (p *Port) RegisterRegion(size int) (RegionID, []byte) {
 // are refused (and recovered by the sender's go-back-N until it stops).
 func (p *Port) DeregisterRegion(id RegionID) {
 	if _, ok := p.regions[id]; !ok {
-		panic(fmt.Sprintf("gm: deregistering unknown region %d", id))
+		panic(fmt.Errorf("%w: region %d", ErrNotRegistered, id))
 	}
 	delete(p.regions, id)
 }
@@ -84,10 +84,10 @@ func (p *Port) DirectedSendSync(proc *sim.Proc, dst myrinet.NodeID, dstPort Port
 
 func (p *Port) directedSend(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte, onDone func()) {
 	if dst == p.Node() {
-		panic("gm: directed send to self is not supported")
+		panic(ErrSelfSend)
 	}
 	if offset < 0 {
-		panic("gm: negative directed-send offset")
+		panic(ErrNegativeOffset)
 	}
 	p.TakeSendToken(proc)
 	proc.Compute(p.nic.Cfg.HostSendPost)
@@ -135,11 +135,11 @@ func (n *NIC) rxDirected(fr *Frame) {
 		}
 		switch {
 		case fr.Seq < r.expect:
-			n.stats.Duplicates++
+			n.m.duplicates.Inc()
 			n.sendAck(fr, r.expect-1)
 			buf.Release()
 		case fr.Seq > r.expect:
-			n.stats.OutOfOrderDrops++
+			n.m.oooDrops.Inc()
 			n.traceDrop("directed out-of-order seq=%d expect=%d", fr.Seq, r.expect)
 			if n.Cfg.EnableNacks {
 				n.sendNack(fr, r.expect-1)
@@ -151,14 +151,14 @@ func (n *NIC) rxDirected(fr *Frame) {
 				// Unknown region or out-of-bounds write: refuse without
 				// acknowledging. The sender retries; a misprogrammed peer
 				// cannot scribble on memory it was not granted.
-				n.stats.DirectedRefused++
+				n.m.directedRefused.Inc()
 				n.traceDrop("directed write refused: region=%d off=%d len=%d",
 					fr.MsgID, fr.Offset, len(fr.Payload))
 				buf.Release()
 				return
 			}
 			r.expect++
-			n.stats.DirectedReceived++
+			n.m.directedReceived.Inc()
 			n.sendAck(fr, fr.Seq)
 			payload, off := fr.Payload, fr.Offset
 			n.HW.NICToHost(len(payload), func() {

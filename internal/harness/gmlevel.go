@@ -20,7 +20,7 @@ const gmGroup gm.GroupID = 1
 // acknowledged). Returns the averaged latency in microseconds — Figure 3's
 // NB curves.
 func (o Options) MultisendNB(ndest, size int) float64 {
-	c := cluster.New(o.config(ndest + 1))
+	c := cluster.NewFromConfig(o.config(ndest + 1))
 	ports := c.OpenPorts(benchPort)
 	tr := tree.Flat(0, c.Members())
 	c.InstallGroup(gmGroup, tr, benchPort, benchPort)
@@ -55,7 +55,7 @@ func (o Options) MultisendNB(ndest, size int) float64 {
 // Figure 3 compares against: ndest send requests posted per iteration,
 // waiting for all acknowledgments.
 func (o Options) MultisendHB(ndest, size int) float64 {
-	c := cluster.New(o.config(ndest + 1))
+	c := cluster.NewFromConfig(o.config(ndest + 1))
 	ports := c.OpenPorts(benchPort)
 	total := o.Warmup + o.Iters
 	for d := 1; d <= ndest; d++ {
@@ -106,7 +106,7 @@ func (o Options) Fig3(ndest int, sizes []int) Series {
 // 1-byte acknowledgment, the paper's Figure 5 protocol.
 func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) float64 {
 	cfg := o.config(nodes)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(benchPort)
 	tr := o.nbTree(cfg, 0, c.Members(), size)
 	c.InstallGroup(gmGroup, tr, benchPort, benchPort)
@@ -151,7 +151,7 @@ func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) flo
 // multicastHBOnce measures the traditional host-based multicast: unicasts
 // forwarded by the host process at every node of a binomial tree.
 func (o Options) multicastHBOnce(nodes, size int, designated myrinet.NodeID) float64 {
-	c := cluster.New(o.config(nodes))
+	c := cluster.NewFromConfig(o.config(nodes))
 	ports := c.OpenPorts(benchPort)
 	tr := tree.Binomial(0, c.Members())
 	total := o.Warmup + o.Iters
@@ -237,7 +237,7 @@ func (o Options) UnicastOneWay(size int, withExtension bool) float64 {
 	cfg := o.config(2)
 	var c *cluster.Cluster
 	if withExtension {
-		c = cluster.New(cfg)
+		c = cluster.NewFromConfig(cfg)
 	} else {
 		c = cluster.NewPlain(cfg)
 	}
@@ -292,7 +292,7 @@ func membersOf(n int) []myrinet.NodeID {
 // NICBarrier measures the average latency of the NIC-level barrier — the
 // future-work collective — over the given node count.
 func (o Options) NICBarrier(nodes int) float64 {
-	c := cluster.New(o.config(nodes))
+	c := cluster.NewFromConfig(o.config(nodes))
 	ports := c.OpenPorts(benchPort)
 	for _, n := range c.Nodes {
 		n.Ext.InstallBarrier(gmGroup, c.Members(), benchPort, nil)
@@ -317,7 +317,7 @@ func (o Options) NICBarrier(nodes int) float64 {
 // HostBarrier measures a host-level dissemination barrier over GM
 // unicasts, the baseline for the NIC-level barrier.
 func (o Options) HostBarrier(nodes int) float64 {
-	c := cluster.New(o.config(nodes))
+	c := cluster.NewFromConfig(o.config(nodes))
 	ports := c.OpenPorts(benchPort)
 	total := o.Warmup + o.Iters
 	rounds := 0
@@ -375,7 +375,7 @@ func (o Options) LossRecovery(nodes, size int, lossRate float64, mode string) fl
 // messages of one size over a single connection — the classic GM
 // bandwidth microbenchmark.
 func (o Options) UnicastBandwidth(size int) float64 {
-	c := cluster.New(o.config(2))
+	c := cluster.NewFromConfig(o.config(2))
 	ports := c.OpenPorts(benchPort)
 	total := o.Warmup + o.Iters
 	var mbps float64
@@ -409,7 +409,7 @@ func (o Options) UnicastBandwidth(size int) float64 {
 // the streaming time — the fabric-level win of forwarding at the NICs.
 func (o Options) MulticastAggregateBandwidth(nodes, size int) float64 {
 	cfg := o.config(nodes)
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(benchPort)
 	tr := o.nbTree(cfg, 0, c.Members(), size)
 	c.InstallGroup(gmGroup, tr, benchPort, benchPort)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/myrinet"
 	"repro/internal/tree"
 )
@@ -30,6 +31,9 @@ type Options struct {
 	// tree (the tree-shape ablation); nil uses the size-specific optimal
 	// tree.
 	NBTree func(cfg *cluster.Config, root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree
+	// Metrics, when non-nil, is wired through every cluster the harness
+	// builds, so a Reporter can diff it between experiments.
+	Metrics *metrics.Registry
 }
 
 // nbTree resolves the NIC-based multicast tree for a run.
@@ -48,6 +52,7 @@ func DefaultOptions() Options {
 func (o Options) config(nodes int) *cluster.Config {
 	cfg := cluster.DefaultConfig(nodes)
 	cfg.Seed = o.Seed
+	cfg.Metrics = o.Metrics
 	if o.Mut != nil {
 		o.Mut(cfg)
 	}

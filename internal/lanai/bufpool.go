@@ -1,6 +1,9 @@
 package lanai
 
-import "repro/internal/sim"
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
 
 // BufPool manages a fixed number of NIC SRAM packet buffers. Firmware
 // acquires a buffer before staging a packet and releases it when the
@@ -11,10 +14,21 @@ type BufPool struct {
 	name    string
 	cap     int
 	free    int
-	waiters []func(*Buf)
+	waiters []bufWaiter
 	// MaxQueued tracks the high-water mark of waiters, a resource
 	// pressure diagnostic.
 	MaxQueued int
+
+	// Cached instruments, set via NIC.SetMetrics; nil (no-op) otherwise.
+	mInUse   *metrics.Gauge
+	mStalls  *metrics.Counter
+	mStallNs *metrics.Counter
+}
+
+// bufWaiter is one queued acquisition and the time it began waiting.
+type bufWaiter struct {
+	fn    func(*Buf)
+	since sim.Time
 }
 
 // Buf is a token for one NIC packet buffer.
@@ -39,14 +53,18 @@ func (p *BufPool) Free() int { return p.free }
 func (p *BufPool) Queued() int { return len(p.waiters) }
 
 // Acquire grants a buffer to fn, immediately if one is free, otherwise
-// when one is released (FIFO).
+// when one is released (FIFO). An empty pool counts as an exhaustion
+// stall; the wait is charged to the stall-time counter when the grant
+// finally arrives.
 func (p *BufPool) Acquire(fn func(*Buf)) {
 	if p.free > 0 {
 		p.free--
+		p.mInUse.Add(1)
 		fn(&Buf{pool: p})
 		return
 	}
-	p.waiters = append(p.waiters, fn)
+	p.mStalls.Inc()
+	p.waiters = append(p.waiters, bufWaiter{fn: fn, since: p.eng.Now()})
 	if len(p.waiters) > p.MaxQueued {
 		p.MaxQueued = len(p.waiters)
 	}
@@ -59,12 +77,14 @@ func (p *BufPool) TryAcquire() (*Buf, bool) {
 		return nil, false
 	}
 	p.free--
+	p.mInUse.Add(1)
 	return &Buf{pool: p}, true
 }
 
 // Release returns b to its pool. The longest-waiting acquirer, if any, is
-// granted the buffer at the current virtual time. Double release panics:
-// it means the firmware's buffer lifetime accounting is broken.
+// granted the buffer at the current virtual time (the buffer stays in use,
+// so the occupancy gauge is untouched). Double release panics: it means
+// the firmware's buffer lifetime accounting is broken.
 func (b *Buf) Release() {
 	if b.released {
 		panic("lanai: double release of " + b.pool.name + " buffer")
@@ -72,12 +92,14 @@ func (b *Buf) Release() {
 	b.released = true
 	p := b.pool
 	if len(p.waiters) > 0 {
-		fn := p.waiters[0]
+		w := p.waiters[0]
 		p.waiters = p.waiters[1:]
-		p.eng.After(0, func() { fn(&Buf{pool: p}) })
+		p.mStallNs.AddInt(int64(p.eng.Now() - w.since))
+		p.eng.After(0, func() { w.fn(&Buf{pool: p}) })
 		return
 	}
 	p.free++
+	p.mInUse.Add(-1)
 	if p.free > p.cap {
 		panic("lanai: pool " + p.name + " over capacity")
 	}

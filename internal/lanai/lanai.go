@@ -13,6 +13,7 @@ package lanai
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
@@ -80,7 +81,16 @@ type NIC struct {
 
 	hostEvents []any
 	hostWaiter *sim.Waiter
-	stats      Stats
+
+	// Cached instruments, set by SetMetrics; nil (no-op) otherwise.
+	reg           *metrics.Registry
+	mCPUBusyNs    *metrics.Counter
+	mCPUBacklogNs *metrics.Gauge
+	mSDMABusyNs   *metrics.Counter
+	mRDMABusyNs   *metrics.Counter
+	mHostEvents   *metrics.Counter
+	mHostQueue    *metrics.Gauge
+	mRxNoBuffer   *metrics.Counter
 }
 
 // New attaches a NIC model to a network interface.
@@ -103,18 +113,37 @@ func New(eng *sim.Engine, ifc *myrinet.Iface, p Params) *NIC {
 		}
 		n.RxDispatch(pkt)
 	}
+	n.SetMetrics(nil)
 	return n
 }
 
 // Stats returns a snapshot of the NIC's hardware counters.
-func (n *NIC) Stats() Stats { return n.stats }
+//
+// Deprecated: read the metrics registry wired via SetMetrics instead;
+// this shim reports zeros when the registry is disabled.
+func (n *NIC) Stats() Stats {
+	return Stats{
+		RxNoBuffer: n.mRxNoBuffer.Value(),
+		HostEvents: n.mHostEvents.Value(),
+	}
+}
 
 // CountRxNoBuffer records a packet dropped for want of a receive buffer.
-func (n *NIC) CountRxNoBuffer() { n.stats.RxNoBuffer++ }
+func (n *NIC) CountRxNoBuffer() {
+	n.mRxNoBuffer.Inc()
+}
 
 // CPUDo serializes cost worth of work on the LANai processor and runs fn
-// when it completes.
-func (n *NIC) CPUDo(cost sim.Time, fn func()) { n.CPU.Do(cost, fn) }
+// when it completes. The backlog gauge records (as a high-water mark) how
+// far behind the serialized processor was when this task was queued — the
+// simulation's analogue of task-queue depth.
+func (n *NIC) CPUDo(cost sim.Time, fn func()) {
+	if backlog := n.CPU.FreeAt() - n.Eng.Now(); backlog > 0 {
+		n.mCPUBacklogNs.Set(int64(backlog))
+	}
+	n.mCPUBusyNs.AddInt(int64(cost))
+	n.CPU.Do(cost, fn)
+}
 
 // DMATime reports the duration of one DMA of the given size.
 func (n *NIC) DMATime(size int) sim.Time {
@@ -122,10 +151,18 @@ func (n *NIC) DMATime(size int) sim.Time {
 }
 
 // HostToNIC schedules an SDMA of size bytes and runs fn at completion.
-func (n *NIC) HostToNIC(size int, fn func()) { n.SDMA.Do(n.DMATime(size), fn) }
+func (n *NIC) HostToNIC(size int, fn func()) {
+	d := n.DMATime(size)
+	n.mSDMABusyNs.AddInt(int64(d))
+	n.SDMA.Do(d, fn)
+}
 
 // NICToHost schedules an RDMA of size bytes and runs fn at completion.
-func (n *NIC) NICToHost(size int, fn func()) { n.RDMA.Do(n.DMATime(size), fn) }
+func (n *NIC) NICToHost(size int, fn func()) {
+	d := n.DMATime(size)
+	n.mRDMABusyNs.AddInt(int64(d))
+	n.RDMA.Do(d, fn)
+}
 
 // HostPost models the host posting a descriptor: after the PIO latency the
 // NIC processor sees it and runs fn (fn typically charges CPU time).
@@ -136,9 +173,11 @@ func (n *NIC) HostPost(fn func()) {
 // PostHostEvent DMAs an event record to the host event queue and wakes any
 // process blocked in WaitHostEvent. The RDMA engine carries the record.
 func (n *NIC) PostHostEvent(ev any) {
+	n.mRDMABusyNs.AddInt(int64(n.P.EventPostCost))
 	n.RDMA.Do(n.P.EventPostCost, func() {
 		n.hostEvents = append(n.hostEvents, ev)
-		n.stats.HostEvents++
+		n.mHostEvents.Inc()
+		n.mHostQueue.Set(int64(len(n.hostEvents)))
 		n.hostWaiter.WakeAll()
 	})
 }

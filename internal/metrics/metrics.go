@@ -1,0 +1,331 @@
+// Package metrics is the unified observability layer of the simulated
+// Myrinet/GM stack. Every layer — the fabric (myrinet), the NIC hardware
+// (lanai), the GM firmware (gm), and the multicast extension (core) —
+// registers its counters, gauges, and histograms here, keyed by component
+// and node, so a run can be explained the way the paper explains its
+// curves: where the LANai CPU cycles went, how busy the DMA engines were,
+// how many retransmissions the loss recovery paid, where buffer pools
+// stalled.
+//
+// Instruments are allocation-light and nil-safe: a disabled registry (or a
+// nil one) hands out nil instruments, and every method on a nil instrument
+// is a no-op. Instrument updates never touch the simulation engine, so
+// enabling metrics cannot change any simulated timestamp — a property the
+// determinism tests pin down.
+//
+// The simulation is single-threaded in effect (one event callback or
+// process runs at a time), so instruments are deliberately unsynchronized.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Key identifies one instrument: the component (layer) that owns it, the
+// node it belongs to (NodeFabric for fabric-wide instruments), and its
+// name.
+type Key struct {
+	Component string `json:"component"`
+	Node      int    `json:"node"`
+	Name      string `json:"name"`
+}
+
+// NodeFabric is the Node value for instruments that belong to no single
+// node (fabric-wide link counters, switch contention).
+const NodeFabric = -1
+
+func (k Key) String() string {
+	if k.Node == NodeFabric {
+		return k.Component + "." + k.Name
+	}
+	return fmt.Sprintf("%s[%d].%s", k.Component, k.Node, k.Name)
+}
+
+// Registry holds a run's instruments. The zero value is unusable; build
+// one with New (enabled) or Disabled (all instruments are no-ops).
+type Registry struct {
+	disabled bool
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+}
+
+// New returns an enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// Disabled returns a registry whose instrument constructors all return
+// nil, making every instrument operation a no-op.
+func Disabled() *Registry { return &Registry{disabled: true} }
+
+// Ensure returns r unchanged when non-nil, else a fresh enabled registry.
+// Components use it so that a caller who wires no registry still gets
+// working counters (the legacy Stats accessors read them).
+func Ensure(r *Registry) *Registry {
+	if r != nil {
+		return r
+	}
+	return New()
+}
+
+// Enabled reports whether the registry hands out live instruments.
+func (r *Registry) Enabled() bool { return r != nil && !r.disabled }
+
+// Counter returns (creating on first use) the named counter, or nil when
+// the registry is disabled.
+func (r *Registry) Counter(component string, node int, name string) *Counter {
+	if !r.Enabled() {
+		return nil
+	}
+	k := Key{component, node, name}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge, or nil when the
+// registry is disabled.
+func (r *Registry) Gauge(component string, node int, name string) *Gauge {
+	if !r.Enabled() {
+		return nil
+	}
+	k := Key{component, node, name}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram, or nil
+// when the registry is disabled.
+func (r *Registry) Histogram(component string, node int, name string) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	k := Key{component, node, name}
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// sortedKeys returns map keys in deterministic (component, node, name)
+// order.
+func sortedKeys[V any](m map[Key]V) []Key {
+	out := make([]Key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Counter is a monotonically increasing count. All methods are no-ops on
+// a nil receiver.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// AddInt adds n when positive (negative and zero are ignored); it exists
+// so duration-like int64 quantities can be accumulated without a cast at
+// every call site.
+func (c *Counter) AddInt(n int64) {
+	if c != nil && n > 0 {
+		c.v += uint64(n)
+	}
+}
+
+// Value reports the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level with a high-water mark. All methods are
+// no-ops on a nil receiver.
+type Gauge struct{ v, high int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.high {
+		g.high = v
+	}
+}
+
+// Add moves the level by d (negative allowed).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value reports the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// High reports the high-water mark (0 on nil).
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.high
+}
+
+// HistBuckets is the number of fixed log2 histogram buckets: bucket 0
+// holds observations <= 0, bucket i (1..64) holds observations v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+const HistBuckets = 65
+
+// Histogram accumulates observations into fixed log2 buckets — no
+// allocation per observation, constant memory, and enough resolution to
+// tell a 5 µs token wait from a 500 µs retransmission timeout. All
+// methods are no-ops on a nil receiver.
+type Histogram struct {
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [HistBuckets]uint64
+}
+
+// BucketOf reports the bucket index an observation lands in.
+func BucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow reports the smallest positive value of bucket i (0 for
+// bucket 0).
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Observe folds one value into the histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[BucketOf(v)]++
+}
+
+// Count reports how many observations were folded in (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the sum of all observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min and Max report the extreme observations (0 on nil or empty).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the arithmetic mean observation (0 on nil or empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile estimates the q-th quantile (0..1) from the log2 buckets,
+// returning the lower bound of the bucket holding that rank — a
+// deliberately conservative estimate with log2 resolution.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count-1))
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if n > 0 && seen > rank {
+			return BucketLow(i)
+		}
+	}
+	return BucketLow(HistBuckets - 1)
+}

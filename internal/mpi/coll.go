@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -288,14 +289,14 @@ func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 	var chunk, startMask int
 	if rel == 0 {
 		if len(parts) != n {
-			panic("mpi: Scatter needs one part per rank")
+			panic(fmt.Errorf("%w: need one part per rank", ErrBadScatter))
 		}
 		chunk = len(parts[0])
 		span = make([]byte, 0, chunk*n)
 		for i := 0; i < n; i++ {
 			p := parts[(root+i)%n] // relative-rank order
 			if len(p) != chunk {
-				panic("mpi: Scatter parts must be equal length")
+				panic(fmt.Errorf("%w: parts must be equal length", ErrBadScatter))
 			}
 			span = append(span, p...)
 		}

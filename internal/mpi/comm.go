@@ -59,7 +59,7 @@ func (c *Comm) nodes() []myrinet.NodeID {
 // Send transmits data to communicator rank dst with a tag.
 func (c *Comm) Send(dst int, tag int32, data []byte) {
 	if tag < 0 {
-		panic("mpi: negative tags are reserved")
+		panic(ErrNegativeTag)
 	}
 	c.r.send(c.id, c.members[dst], tag, data)
 }
@@ -67,7 +67,7 @@ func (c *Comm) Send(dst int, tag int32, data []byte) {
 // Recv blocks for a message from communicator rank src with a tag.
 func (c *Comm) Recv(src int, tag int32) []byte {
 	if tag < 0 {
-		panic("mpi: negative tags are reserved")
+		panic(ErrNegativeTag)
 	}
 	return c.r.recv(c.id, c.members[src], tag)
 }
@@ -187,7 +187,7 @@ func decodeSplit(b []byte) splitRecord {
 // communicator cannot be freed.
 func (c *Comm) Free() {
 	if c.id == worldCommID {
-		panic("mpi: cannot free MPI_COMM_WORLD")
+		panic(ErrFreeWorld)
 	}
 	c.Barrier() // quiesce: no member is inside a collective on this comm
 	r := c.r

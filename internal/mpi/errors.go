@@ -1,0 +1,19 @@
+package mpi
+
+import "errors"
+
+// Sentinel errors for API misuse of the MPI layer. Following the MPI
+// convention that usage errors abort the job, these surface as panics
+// carrying error values: recover the value and test it with errors.Is.
+var (
+	// ErrNegativeTag reports a user message with a negative tag (the
+	// negative space is reserved for internal protocol traffic).
+	ErrNegativeTag = errors.New("mpi: negative tags are reserved")
+	// ErrSelfSend reports a point-to-point send addressed to the sender.
+	ErrSelfSend = errors.New("mpi: send to self")
+	// ErrFreeWorld reports freeing MPI_COMM_WORLD.
+	ErrFreeWorld = errors.New("mpi: cannot free MPI_COMM_WORLD")
+	// ErrBadScatter reports malformed Scatter input: wrong part count or
+	// unequal part lengths.
+	ErrBadScatter = errors.New("mpi: malformed scatter")
+)

@@ -1,0 +1,64 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+// recoverErr runs f and returns the recovered panic value as an error.
+func recoverErr(t *testing.T, f func()) (err error) {
+	t.Helper()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("expected a panic")
+		}
+		e, ok := v.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", v, v)
+		}
+		err = e
+	}()
+	f()
+	return nil
+}
+
+func TestSentinelErrorsAreIsable(t *testing.T) {
+	w := newWorld(t, 2, false)
+	w.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		if err := recoverErr(t, func() { r.Send(1, -1, []byte("x")) }); !errors.Is(err, ErrNegativeTag) {
+			t.Errorf("negative tag send: got %v, want ErrNegativeTag", err)
+		}
+		if err := recoverErr(t, func() { r.Recv(1, -5) }); !errors.Is(err, ErrNegativeTag) {
+			t.Errorf("negative tag recv: got %v, want ErrNegativeTag", err)
+		}
+		if err := recoverErr(t, func() { r.Send(0, 1, []byte("x")) }); !errors.Is(err, ErrSelfSend) {
+			t.Errorf("self send: got %v, want ErrSelfSend", err)
+		}
+		if err := recoverErr(t, func() { r.World().Free() }); !errors.Is(err, ErrFreeWorld) {
+			t.Errorf("free world: got %v, want ErrFreeWorld", err)
+		}
+	})
+}
+
+func TestScatterErrors(t *testing.T) {
+	w := newWorld(t, 2, false)
+	w.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			// One part for two ranks.
+			if err := recoverErr(t, func() { r.Scatter(0, [][]byte{{1}}) }); !errors.Is(err, ErrBadScatter) {
+				t.Errorf("short scatter: got %v, want ErrBadScatter", err)
+			}
+			// Unequal part lengths.
+			if err := recoverErr(t, func() { r.Scatter(0, [][]byte{{1}, {2, 3}}) }); !errors.Is(err, ErrBadScatter) {
+				t.Errorf("ragged scatter: got %v, want ErrBadScatter", err)
+			}
+		case 1:
+			// Nothing: the root panics before sending.
+		}
+	})
+}

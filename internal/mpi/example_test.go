@@ -10,7 +10,7 @@ import (
 // the NIC-based multicast (the modified MPICH-GM); the program text is
 // ordinary rank-parallel code.
 func Example() {
-	w := NewWorld(cluster.New(cluster.DefaultConfig(4)), true)
+	w := NewWorld(cluster.New(4), true)
 	sums := make([]float64, 4)
 	w.Run(func(r *Rank) {
 		buf := make([]byte, 8)
@@ -32,7 +32,7 @@ func Example() {
 // Sub-communicators split the world; each half gets its own NIC multicast
 // group contexts over exactly its member nodes.
 func ExampleComm_Split() {
-	w := NewWorld(cluster.New(cluster.DefaultConfig(6)), true)
+	w := NewWorld(cluster.New(6), true)
 	var got []byte
 	w.Run(func(r *Rank) {
 		odd := r.World().Split(r.ID()%2, r.ID()) // {0,2,4} and {1,3,5}

@@ -10,7 +10,7 @@ import (
 
 func newWorld(t *testing.T, nodes int, useNB bool) *World {
 	t.Helper()
-	return NewWorld(cluster.New(cluster.DefaultConfig(nodes)), useNB)
+	return NewWorld(cluster.New(nodes), useNB)
 }
 
 func pattern(n int) []byte {
@@ -340,7 +340,7 @@ func TestWireEnvelopeRoundTrip(t *testing.T) {
 
 func TestTreeEncodingRoundTrip(t *testing.T) {
 	cfg := cluster.DefaultConfig(16)
-	tr := cfg.OptimalTree(3, cluster.New(cfg).Members(), 256)
+	tr := cfg.OptimalTree(3, cluster.NewFromConfig(cfg).Members(), 256)
 	enc := encodeTree(77, tr)
 	gid, back := decodeTree(enc)
 	if gid != 77 {
@@ -632,7 +632,7 @@ func TestReduceMax(t *testing.T) {
 
 func TestWorldDeterministicReplay(t *testing.T) {
 	run := func() uint64 {
-		c := cluster.New(cluster.DefaultConfig(6))
+		c := cluster.New(6)
 		w := NewWorld(c, true)
 		w.Run(func(r *Rank) {
 			for i := 0; i < 4; i++ {

@@ -16,7 +16,7 @@ import (
 // Send transmits data to world rank dst on MPI_COMM_WORLD.
 func (r *Rank) Send(dst int, tag int32, data []byte) {
 	if tag < 0 {
-		panic("mpi: negative tags are reserved")
+		panic(ErrNegativeTag)
 	}
 	r.send(worldCommID, dst, tag, data)
 }
@@ -25,7 +25,7 @@ func (r *Rank) Send(dst int, tag int32, data []byte) {
 // returns its payload in a fresh buffer.
 func (r *Rank) Recv(src int, tag int32) []byte {
 	if tag < 0 {
-		panic("mpi: negative tags are reserved")
+		panic(ErrNegativeTag)
 	}
 	return r.recv(worldCommID, src, tag)
 }
@@ -38,7 +38,7 @@ func (r *Rank) Sendrecv(dst int, sdata []byte, src int, tag int32) []byte {
 
 func (r *Rank) send(comm uint32, dst int, tag int32, data []byte) {
 	if dst == r.id {
-		panic("mpi: send to self")
+		panic(ErrSelfSend)
 	}
 	seq := r.nextSeq(comm, dst, tag)
 	if len(data) <= EagerMax {

@@ -38,7 +38,7 @@ func (q *Request) Test() bool {
 // inside Wait.
 func (c *Comm) Isend(dst int, tag int32, data []byte) *Request {
 	if tag < 0 {
-		panic("mpi: negative tags are reserved")
+		panic(ErrNegativeTag)
 	}
 	if len(data) <= EagerMax {
 		c.r.send(c.id, c.members[dst], tag, data)
@@ -56,7 +56,7 @@ func (c *Comm) Isend(dst int, tag int32, data []byte) *Request {
 // Irecv starts a nonblocking receive on the communicator.
 func (c *Comm) Irecv(src int, tag int32) *Request {
 	if tag < 0 {
-		panic("mpi: negative tags are reserved")
+		panic(ErrNegativeTag)
 	}
 	r := c.r
 	return &Request{

@@ -126,5 +126,6 @@ func NewFatTree(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 			hostDown[dst],
 		}
 	}
+	n.SetMetrics(nil)
 	return n
 }

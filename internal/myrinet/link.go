@@ -3,6 +3,7 @@ package myrinet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -46,6 +47,13 @@ type Link struct {
 	params   LinkParams
 	// Drops counts packets lost on this link (fault injection).
 	Drops uint64
+
+	// Cached metric instruments, set by Network.SetMetrics; nil (no-op)
+	// until then or when metrics are disabled.
+	mTxBytes   *metrics.Counter
+	mStallNs   *metrics.Counter
+	mContended *metrics.Counter
+	mDrops     *metrics.Counter
 }
 
 // String labels the link for diagnostics.

@@ -1,0 +1,43 @@
+package myrinet
+
+import "repro/internal/metrics"
+
+// Component is the metrics component name for the fabric layer.
+const Component = "net"
+
+// SetMetrics wires fabric instrumentation into reg. Instruments are cached
+// on the Network and on each Link so the per-packet hot path performs no
+// map lookups; with a disabled registry every cached instrument is nil and
+// each update is a no-op; a nil registry gets a private always-on one so
+// the deprecated Stats accessor keeps counting. Bytes and drops are attributed to the host
+// endpoint of host-attached links (trunk links fall to the fabric pseudo
+// node); serialization stalls are attributed to the vertex whose output
+// port was busy — the injecting host, or the contended switch.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	reg = metrics.Ensure(reg)
+	n.mInjected = reg.Counter(Component, metrics.NodeFabric, "injected")
+	n.mDelivered = reg.Counter(Component, metrics.NodeFabric, "delivered")
+	n.mDropped = reg.Counter(Component, metrics.NodeFabric, "dropped")
+	n.mLinkBusyNs = reg.Counter(Component, metrics.NodeFabric, "link_busy_ns")
+	for _, l := range n.links {
+		switch {
+		case l.from.host:
+			h := int(l.from.hostID)
+			l.mTxBytes = reg.Counter(Component, h, "uplink_tx_bytes")
+			l.mDrops = reg.Counter(Component, h, "uplink_drops")
+			l.mStallNs = reg.Counter(Component, h, "uplink_stall_ns")
+			l.mContended = reg.Counter(Component, h, "uplink_contended")
+		case l.to.host:
+			h := int(l.to.hostID)
+			l.mTxBytes = reg.Counter(Component, h, "downlink_tx_bytes")
+			l.mDrops = reg.Counter(Component, h, "downlink_drops")
+			l.mStallNs = reg.Counter(Component, l.from.idx, "switch_stall_ns")
+			l.mContended = reg.Counter(Component, l.from.idx, "switch_contended")
+		default:
+			l.mTxBytes = reg.Counter(Component, metrics.NodeFabric, "trunk_tx_bytes")
+			l.mDrops = reg.Counter(Component, metrics.NodeFabric, "trunk_drops")
+			l.mStallNs = reg.Counter(Component, l.from.idx, "switch_stall_ns")
+			l.mContended = reg.Counter(Component, l.from.idx, "switch_contended")
+		}
+	}
+}

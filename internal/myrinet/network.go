@@ -3,6 +3,7 @@ package myrinet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -25,8 +26,14 @@ type Network struct {
 	// true drops the packet. It is the test hook for targeted loss.
 	DropFn func(p *Packet, l *Link) bool
 
-	rng   *sim.RNG
-	stats Stats
+	rng *sim.RNG
+
+	// Cached fabric-wide instruments, set by SetMetrics; nil (no-op)
+	// when the registry is disabled.
+	mInjected   *metrics.Counter
+	mDelivered  *metrics.Counter
+	mDropped    *metrics.Counter
+	mLinkBusyNs *metrics.Counter
 }
 
 // Iface is a host's attachment to the fabric. The NIC model sets Deliver;
@@ -54,7 +61,16 @@ func (n *Network) Hosts() int { return len(n.hosts) }
 func (n *Network) Iface(id NodeID) *Iface { return n.hosts[id] }
 
 // Stats returns a snapshot of fabric counters.
-func (n *Network) Stats() Stats { return n.stats }
+//
+// Deprecated: read the metrics registry wired via SetMetrics instead;
+// this shim reports zeros when the registry is disabled.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Injected:  n.mInjected.Value(),
+		Delivered: n.mDelivered.Value(),
+		Dropped:   n.mDropped.Value(),
+	}
+}
 
 // SetRNG installs the randomness source used for loss injection.
 func (n *Network) SetRNG(rng *sim.RNG) { n.rng = rng }
@@ -89,7 +105,7 @@ func (ifc *Iface) Inject(p *Packet) {
 	if p.Size <= 0 {
 		panic("myrinet: packet with nonpositive size")
 	}
-	n.stats.Injected++
+	n.mInjected.Inc()
 	route := n.Route(p.Src, p.Dst)
 	n.hop(p, route, 0, n.eng.Now())
 }
@@ -102,6 +118,12 @@ func (n *Network) hop(p *Packet, route []*Link, i int, headAt sim.Time) {
 	ser := l.params.SerializationTime(p.Size)
 	n.eng.At(headAt, func() {
 		start := l.fac.Reserve(ser)
+		if stall := start - headAt; stall > 0 {
+			l.mStallNs.AddInt(int64(stall))
+			l.mContended.Inc()
+		}
+		l.mTxBytes.Add(uint64(p.Size))
+		n.mLinkBusyNs.AddInt(int64(ser))
 		if i == 0 && p.TxDone != nil {
 			// The source NIC's transmit engine finishes with the packet
 			// buffer when the tail clears the injection link.
@@ -109,7 +131,8 @@ func (n *Network) hop(p *Packet, route []*Link, i int, headAt sim.Time) {
 		}
 		if n.dropped(p, l) {
 			l.Drops++
-			n.stats.Dropped++
+			l.mDrops.Inc()
+			n.mDropped.Inc()
 			return
 		}
 		headOut := start + l.params.Latency
@@ -120,7 +143,7 @@ func (n *Network) hop(p *Packet, route []*Link, i int, headAt sim.Time) {
 		// Final hop: the destination NIC needs the whole packet (its
 		// receive DMA is store-and-forward), so deliver at tail arrival.
 		n.eng.At(headOut+ser, func() {
-			n.stats.Delivered++
+			n.mDelivered.Inc()
 			dst := n.hosts[p.Dst]
 			if dst.Deliver == nil {
 				panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))

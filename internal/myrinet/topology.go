@@ -20,6 +20,7 @@ func NewSingleSwitch(eng *sim.Engine, hosts int, params LinkParams) *Network {
 		n.hosts = append(n.hosts, &Iface{net: n, id: NodeID(i), up: up})
 	}
 	n.routeFn = n.bfsRoute
+	n.SetMetrics(nil)
 	return n
 }
 
@@ -80,6 +81,7 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 		spine := (int(src)*31 + int(dst)) % spines
 		return []*Link{hostUp[src], up[sl][spine], down[spine][dl], hostDown[dst]}
 	}
+	n.SetMetrics(nil)
 	return n
 }
 

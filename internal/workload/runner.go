@@ -29,7 +29,7 @@ type Report struct {
 // here we keep it to point-to-point traffic.
 func Run(cfg *cluster.Config, spec Spec) (Report, error) {
 	spec.Nodes = cfg.Nodes
-	c := cluster.New(cfg)
+	c := cluster.NewFromConfig(cfg)
 	msgs, err := Generate(spec, c.RNG)
 	if err != nil {
 		return Report{}, err
