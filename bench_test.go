@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/benchkernel"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -326,6 +327,13 @@ func measureAllreduce(nodes, elems, rounds int) float64 {
 	c.Eng.Kill()
 	return total / float64(rounds)
 }
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel time the same GM-level
+// sweep through the harness's parallel runner forced serial and fanned
+// across GOMAXPROCS workers; their ratio is the sweep speedup recorded in
+// BENCH_sim.json. The bodies live in internal/benchkernel.
+func BenchmarkSweepSerial(b *testing.B)   { benchkernel.SweepSerial(b) }
+func BenchmarkSweepParallel(b *testing.B) { benchkernel.SweepParallel(b) }
 
 // BenchmarkAblation_FastRecovery compares loss-recovery strategies on a
 // lossy fabric: the paper's fixed timeout, NACK fast recovery, and

@@ -1,0 +1,150 @@
+// Command benchjson measures the event-kernel and sweep-runner benchmarks
+// (the bodies shared with `go test -bench` via internal/benchkernel) and
+// writes a machine-readable perf baseline:
+//
+//	go run ./cmd/benchjson -o BENCH_sim.json
+//
+// The output records ns/op, bytes/op and allocs/op for each kernel
+// workload on both the live engine and the preserved legacy
+// (container/heap) engine, the packet-storm comparison against the seed
+// baseline, and the wall-clock ratio of the serial vs parallel sweep
+// runner on this machine. Committing the file gives later changes a
+// concrete number to be diffed against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchkernel"
+)
+
+// seedStorm is the packet-storm result measured at commit 3e4855e (the
+// state of the tree before the zero-allocation kernel), produced by
+// running the identical PacketStorm body there. It is a recorded
+// baseline, not something this command can re-measure.
+var seedStorm = benchResult{
+	Name:        "PacketStorm@3e4855e",
+	NsPerOp:     3283,
+	BytesPerOp:  2240,
+	AllocsPerOp: 48,
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type comparison struct {
+	Legacy       string  `json:"legacy"`
+	Current      string  `json:"current"`
+	Speedup      float64 `json:"speedup"`
+	AllocsLegacy int64   `json:"allocs_per_op_legacy"`
+	AllocsNow    int64   `json:"allocs_per_op_current"`
+}
+
+type sweepResult struct {
+	SerialSecPerSweep   float64 `json:"serial_sec_per_sweep"`
+	ParallelSecPerSweep float64 `json:"parallel_sec_per_sweep"`
+	Speedup             float64 `json:"speedup"`
+	NumCPU              int     `json:"num_cpu"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+}
+
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	Kernel      []comparison  `json:"kernel_vs_legacy"`
+	PacketStorm comparison    `json:"packet_storm_vs_seed"`
+	SeedNote    string        `json:"packet_storm_seed_note"`
+	Sweep       sweepResult   `json:"sweep"`
+}
+
+func run(name string, fn func(*testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func compare(legacy, current benchResult) comparison {
+	return comparison{
+		Legacy:       legacy.Name,
+		Current:      current.Name,
+		Speedup:      legacy.NsPerOp / current.NsPerOp,
+		AllocsLegacy: legacy.AllocsPerOp,
+		AllocsNow:    current.AllocsPerOp,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file (- for stdout)")
+	skipSweep := flag.Bool("skip-sweep", false, "skip the (slow) sweep serial/parallel comparison")
+	flag.Parse()
+
+	schedule := run("Schedule", benchkernel.Schedule)
+	legacySchedule := run("LegacySchedule", benchkernel.LegacySchedule)
+	cancel := run("CancelReschedule", benchkernel.CancelReschedule)
+	legacyCancel := run("LegacyCancelReschedule", benchkernel.LegacyCancelReschedule)
+	storm := run("PacketStorm", benchkernel.PacketStorm)
+
+	rep := report{
+		GeneratedBy: "cmd/benchjson",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Benchmarks:  []benchResult{schedule, legacySchedule, cancel, legacyCancel, storm, seedStorm},
+		Kernel: []comparison{
+			compare(legacySchedule, schedule),
+			compare(legacyCancel, cancel),
+		},
+		PacketStorm: compare(seedStorm, storm),
+		SeedNote: "seed numbers measured at commit 3e4855e by running the identical " +
+			"PacketStorm body against the pre-arena engine; not re-measurable here",
+	}
+
+	if !*skipSweep {
+		serial := run("SweepSerial", benchkernel.SweepSerial)
+		parallel := run("SweepParallel", benchkernel.SweepParallel)
+		rep.Benchmarks = append(rep.Benchmarks, serial, parallel)
+		rep.Sweep = sweepResult{
+			SerialSecPerSweep:   serial.NsPerOp / 1e9,
+			ParallelSecPerSweep: parallel.NsPerOp / 1e9,
+			Speedup:             serial.NsPerOp / parallel.NsPerOp,
+			NumCPU:              runtime.NumCPU(),
+			GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (packet storm: %d -> %d allocs/op, %.2fx faster; sweep speedup %.2fx on %d cores)\n",
+		*out, rep.PacketStorm.AllocsLegacy, rep.PacketStorm.AllocsNow,
+		rep.PacketStorm.Speedup, rep.Sweep.Speedup, runtime.NumCPU())
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -25,14 +27,32 @@ func main() {
 	warmup := flag.Int("warmup", 20, "warm-up iterations per point")
 	maxSize := flag.Int("maxsize", 16384, "largest message size in the sweep")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	showMetrics := flag.Bool("metrics", false, "report per-layer metrics after each figure")
 	metricsJSON := flag.Bool("metrics-json", false, "emit the metrics report as JSON")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	o := harness.DefaultOptions()
 	o.Iters = *iters
 	o.Warmup = *warmup
 	o.Seed = *seed
+	o.Workers = *parallel
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}
@@ -57,6 +77,24 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "gmbench: unknown figure %d (want 3 or 5)\n", *fig)
 		os.Exit(2)
+	}
+}
+
+// writeMemProfile dumps a post-GC heap profile, so the retained-memory
+// picture is not dominated by dead sweep clusters.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gmbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "gmbench: %v\n", err)
 	}
 }
 

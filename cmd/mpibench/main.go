@@ -17,12 +17,14 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render ASCII factor curves after the tables")
 	warmup := flag.Int("warmup", 20, "warm-up iterations per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.Iters = *iters
 	o.Warmup = *warmup
 	o.Seed = *seed
+	o.Workers = *parallel
 
 	fmt.Println("Figure 4: MPI-level broadcast, NIC-based (NB) vs host-based (HB)")
 	curves := map[string]harness.Series{}

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -37,11 +39,27 @@ func record(name, claim string, passed bool, format string, args ...any) {
 func main() {
 	full := flag.Bool("full", false, "full iteration counts (slower)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	showMetrics := flag.Bool("metrics", false, "print a per-layer metrics breakdown after each figure")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	o := harness.DefaultOptions()
 	o.Seed = *seed
+	o.Workers = *parallel
 	if !*full {
 		o.Iters = 30
 		o.SkewIters = 60
@@ -74,11 +92,34 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%d/%d qualitative claims reproduced", len(checks)-failed, len(checks))
+	// Flush profiles by hand: os.Exit skips deferred functions.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	writeMemProfile(*memprofile)
 	if failed > 0 {
 		fmt.Printf(" (%d FAILED)\n", failed)
 		os.Exit(1)
 	}
 	fmt.Println()
+}
+
+// writeMemProfile dumps a post-GC heap profile, so the retained-memory
+// picture is not dominated by dead sweep clusters.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+	}
 }
 
 func fig3(o harness.Options) {

@@ -20,6 +20,7 @@ func main() {
 	size := flag.Int("size", 64, "message size in bytes")
 	nodesFlag := flag.String("nodes", "8,16,32,64,128", "comma-separated system sizes")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	var nodeCounts []int
@@ -35,6 +36,7 @@ func main() {
 	o := harness.DefaultOptions()
 	o.Iters = *iters
 	o.Seed = *seed
+	o.Workers = *parallel
 	fmt.Printf("Scalability: time until the last of N hosts holds a %d-byte broadcast\n", *size)
 	harness.WriteScale(os.Stdout, "-- NIC-based (NB) vs host-based (HB) --",
 		o.ScaleSweep(nodeCounts, *size))

@@ -23,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	large := flag.Bool("large", false, "figure 6: also sweep 2/4/8 KB messages (technical-report companion)")
 	doPlot := flag.Bool("plot", false, "render ASCII curves after the tables")
+	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
 	showMetrics := flag.Bool("metrics", false, "report per-layer metrics after each figure")
 	metricsJSON := flag.Bool("metrics-json", false, "emit the metrics report as JSON")
 	flag.Parse()
@@ -31,6 +32,7 @@ func main() {
 	o := harness.DefaultOptions()
 	o.SkewIters = *iters
 	o.Seed = *seed
+	o.Workers = *parallel
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}

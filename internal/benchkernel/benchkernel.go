@@ -1,0 +1,170 @@
+// Package benchkernel holds the event-kernel and sweep benchmark bodies
+// shared between `go test -bench` wrappers (internal/sim, the repo root)
+// and cmd/benchjson, which runs them via testing.Benchmark and records the
+// results in BENCH_sim.json. Keeping one body per workload means the
+// committed baseline and the test benchmarks can never drift apart.
+package benchkernel
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/sim/legacy"
+)
+
+// window is the number of outstanding events the scheduling kernels keep
+// in the heap — deep enough that sift costs are realistic, small enough
+// that the workload stays cache-resident.
+const window = 64
+
+// Schedule measures steady-state schedule+fire throughput on the live
+// kernel: every iteration fires the earliest of window outstanding events
+// and schedules a replacement, so the arena free list is exercised on
+// every operation.
+func Schedule(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < window; i++ {
+		eng.After(sim.Time(i+1), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+		eng.After(window, fn)
+	}
+}
+
+// LegacySchedule is Schedule on the seed's container/heap engine.
+func LegacySchedule(b *testing.B) {
+	b.ReportAllocs()
+	eng := legacy.NewEngine()
+	fn := func() {}
+	for i := 0; i < window; i++ {
+		eng.After(sim.Time(i+1), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+		eng.After(window, fn)
+	}
+}
+
+// CancelReschedule measures the retransmit-timer pattern: arm, push the
+// deadline out, give up, and advance — the lifecycle every reliable-send
+// path puts its timer through.
+func CancelReschedule(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	tm := eng.NewTimer(func() {})
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(eng.Now() + 100)
+		tm.Reset(eng.Now() + 200)
+		tm.Stop()
+		eng.After(1, fn)
+		eng.Step()
+	}
+}
+
+// LegacyCancelReschedule is CancelReschedule on the seed's engine, which
+// had no reusable timer handle: each arm allocates a fresh event.
+func LegacyCancelReschedule(b *testing.B) {
+	b.ReportAllocs()
+	eng := legacy.NewEngine()
+	cb := func() {}
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := eng.After(100, cb)
+		eng.Reschedule(ev, eng.Now()+200)
+		eng.Cancel(ev)
+		eng.After(1, fn)
+		eng.Step()
+	}
+}
+
+// stormHosts and stormSize shape the packet-heavy fabric benchmark.
+const (
+	stormHosts = 8
+	stormSize  = 256
+)
+
+// PacketStorm measures the fabric hot path end to end: every host on one
+// crossbar sends a packet to its neighbor and the engine drains the
+// resulting hop and delivery events. One iteration is one such wave
+// (stormHosts packets, two link traversals each).
+func PacketStorm(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	net := myrinet.NewSingleSwitch(eng, stormHosts, myrinet.DefaultLinkParams())
+	delivered := 0
+	for i := 0; i < stormHosts; i++ {
+		net.Iface(myrinet.NodeID(i)).Deliver = func(*myrinet.Packet) { delivered++ }
+	}
+	pkts := make([]*myrinet.Packet, stormHosts)
+	for i := range pkts {
+		pkts[i] = &myrinet.Packet{
+			Src:  myrinet.NodeID(i),
+			Dst:  myrinet.NodeID((i + 1) % stormHosts),
+			Size: stormSize,
+		}
+	}
+	wave := func() {
+		for _, p := range pkts {
+			net.Iface(p.Src).Inject(p)
+		}
+		eng.Run()
+	}
+	wave() // warm the route cache, arena, and transit pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wave()
+	}
+	if delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}
+
+// sweepOptions returns the reduced-size options the sweep benchmarks use:
+// large enough to dominate goroutine fan-out costs, small enough to run
+// in CI.
+func sweepOptions(workers int) harness.Options {
+	o := harness.DefaultOptions()
+	o.Warmup = 2
+	o.Iters = 8
+	o.SkewIters = 8
+	o.Workers = workers
+	return o
+}
+
+// sweepPoints is the message-size axis the sweep benchmarks measure.
+func sweepPoints() []int { return harness.MessageSizes(4096) }
+
+// SweepSerial runs the Figure 5 GM-level sweep with the parallel runner
+// forced serial.
+func SweepSerial(b *testing.B) {
+	o := sweepOptions(1)
+	sizes := sweepPoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := o.GMSweep(8, sizes); len(s) != len(sizes) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// SweepParallel runs the same sweep fanned across GOMAXPROCS workers.
+func SweepParallel(b *testing.B) {
+	o := sweepOptions(0)
+	sizes := sweepPoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := o.GMSweep(8, sizes); len(s) != len(sizes) {
+			b.Fatal("short sweep")
+		}
+	}
+}

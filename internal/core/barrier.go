@@ -38,7 +38,7 @@ type barrierGroup struct {
 	rounds int
 
 	recvd  map[barrierKey]bool
-	timers map[barrierKey]*sim.Event // stop-and-wait; cancelled only by acks
+	timers map[barrierKey]*sim.Timer // stop-and-wait; stopped only by acks
 }
 
 func (b *barrierGroup) peerOut(r int) myrinet.NodeID {
@@ -73,7 +73,7 @@ func (e *Ext) InstallBarrier(id gm.GroupID, members []myrinet.NodeID, port gm.Po
 				ext: e, id: id, members: ms, myIdx: myIdx, port: port,
 				rounds: rounds,
 				recvd:  make(map[barrierKey]bool),
-				timers: make(map[barrierKey]*sim.Event),
+				timers: make(map[barrierKey]*sim.Timer),
 			}
 			if fn != nil {
 				fn()
@@ -147,14 +147,16 @@ func (b *barrierGroup) sendRound(r int) {
 		Offset:  r,
 	}
 	var attempt func()
+	tm := nic.Engine().NewTimer(func() {
+		b.ext.m.retransmits.Inc()
+		attempt()
+	})
 	attempt = func() {
 		nic.Inject(fr.Clone(), nil)
 		b.ext.m.barrierSent.Inc()
-		b.timers[k] = nic.Engine().After(nic.Cfg.RetransmitTimeout, func() {
-			b.ext.m.retransmits.Inc()
-			attempt()
-		})
+		tm.ResetAfter(nic.Cfg.RetransmitTimeout)
 	}
+	b.timers[k] = tm
 	attempt()
 }
 
@@ -229,7 +231,7 @@ func (e *Ext) rxBarrierAck(fr *gm.Frame) {
 		}
 		k := barrierKey{fr.Seq, fr.Offset}
 		if t, ok := b.timers[k]; ok {
-			nic.Engine().Cancel(t)
+			t.Stop()
 			delete(b.timers, k)
 		}
 	})

@@ -119,7 +119,7 @@ func (e *Ext) RemoveGroup(id gm.GroupID, fn func()) {
 				panic(fmt.Errorf("%w: removing group %d at %v with %d outstanding records",
 					ErrGroupBusy, id, e.nic.ID(), len(g.records)))
 			}
-			e.nic.Engine().Cancel(g.timer)
+			g.timer.Stop()
 			delete(e.groups, id)
 			if fn != nil {
 				fn()

@@ -58,7 +58,8 @@ type group struct {
 	records []*mcastRecord
 	queue   []*mcastToken // root only: multicast send tokens by group
 	staging int
-	timer   *sim.Event
+	// timer is the reusable group retransmit timer (see conn.timer in gm).
+	timer *sim.Timer
 
 	// lastFast is the last nack-triggered retransmission, for holdoff.
 	lastFast sim.Time
@@ -83,7 +84,7 @@ type group struct {
 	redSeq    uint32
 	red       map[uint32]*reduceState
 	redSeen   map[redDupKey]bool
-	redTimers map[barrierKey]*sim.Event
+	redTimers map[barrierKey]*sim.Timer
 }
 
 func (g *group) isRoot() bool { return g.root == g.ext.nic.ID() }
@@ -103,8 +104,9 @@ func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID)
 		acked:     make(map[myrinet.NodeID]uint32),
 		red:       make(map[uint32]*reduceState),
 		redSeen:   make(map[redDupKey]bool),
-		redTimers: make(map[barrierKey]*sim.Event),
+		redTimers: make(map[barrierKey]*sim.Timer),
 	}
+	g.timer = ext.nic.Engine().NewTimer(g.onTimeout)
 	if p, ok := tr.Parent(self); ok {
 		g.parent = p
 	} else {
@@ -371,9 +373,8 @@ func (g *group) retire(r *mcastRecord) {
 // backoff) over group records.
 func (g *group) armTimer() {
 	eng := g.ext.nic.Engine()
-	eng.Cancel(g.timer)
-	g.timer = nil
 	if len(g.records) == 0 {
+		g.timer.Stop()
 		g.backoff = 0
 		return
 	}
@@ -389,7 +390,7 @@ func (g *group) armTimer() {
 	if deadline < eng.Now() {
 		deadline = eng.Now()
 	}
-	g.timer = eng.At(deadline, g.onTimeout)
+	g.timer.Reset(deadline)
 }
 
 // onTimeout retransmits, per child, every outstanding packet that child
@@ -398,7 +399,6 @@ func (g *group) armTimer() {
 // not acknowledged". Data comes back over SDMA from the host replica; the
 // NIC receive buffer was released long ago.
 func (g *group) onTimeout() {
-	g.timer = nil
 	if len(g.records) == 0 {
 		return
 	}

@@ -161,14 +161,16 @@ func (e *Ext) sendReduce(g *group, seq uint32, st *reduceState) {
 	}
 	key := barrierKey{seq, -1} // reduce shares the timer map keyspace via round -1
 	var attempt func()
+	tm := nic.Engine().NewTimer(func() {
+		e.m.retransmits.Inc()
+		attempt()
+	})
 	attempt = func() {
 		nic.Inject(fr.Clone(), nil)
 		e.m.reduceSent.Inc()
-		g.redTimers[key] = nic.Engine().After(nic.Cfg.RetransmitTimeout, func() {
-			e.m.retransmits.Inc()
-			attempt()
-		})
+		tm.ResetAfter(nic.Cfg.RetransmitTimeout)
 	}
+	g.redTimers[key] = tm
 	attempt()
 }
 
@@ -215,7 +217,7 @@ func (e *Ext) rxReduceAck(fr *gm.Frame) {
 		}
 		key := barrierKey{fr.Seq, -1}
 		if t, ok := g.redTimers[key]; ok {
-			nic.Engine().Cancel(t)
+			t.Stop()
 			delete(g.redTimers, key)
 		}
 	})

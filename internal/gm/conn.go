@@ -54,7 +54,9 @@ type conn struct {
 	queue   []*sendToken
 	records []*sendRecord // ordered by seq
 	staging int           // packets between staging and record creation
-	timer   *sim.Event
+	// timer is the reusable retransmit timer; arming it allocates nothing,
+	// which matters because every ack progression re-arms it.
+	timer *sim.Timer
 	// lastFast is the last nack-triggered retransmission, for holdoff.
 	lastFast sim.Time
 	// backoff counts consecutive timeouts; the retransmit interval doubles
@@ -66,7 +68,9 @@ type conn struct {
 }
 
 func newConn(n *NIC, k connKey) *conn {
-	return &conn{nic: n, key: k, nextSeq: 1}
+	c := &conn{nic: n, key: k, nextSeq: 1}
+	c.timer = n.Engine().NewTimer(c.onTimeout)
+	return c
 }
 
 // enqueue admits a token and starts the pump.
@@ -180,9 +184,8 @@ func (c *conn) handleAck(ack uint32) {
 // timeouts), or cancels it when none remain.
 func (c *conn) armTimer() {
 	eng := c.nic.Engine()
-	eng.Cancel(c.timer)
-	c.timer = nil
 	if len(c.records) == 0 {
+		c.timer.Stop()
 		c.backoff = 0
 		return
 	}
@@ -190,7 +193,7 @@ func (c *conn) armTimer() {
 	if deadline < eng.Now() {
 		deadline = eng.Now()
 	}
-	c.timer = eng.At(deadline, c.onTimeout)
+	c.timer.Reset(deadline)
 }
 
 // rto reports the current retransmission interval under backoff, using
@@ -236,7 +239,6 @@ func (c *conn) observeRTT(sample sim.Time) {
 // onTimeout performs go-back-N: retransmit the oldest unacknowledged
 // packet and every later one on this connection, in order.
 func (c *conn) onTimeout() {
-	c.timer = nil
 	if len(c.records) == 0 {
 		return
 	}

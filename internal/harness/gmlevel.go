@@ -93,12 +93,11 @@ func (o Options) MultisendHB(ndest, size int) float64 {
 
 // Fig3 sweeps the multisend comparison over message sizes for one
 // destination count, reproducing one curve pair of Figures 3(a)/3(b).
+// Points run in parallel per Options.Workers.
 func (o Options) Fig3(ndest int, sizes []int) Series {
-	var out Series
-	for _, s := range sizes {
-		out = append(out, Point{Size: s, HB: o.MultisendHB(ndest, s), NB: o.MultisendNB(ndest, s)})
-	}
-	return out
+	return Series(parallelMap(o.workerCount(len(sizes)), sizes, func(_, s int) Point {
+		return Point{Size: s, HB: o.MultisendHB(ndest, s), NB: o.MultisendNB(ndest, s)}
+	}))
 }
 
 // multicastNBOnce measures the NIC-based multicast over the size-specific
@@ -221,14 +220,18 @@ func (o Options) MulticastHB(nodes, size int) float64 {
 	return stats.Max(worst)
 }
 
+// GMSweep runs the GM-level multicast comparison across message sizes for
+// one system size. Points run in parallel per Options.Workers.
+func (o Options) GMSweep(nodes int, sizes []int) Series {
+	return Series(parallelMap(o.workerCount(len(sizes)), sizes, func(_, s int) Point {
+		return Point{Size: s, HB: o.MulticastHB(nodes, s), NB: o.MulticastNB(nodes, s)}
+	}))
+}
+
 // Fig5 sweeps the GM-level multicast comparison over message sizes for one
 // system size, reproducing one curve pair of Figures 5(a)/5(b).
 func (o Options) Fig5(nodes int, sizes []int) Series {
-	var out Series
-	for _, s := range sizes {
-		out = append(out, Point{Size: s, HB: o.MulticastHB(nodes, s), NB: o.MulticastNB(nodes, s)})
-	}
-	return out
+	return o.GMSweep(nodes, sizes)
 }
 
 // UnicastOneWay measures the plain GM one-way latency, used for the

@@ -32,8 +32,15 @@ type Options struct {
 	// tree.
 	NBTree func(cfg *cluster.Config, root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree
 	// Metrics, when non-nil, is wired through every cluster the harness
-	// builds, so a Reporter can diff it between experiments.
+	// builds, so a Reporter can diff it between experiments. Because the
+	// registry is unsynchronized, a non-nil Metrics forces sweeps serial
+	// regardless of Workers.
 	Metrics *metrics.Registry
+	// Workers bounds the goroutines a sweep fans its points across:
+	// 0 means GOMAXPROCS, 1 forces serial. Results are identical either
+	// way — each point is an independent experiment. A Mut closure must
+	// tolerate concurrent calls when Workers != 1.
+	Workers int
 }
 
 // nbTree resolves the NIC-based multicast tree for a run.

@@ -58,22 +58,27 @@ func (o Options) MPIBcast(nodes, size int, useNB bool) float64 {
 	return stats.Max(worst)
 }
 
-// Fig4 sweeps the MPI-level broadcast comparison over message sizes for
-// one system size, reproducing one curve pair of Figures 4(a)/4(b). Sizes
-// are capped at the largest eager message (16,287 bytes), as in the paper.
-func (o Options) Fig4(nodes int, sizes []int) Series {
-	var out Series
-	for _, s := range sizes {
+// MPISweep runs the MPI-level broadcast comparison across message sizes
+// for one system size, capping each size at the largest eager message
+// (16,287 bytes) as the paper does. Points run in parallel per
+// Options.Workers.
+func (o Options) MPISweep(nodes int, sizes []int) Series {
+	return Series(parallelMap(o.workerCount(len(sizes)), sizes, func(_, s int) Point {
 		if s > mpi.EagerMax {
 			s = mpi.EagerMax
 		}
-		out = append(out, Point{
+		return Point{
 			Size: s,
 			HB:   o.MPIBcast(nodes, s, false),
 			NB:   o.MPIBcast(nodes, s, true),
-		})
-	}
-	return out
+		}
+	}))
+}
+
+// Fig4 sweeps the MPI-level broadcast comparison over message sizes for
+// one system size, reproducing one curve pair of Figures 4(a)/4(b).
+func (o Options) Fig4(nodes int, sizes []int) Series {
+	return o.MPISweep(nodes, sizes)
 }
 
 // MPISizes returns the paper's Figure 4 sweep: powers of two up to 8 KB,

@@ -98,17 +98,16 @@ func (o Options) lastDelivery(nodes, size int, nb bool) float64 {
 }
 
 // ScaleSweep compares the schemes across system sizes for one message
-// size, including Clos-routed systems beyond one crossbar.
+// size, including Clos-routed systems beyond one crossbar. Points run in
+// parallel per Options.Workers.
 func (o Options) ScaleSweep(nodeCounts []int, size int) []ScalePoint {
-	var out []ScalePoint
-	for _, n := range nodeCounts {
-		out = append(out, ScalePoint{
+	return parallelMap(o.workerCount(len(nodeCounts)), nodeCounts, func(_, n int) ScalePoint {
+		return ScalePoint{
 			Nodes: n,
 			HB:    o.lastDelivery(n, size, false),
 			NB:    o.lastDelivery(n, size, true),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ScaleNodeCounts is the default sweep: one crossbar (8, 16), two-level

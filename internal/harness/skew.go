@@ -71,18 +71,24 @@ func (o Options) SkewCPUTime(nodes, size int, avgSkewUs float64, useNB bool) flo
 	return totalCPU.Micros() / float64(samples)
 }
 
-// Fig6 sweeps average skew for one message size on a 16-node system,
-// reproducing one curve pair of Figures 6(a)/6(b).
-func (o Options) Fig6(nodes, size int, avgSkewsUs []float64) []SkewPoint {
-	var out []SkewPoint
-	for _, s := range avgSkewsUs {
-		out = append(out, SkewPoint{
+// SkewSweep runs the skewed-broadcast CPU-time comparison across average
+// skews for one system and message size. Points run in parallel per
+// Options.Workers. (The package-level SkewSweep function is the default
+// x-axis for this sweep.)
+func (o Options) SkewSweep(nodes, size int, avgSkewsUs []float64) []SkewPoint {
+	return parallelMap(o.workerCount(len(avgSkewsUs)), avgSkewsUs, func(_ int, s float64) SkewPoint {
+		return SkewPoint{
 			AvgSkewUs: s,
 			HB:        o.SkewCPUTime(nodes, size, s, false),
 			NB:        o.SkewCPUTime(nodes, size, s, true),
-		})
-	}
-	return out
+		}
+	})
+}
+
+// Fig6 sweeps average skew for one message size on a 16-node system,
+// reproducing one curve pair of Figures 6(a)/6(b).
+func (o Options) Fig6(nodes, size int, avgSkewsUs []float64) []SkewPoint {
+	return o.SkewSweep(nodes, size, avgSkewsUs)
 }
 
 // Fig7Point is one bar of Figure 7: the CPU-time improvement factor at a
@@ -94,16 +100,20 @@ type Fig7Point struct {
 }
 
 // Fig7 sweeps system sizes at 400 µs average skew, reproducing Figure 7.
+// The (nodes, size) grid points run in parallel per Options.Workers.
 func (o Options) Fig7(nodeCounts []int, sizes []int) []Fig7Point {
-	var out []Fig7Point
+	var pts []Fig7Point
 	for _, n := range nodeCounts {
 		for _, s := range sizes {
-			hb := o.SkewCPUTime(n, s, 400, false)
-			nb := o.SkewCPUTime(n, s, 400, true)
-			out = append(out, Fig7Point{Nodes: n, Size: s, Factor: hb / nb})
+			pts = append(pts, Fig7Point{Nodes: n, Size: s})
 		}
 	}
-	return out
+	return parallelMap(o.workerCount(len(pts)), pts, func(_ int, p Fig7Point) Fig7Point {
+		hb := o.SkewCPUTime(p.Nodes, p.Size, 400, false)
+		nb := o.SkewCPUTime(p.Nodes, p.Size, 400, true)
+		p.Factor = hb / nb
+		return p
+	})
 }
 
 // SkewSweep returns the paper's Figure 6 x-axis: 0 to 400 µs average skew.

@@ -15,6 +15,12 @@ type BufPool struct {
 	cap     int
 	free    int
 	waiters []bufWaiter
+	// granted holds acquisition callbacks whose buffer has been handed
+	// over but whose grant event has not yet fired; deliverGrant (via the
+	// pre-bound grantFn) pops them FIFO, so a release schedules no
+	// per-grant closure.
+	granted []func(*Buf)
+	grantFn func()
 	// MaxQueued tracks the high-water mark of waiters, a resource
 	// pressure diagnostic.
 	MaxQueued int
@@ -42,7 +48,9 @@ func NewBufPool(eng *sim.Engine, name string, n int) *BufPool {
 	if n < 1 {
 		panic("lanai: buffer pool needs at least one buffer")
 	}
-	return &BufPool{eng: eng, name: name, cap: n, free: n}
+	p := &BufPool{eng: eng, name: name, cap: n, free: n}
+	p.grantFn = p.deliverGrant
+	return p
 }
 
 // Cap reports the pool's size; Free the currently-available count.
@@ -93,9 +101,11 @@ func (b *Buf) Release() {
 	p := b.pool
 	if len(p.waiters) > 0 {
 		w := p.waiters[0]
+		p.waiters[0] = bufWaiter{}
 		p.waiters = p.waiters[1:]
 		p.mStallNs.AddInt(int64(p.eng.Now() - w.since))
-		p.eng.After(0, func() { w.fn(&Buf{pool: p}) })
+		p.granted = append(p.granted, w.fn)
+		p.eng.After(0, p.grantFn)
 		return
 	}
 	p.free++
@@ -103,4 +113,14 @@ func (b *Buf) Release() {
 	if p.free > p.cap {
 		panic("lanai: pool " + p.name + " over capacity")
 	}
+}
+
+// deliverGrant fires one queued grant event: the longest-waiting callback
+// receives its buffer. Grant events and the granted queue are both FIFO,
+// so the front callback always belongs to the event now firing.
+func (p *BufPool) deliverGrant() {
+	fn := p.granted[0]
+	p.granted[0] = nil
+	p.granted = p.granted[1:]
+	fn(&Buf{pool: p})
 }

@@ -80,7 +80,12 @@ type NIC struct {
 	RxDispatch func(*myrinet.Packet)
 
 	hostEvents []any
-	hostWaiter *sim.Waiter
+	// pendingPost stages event records whose RDMA is still in flight;
+	// deliverHostEvent (via the pre-bound postFn) pops them FIFO, so
+	// posting an event schedules no per-event closure.
+	pendingPost []any
+	postFn      func()
+	hostWaiter  *sim.Waiter
 
 	// Cached instruments, set by SetMetrics; nil (no-op) otherwise.
 	reg           *metrics.Registry
@@ -107,6 +112,7 @@ func New(eng *sim.Engine, ifc *myrinet.Iface, p Params) *NIC {
 		RecvBufs:   NewBufPool(eng, fmt.Sprintf("nic%d.recvbufs", ifc.ID()), p.RecvBuffers),
 		hostWaiter: sim.NewWaiter(eng),
 	}
+	n.postFn = n.deliverHostEvent
 	ifc.Deliver = func(pkt *myrinet.Packet) {
 		if n.RxDispatch == nil {
 			panic(fmt.Sprintf("lanai: nic %v has no firmware attached", n.ID))
@@ -174,12 +180,22 @@ func (n *NIC) HostPost(fn func()) {
 // process blocked in WaitHostEvent. The RDMA engine carries the record.
 func (n *NIC) PostHostEvent(ev any) {
 	n.mRDMABusyNs.AddInt(int64(n.P.EventPostCost))
-	n.RDMA.Do(n.P.EventPostCost, func() {
-		n.hostEvents = append(n.hostEvents, ev)
-		n.mHostEvents.Inc()
-		n.mHostQueue.Set(int64(len(n.hostEvents)))
-		n.hostWaiter.WakeAll()
-	})
+	n.pendingPost = append(n.pendingPost, ev)
+	n.RDMA.Do(n.P.EventPostCost, n.postFn)
+}
+
+// deliverHostEvent completes one event-record DMA: the oldest staged
+// record becomes visible to the host. The RDMA facility is FIFO and every
+// record costs the same, so completions fire in posting order and the
+// front of pendingPost is always the record whose DMA just finished.
+func (n *NIC) deliverHostEvent() {
+	ev := n.pendingPost[0]
+	n.pendingPost[0] = nil
+	n.pendingPost = n.pendingPost[1:]
+	n.hostEvents = append(n.hostEvents, ev)
+	n.mHostEvents.Inc()
+	n.mHostQueue.Set(int64(len(n.hostEvents)))
+	n.hostWaiter.WakeAll()
 }
 
 // PollHostEvent removes and returns the oldest pending host event.

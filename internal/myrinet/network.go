@@ -19,6 +19,12 @@ type Network struct {
 	routeFn    func(src, dst NodeID) []*Link
 	routeCache map[[2]NodeID][]*Link
 
+	// transitFree recycles per-packet traversal state so the hot path —
+	// one event per link hop plus the final delivery — schedules nothing
+	// but a pre-bound callback: no closure, no event, and no traversal
+	// state is allocated per hop in steady state.
+	transitFree []*transit
+
 	// LossRate is the per-link probability that a packet is corrupted and
 	// discarded (models nonzero bit-error rates). Requires SetRNG.
 	LossRate float64
@@ -106,51 +112,99 @@ func (ifc *Iface) Inject(p *Packet) {
 		panic("myrinet: packet with nonpositive size")
 	}
 	n.mInjected.Inc()
-	route := n.Route(p.Src, p.Dst)
-	n.hop(p, route, 0, n.eng.Now())
+	tr := n.newTransit()
+	tr.p = p
+	tr.route = n.Route(p.Src, p.Dst)
+	tr.i = 0
+	tr.headAt = n.eng.Now()
+	tr.delivering = false
+	n.eng.At(tr.headAt, tr.step)
 }
 
-// hop advances p onto route[i], whose head arrives at headAt. Virtual
-// cut-through: the head proceeds to the next hop after the link's latency
-// while the tail is still serializing behind it.
-func (n *Network) hop(p *Packet, route []*Link, i int, headAt sim.Time) {
-	l := route[i]
-	ser := l.params.SerializationTime(p.Size)
-	n.eng.At(headAt, func() {
-		start := l.fac.Reserve(ser)
-		if stall := start - headAt; stall > 0 {
-			l.mStallNs.AddInt(int64(stall))
-			l.mContended.Inc()
-		}
-		l.mTxBytes.Add(uint64(p.Size))
-		n.mLinkBusyNs.AddInt(int64(ser))
-		if i == 0 && p.TxDone != nil {
-			// The source NIC's transmit engine finishes with the packet
-			// buffer when the tail clears the injection link.
-			n.eng.At(start+ser, p.TxDone)
-		}
-		if n.dropped(p, l) {
-			l.Drops++
-			l.mDrops.Inc()
-			n.mDropped.Inc()
-			return
-		}
-		headOut := start + l.params.Latency
-		if i+1 < len(route) {
-			n.hop(p, route, i+1, headOut)
-			return
-		}
+// transit is the traversal state of one packet in flight: which hop it is
+// on and when its head arrives there. Exactly one event is outstanding per
+// transit at any instant, so the state advances in place and the same
+// pre-bound step callback serves every hop.
+type transit struct {
+	net        *Network
+	p          *Packet
+	route      []*Link
+	i          int
+	headAt     sim.Time
+	delivering bool   // final store-and-forward delivery scheduled
+	step       func() // run, bound once when the transit is first created
+}
+
+// newTransit recycles a traversal record or creates one (binding its step
+// callback exactly once).
+func (n *Network) newTransit() *transit {
+	if k := len(n.transitFree); k > 0 {
+		tr := n.transitFree[k-1]
+		n.transitFree[k-1] = nil
+		n.transitFree = n.transitFree[:k-1]
+		return tr
+	}
+	tr := &transit{net: n}
+	tr.step = tr.run
+	return tr
+}
+
+// release drops the packet references and returns tr to the pool.
+func (n *Network) release(tr *transit) {
+	tr.p = nil
+	tr.route = nil
+	n.transitFree = append(n.transitFree, tr)
+}
+
+// run advances the packet onto route[i] (virtual cut-through: the head
+// proceeds to the next hop after the link's latency while the tail is
+// still serializing behind it), or — in the delivering phase — hands the
+// fully-arrived packet to the destination NIC.
+func (tr *transit) run() {
+	n := tr.net
+	if tr.delivering {
 		// Final hop: the destination NIC needs the whole packet (its
-		// receive DMA is store-and-forward), so deliver at tail arrival.
-		n.eng.At(headOut+ser, func() {
-			n.mDelivered.Inc()
-			dst := n.hosts[p.Dst]
-			if dst.Deliver == nil {
-				panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))
-			}
-			dst.Deliver(p)
-		})
-	})
+		// receive DMA is store-and-forward), so this fires at tail arrival.
+		p := tr.p
+		n.release(tr)
+		n.mDelivered.Inc()
+		dst := n.hosts[p.Dst]
+		if dst.Deliver == nil {
+			panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))
+		}
+		dst.Deliver(p)
+		return
+	}
+	p, l := tr.p, tr.route[tr.i]
+	ser := l.params.SerializationTime(p.Size)
+	start := l.fac.Reserve(ser)
+	if stall := start - tr.headAt; stall > 0 {
+		l.mStallNs.AddInt(int64(stall))
+		l.mContended.Inc()
+	}
+	l.mTxBytes.Add(uint64(p.Size))
+	n.mLinkBusyNs.AddInt(int64(ser))
+	if tr.i == 0 && p.TxDone != nil {
+		// The source NIC's transmit engine finishes with the packet
+		// buffer when the tail clears the injection link.
+		n.eng.At(start+ser, p.TxDone)
+	}
+	if n.dropped(p, l) {
+		l.Drops++
+		l.mDrops.Inc()
+		n.mDropped.Inc()
+		n.release(tr)
+		return
+	}
+	headOut := start + l.params.Latency
+	if tr.i+1 < len(tr.route) {
+		tr.i++
+		tr.headAt = headOut
+		n.eng.At(headOut, tr.step)
+		return
+	}
+	tr.delivering = true
+	n.eng.At(headOut+ser, tr.step)
 }
 
 func (n *Network) dropped(p *Packet, l *Link) bool {

@@ -1,0 +1,19 @@
+package sim_test
+
+// Event-kernel micro-benchmarks. The bodies live in internal/benchkernel
+// so cmd/benchjson records the same workloads into BENCH_sim.json; the
+// Legacy variants run the seed's container/heap engine for comparison.
+//
+//	go test ./internal/sim -bench . -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/benchkernel"
+)
+
+func BenchmarkSchedule(b *testing.B)               { benchkernel.Schedule(b) }
+func BenchmarkLegacySchedule(b *testing.B)         { benchkernel.LegacySchedule(b) }
+func BenchmarkCancelReschedule(b *testing.B)       { benchkernel.CancelReschedule(b) }
+func BenchmarkLegacyCancelReschedule(b *testing.B) { benchkernel.LegacyCancelReschedule(b) }
+func BenchmarkPacketStorm(b *testing.B)            { benchkernel.PacketStorm(b) }

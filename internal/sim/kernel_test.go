@@ -1,0 +1,172 @@
+package sim_test
+
+// Edge cases of the arena/free-list event kernel: handle invalidation
+// across slot reuse, same-timestamp ordering, cancellation from inside
+// firing callbacks, and the zero-allocation steady state the kernel
+// promises.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCancelThenReschedulePanics(t *testing.T) {
+	e := sim.NewEngine()
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule after Cancel did not panic")
+		}
+	}()
+	e.Reschedule(ev, 20)
+}
+
+func TestCancelFromInsideFiringCallback(t *testing.T) {
+	// An event firing at t=5 cancels another event scheduled for the same
+	// instant; the cancelled event must not fire even though it was
+	// already due when the cancellation ran.
+	e := sim.NewEngine()
+	fired := false
+	var victim *sim.Event
+	e.At(5, func() { e.Cancel(victim) })
+	victim = e.At(5, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled by a same-timestamp callback still fired")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", e.Now())
+	}
+}
+
+func TestFIFOAcrossFreeListReuse(t *testing.T) {
+	// Fire a batch so their arena slots land on the free list (which
+	// recycles LIFO), then schedule a second batch at one shared
+	// timestamp. Insertion order must win even though the slots are being
+	// reused in reverse.
+	e := sim.NewEngine()
+	for i := 0; i < 10; i++ {
+		e.At(sim.Time(i), func() {})
+	}
+	e.Run()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	if len(order) != 10 {
+		t.Fatalf("fired %d of 10 events", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestTimerResetInsideOwnCallback(t *testing.T) {
+	// A timer re-arming itself from its own callback draws a fresh event
+	// incarnation (the fired slot is recycled before the callback runs)
+	// and must keep firing.
+	e := sim.NewEngine()
+	count := 0
+	var tm *sim.Timer
+	tm = e.NewTimer(func() {
+		count++
+		if count < 3 {
+			tm.ResetAfter(10)
+		}
+	})
+	tm.ResetAfter(10)
+	e.Run()
+	if count != 3 {
+		t.Fatalf("self-rearming timer fired %d times, want 3", count)
+	}
+	if tm.Pending() {
+		t.Fatal("settled timer still pending")
+	}
+}
+
+func TestTimerStopAfterFireIgnoresReusedSlot(t *testing.T) {
+	// After a timer fires, its arena slot can be handed to an unrelated
+	// event. The stale timer handle must recognize — via its generation —
+	// that it no longer owns the slot: Stop reports false and must not
+	// cancel the stranger.
+	e := sim.NewEngine()
+	tm := e.NewTimer(func() {})
+	tm.Reset(5)
+	e.Run()
+	strangerFired := false
+	e.At(10, func() { strangerFired = true })
+	if tm.Pending() {
+		t.Fatal("fired timer reports pending")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on a fired timer reported true")
+	}
+	e.Run()
+	if !strangerFired {
+		t.Fatal("stale timer Stop cancelled an unrelated event in its reused slot")
+	}
+}
+
+func TestTimerStopPreventsFire(t *testing.T) {
+	e := sim.NewEngine()
+	fired := false
+	tm := e.NewTimer(func() { fired = true })
+	tm.Reset(5)
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerResetMovesDeadline(t *testing.T) {
+	e := sim.NewEngine()
+	var firedAt sim.Time
+	tm := e.NewTimer(func() { firedAt = e.Now() })
+	tm.Reset(5)
+	tm.Reset(20) // reschedules the pending event in place
+	e.Run()
+	if firedAt != 20 {
+		t.Fatalf("timer fired at %v, want 20", firedAt)
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(sim.Time(i+1), fn)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Step()
+		e.After(64, fn)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestTimerChurnDoesNotAllocate(t *testing.T) {
+	e := sim.NewEngine()
+	tm := e.NewTimer(func() {})
+	tm.Reset(1)
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		tm.ResetAfter(5)
+		tm.ResetAfter(9)
+		tm.Stop()
+		tm.ResetAfter(3)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("timer arm/rearm/stop churn allocates %.1f/op, want 0", avg)
+	}
+}

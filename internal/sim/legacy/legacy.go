@@ -1,0 +1,129 @@
+// Package legacy preserves the seed's event engine — container/heap over
+// interface-boxed entries, one heap node allocated per scheduled event —
+// as a benchmark reference. The live kernel in package sim replaced it
+// with a hand-rolled 4-ary heap over a recycling arena; cmd/benchjson runs
+// the same workloads against both so the allocation and throughput
+// improvement is a recorded number rather than a claim. Nothing outside
+// benchmarks may import this package.
+package legacy
+
+import (
+	"container/heap"
+
+	"repro/internal/sim"
+)
+
+// Event is one scheduled callback.
+type Event struct {
+	when  sim.Time
+	seq   uint64
+	fn    func()
+	index int
+}
+
+// When reports the event's scheduled time.
+func (ev *Event) When() sim.Time { return ev.when }
+
+// eventHeap orders events by (when, seq): time order with FIFO tie-break.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the reference discrete-event engine.
+type Engine struct {
+	now  sim.Time
+	h    eventHeap
+	seq  uint64
+	fire uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.h) }
+
+// At schedules fn at absolute time t.
+func (e *Engine) At(t sim.Time, fn func()) *Event {
+	if t < e.now {
+		panic("legacy: scheduling into the past")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.h, ev)
+	return ev
+}
+
+// After schedules fn at now+d.
+func (e *Engine) After(d sim.Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Cancel removes a pending event; cancelling a fired event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.h, ev.index)
+	ev.fn = nil
+}
+
+// Reschedule moves a pending event to a new time.
+func (e *Engine) Reschedule(ev *Event, t sim.Time) {
+	if ev.index < 0 {
+		panic("legacy: reschedule of non-pending event")
+	}
+	if t < e.now {
+		panic("legacy: rescheduling into the past")
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.h, ev.index)
+}
+
+// Step fires the earliest event; it reports false on an empty heap.
+func (e *Engine) Step() bool {
+	if len(e.h) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.h).(*Event)
+	e.now = ev.when
+	e.fire++
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -19,6 +19,10 @@ type Proc struct {
 	yield  chan struct{}
 	done   bool
 	parked bool // true while the goroutine is blocked awaiting resume
+	// resumeFn is the wake-up callback scheduled every time the process
+	// unparks; allocated once at spawn so Sleep and Waiter wake-ups do not
+	// allocate a closure per park.
+	resumeFn func()
 	// busy accumulates time the process spent "computing" via Compute,
 	// as opposed to parked; used for host-CPU accounting.
 	busy Time
@@ -43,6 +47,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		yield:  make(chan struct{}),
 		parked: true, // awaiting its start resume
 	}
+	p.resumeFn = func() { e.step(p, false) }
 	e.procs[p] = struct{}{}
 	go func() {
 		defer func() {
@@ -65,7 +70,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.At(e.now, func() { e.step(p, false) })
+	e.At(e.now, p.resumeFn)
 	return p
 }
 
@@ -109,7 +114,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.At(p.eng.now+d, func() { p.eng.step(p, false) })
+	p.eng.At(p.eng.now+d, p.resumeFn)
 	p.park()
 }
 

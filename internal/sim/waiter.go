@@ -35,7 +35,7 @@ func (w *Waiter) WakeOne() bool {
 	}
 	p := w.queue[0]
 	w.queue = w.queue[1:]
-	w.eng.At(w.eng.now, func() { w.eng.step(p, false) })
+	w.eng.At(w.eng.now, p.resumeFn)
 	return true
 }
 
