@@ -1,0 +1,296 @@
+// Package chaos is a deterministic, scenario-scripted fault-injection
+// subsystem for the simulated Myrinet/GM stack. It layers named, scheduled
+// fault rules over the fabric's injection hooks (myrinet.DropFn for loss,
+// plus the DupFn duplication and DelayFn reordering hooks) and the NIC's
+// Pause/Resume firmware-reload hook, then drives measurement campaigns
+// that assert a reliability invariant set after every run: each receiver
+// got every byte exactly once and in order, sender buffers were fully
+// released, no lanai packet buffers or retransmit timers leaked, and the
+// fabric's packet accounting balances.
+//
+// Everything is deterministic: rules draw randomness from a private RNG
+// seeded per scenario, so two campaigns with the same seed produce
+// byte-identical results — the property that lets a recovery-path bug be
+// pinned to the exact scenario that exposed it.
+package chaos
+
+import (
+	"repro/internal/gm"
+	"repro/internal/lanai"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// Match selects the packets/link traversals a rule applies to.
+type Match func(p *myrinet.Packet, l *myrinet.Link) bool
+
+// MatchAll applies a rule to every traversal.
+func MatchAll(*myrinet.Packet, *myrinet.Link) bool { return true }
+
+// MatchNode matches packets sourced by or destined to one node — dropping
+// them isolates the node from the fabric.
+func MatchNode(id myrinet.NodeID) Match {
+	return func(p *myrinet.Packet, _ *myrinet.Link) bool {
+		return p.Src == id || p.Dst == id
+	}
+}
+
+// MatchHostLink matches traversals of the links attaching one host (either
+// direction) — a cable fault rather than a node fault.
+func MatchHostLink(id myrinet.NodeID) Match {
+	return func(_ *myrinet.Packet, l *myrinet.Link) bool { return l.Touches(id) }
+}
+
+// MatchSwitch matches traversals of any link touching the named switch
+// vertex (e.g. "xbar0") — a crossbar failure.
+func MatchSwitch(label string) Match {
+	return func(_ *myrinet.Packet, l *myrinet.Link) bool {
+		return l.FromLabel() == label || l.ToLabel() == label
+	}
+}
+
+// MatchData matches data-bearing frames (unicast, directed, multicast),
+// leaving control traffic untouched.
+func MatchData(p *myrinet.Packet, _ *myrinet.Link) bool {
+	fr, ok := p.Payload.(*gm.Frame)
+	if !ok {
+		return false
+	}
+	switch fr.Kind {
+	case gm.KindData, gm.KindDirected, gm.KindMcastData:
+		return true
+	}
+	return false
+}
+
+// MatchAcks matches acknowledgment and nack frames — losing these
+// exercises the duplicate-detection and re-ack paths.
+func MatchAcks(p *myrinet.Packet, _ *myrinet.Link) bool {
+	fr, ok := p.Payload.(*gm.Frame)
+	if !ok {
+		return false
+	}
+	switch fr.Kind {
+	case gm.KindAck, gm.KindMcastAck, gm.KindNack, gm.KindMcastNack:
+		return true
+	}
+	return false
+}
+
+// window is a half-open activity interval [from, until); until zero means
+// no end.
+type window struct{ from, until sim.Time }
+
+func (w window) contains(t sim.Time) bool {
+	return t >= w.from && (w.until == 0 || t < w.until)
+}
+
+// dropRule drops matched traversals inside its window, always (prob 1) or
+// stochastically; step, when non-nil, replaces the probability with a
+// stateful per-traversal decision (Gilbert–Elliott).
+type dropRule struct {
+	name  string
+	win   window
+	match Match
+	prob  float64
+	step  func() bool
+	hits  uint64
+}
+
+// dupRule duplicates every nth matched packet inside its window.
+type dupRule struct {
+	name  string
+	win   window
+	match Match
+	every int
+	seen  int
+	hits  uint64
+}
+
+// delayRule holds back every nth matched packet by delay — bounded
+// reordering: the held packet arrives after later ones overtake it.
+type delayRule struct {
+	name  string
+	win   window
+	match Match
+	every int
+	delay sim.Time
+	seen  int
+	hits  uint64
+}
+
+// Injector owns a fabric's fault-injection hooks. Create one per cluster
+// with NewInjector; add rules before (or during) the run.
+type Injector struct {
+	net *myrinet.Network
+	eng *sim.Engine
+	rng *sim.RNG
+
+	drops  []*dropRule
+	dups   []*dupRule
+	delays []*delayRule
+}
+
+// NewInjector installs a fresh injector as the fabric's DropFn, DupFn, and
+// DelayFn. seed feeds the injector's private randomness (stochastic rules),
+// independent of the cluster's RNG so adding a rule never perturbs
+// unrelated stochastic behaviour.
+func NewInjector(net *myrinet.Network, seed int64) *Injector {
+	inj := &Injector{net: net, eng: net.Engine(), rng: sim.NewRNG(seed)}
+	net.DropFn = inj.drop
+	net.DupFn = inj.dup
+	net.DelayFn = inj.delay
+	return inj
+}
+
+// DropWindow drops every matched traversal inside [from, until).
+func (in *Injector) DropWindow(name string, from, until sim.Time, match Match) {
+	in.drops = append(in.drops, &dropRule{
+		name: name, win: window{from, until}, match: match, prob: 1,
+	})
+}
+
+// DropProb drops matched traversals with the given probability inside
+// [from, until) (until 0 = forever).
+func (in *Injector) DropProb(name string, from, until sim.Time, prob float64, match Match) {
+	in.drops = append(in.drops, &dropRule{
+		name: name, win: window{from, until}, match: match, prob: prob,
+	})
+}
+
+// GilbertElliott installs the classic two-state burst-loss channel over
+// matched traversals: a good state with light loss and a bad state with
+// heavy loss, with per-traversal transition probabilities pGoodBad and
+// pBadGood. One state machine covers all matched links, which correlates
+// losses across a burst the way a real interference event does.
+func (in *Injector) GilbertElliott(name string, pGoodBad, pBadGood, lossGood, lossBad float64, match Match) {
+	bad := false
+	step := func() bool {
+		if bad {
+			if in.rng.Bernoulli(pBadGood) {
+				bad = false
+			}
+		} else if in.rng.Bernoulli(pGoodBad) {
+			bad = true
+		}
+		if bad {
+			return in.rng.Bernoulli(lossBad)
+		}
+		return in.rng.Bernoulli(lossGood)
+	}
+	in.drops = append(in.drops, &dropRule{
+		name: name, win: window{}, match: match, step: step,
+	})
+}
+
+// Duplicate delivers a second copy of every nth matched packet inside
+// [from, until).
+func (in *Injector) Duplicate(name string, from, until sim.Time, every int, match Match) {
+	if every < 1 {
+		every = 1
+	}
+	in.dups = append(in.dups, &dupRule{
+		name: name, win: window{from, until}, match: match, every: every,
+	})
+}
+
+// Reorder holds every nth matched packet back by delay inside [from,
+// until), letting later packets overtake it — bounded reordering.
+func (in *Injector) Reorder(name string, from, until sim.Time, every int, delay sim.Time, match Match) {
+	if every < 1 {
+		every = 1
+	}
+	in.delays = append(in.delays, &delayRule{
+		name: name, win: window{from, until}, match: match, every: every, delay: delay,
+	})
+}
+
+// PauseNIC schedules a firmware reload on hw: the NIC goes deaf at from
+// and recovers at until.
+func (in *Injector) PauseNIC(hw *lanai.NIC, from, until sim.Time) {
+	in.eng.At(from, hw.Pause)
+	in.eng.At(until, hw.Resume)
+}
+
+// RuleHits reports per-rule activation counts in rule-installation order,
+// for the campaign report.
+func (in *Injector) RuleHits() []RuleHit {
+	var out []RuleHit
+	for _, r := range in.drops {
+		out = append(out, RuleHit{Name: r.name, Kind: "drop", Hits: r.hits})
+	}
+	for _, r := range in.dups {
+		out = append(out, RuleHit{Name: r.name, Kind: "dup", Hits: r.hits})
+	}
+	for _, r := range in.delays {
+		out = append(out, RuleHit{Name: r.name, Kind: "delay", Hits: r.hits})
+	}
+	return out
+}
+
+// RuleHit is one rule's activation count.
+type RuleHit struct {
+	Name string
+	Kind string
+	Hits uint64
+}
+
+// drop implements myrinet.DropFn over the installed rules. Stochastic
+// rules consume randomness only when their window and match apply, so
+// adding an inert rule never shifts another rule's stream.
+func (in *Injector) drop(p *myrinet.Packet, l *myrinet.Link) bool {
+	now := in.eng.Now()
+	for _, r := range in.drops {
+		if !r.win.contains(now) || !r.match(p, l) {
+			continue
+		}
+		lost := false
+		switch {
+		case r.step != nil:
+			lost = r.step()
+		case r.prob >= 1:
+			lost = true
+		default:
+			lost = in.rng.Bernoulli(r.prob)
+		}
+		if lost {
+			r.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// dup implements myrinet.DupFn over the installed rules.
+func (in *Injector) dup(p *myrinet.Packet, l *myrinet.Link) bool {
+	now := in.eng.Now()
+	for _, r := range in.dups {
+		if !r.win.contains(now) || !r.match(p, l) {
+			continue
+		}
+		r.seen++
+		if r.seen%r.every == 0 {
+			r.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// delay implements myrinet.DelayFn over the installed rules; concurrent
+// rules add up.
+func (in *Injector) delay(p *myrinet.Packet, l *myrinet.Link) sim.Time {
+	now := in.eng.Now()
+	var total sim.Time
+	for _, r := range in.delays {
+		if !r.win.contains(now) || !r.match(p, l) {
+			continue
+		}
+		r.seen++
+		if r.seen%r.every == 0 {
+			r.hits++
+			total += r.delay
+		}
+	}
+	return total
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import "repro/internal/sim"
+
+// The scenario library. Fault windows are placed over the first couple of
+// milliseconds because the default campaign workload starts streaming at
+// t=0 and finishes within about a millisecond when nothing goes wrong —
+// every window below overlaps live traffic. All windows close long before
+// the run deadline, so a correct protocol always has room to recover; a
+// run that still misses the deadline has a recovery bug, not a tight
+// schedule.
+
+// Library returns the named scenario set, in fixed order. Campaigns run
+// all of them unless filtered.
+func Library() []Scenario {
+	return []Scenario{
+		{
+			Name: "root-link-outage",
+			Desc: "root's host link dark for 1ms; every packet and ack in transit dies",
+			Inject: func(f *Fault) {
+				f.Inj.DropWindow("root-link", 300*sim.Microsecond, 1300*sim.Microsecond,
+					MatchHostLink(f.Tree.Root))
+			},
+		},
+		{
+			Name: "interior-kill",
+			Desc: "interior forwarding node isolated for 1.2ms; its whole subtree starves",
+			Inject: func(f *Fault) {
+				f.Inj.DropWindow("interior-node", 300*sim.Microsecond, 1500*sim.Microsecond,
+					MatchNode(f.InteriorNode()))
+			},
+		},
+		{
+			Name: "switch-outage",
+			Desc: "crossbar xbar0 black for 800µs — a full-fabric blackout on single-switch clusters",
+			Inject: func(f *Fault) {
+				f.Inj.DropWindow("xbar0", 400*sim.Microsecond, 1200*sim.Microsecond,
+					MatchSwitch("xbar0"))
+			},
+		},
+		{
+			Name: "burst-loss",
+			Desc: "Gilbert–Elliott bursty channel on all links (fixed-timeout recovery)",
+			Inject: func(f *Fault) {
+				f.Inj.GilbertElliott("ge-all", 0.02, 0.25, 0.001, 0.5, MatchAll)
+			},
+		},
+		{
+			Name:     "burst-loss-nacks",
+			Desc:     "same bursty channel with nack fast recovery and adaptive RTO",
+			Nacks:    true,
+			Adaptive: true,
+			Inject: func(f *Fault) {
+				f.Inj.GilbertElliott("ge-all", 0.02, 0.25, 0.001, 0.5, MatchAll)
+			},
+		},
+		{
+			Name: "dup-storm",
+			Desc: "every 3rd packet of any kind delivered twice for the whole run",
+			Inject: func(f *Fault) {
+				f.Inj.Duplicate("dup3", 0, 0, 3, MatchAll)
+			},
+		},
+		{
+			Name:  "reorder",
+			Desc:  "every 5th data packet held back 25µs, overtaken by its successors",
+			Nacks: true,
+			Inject: func(f *Fault) {
+				f.Inj.Reorder("hold5", 0, 0, 5, 25*sim.Microsecond, MatchData)
+			},
+		},
+		{
+			Name: "leaf-nic-pause",
+			Desc: "a leaf NIC reloads firmware for 1.2ms, discarding all arrivals",
+			Inject: func(f *Fault) {
+				leaf := f.LeafNode()
+				f.Inj.PauseNIC(f.Cluster.Nodes[leaf].HW, 300*sim.Microsecond, 1500*sim.Microsecond)
+			},
+		},
+		{
+			Name: "root-nic-pause",
+			Desc: "the root NIC goes deaf for 900µs; every ack in flight is discarded",
+			Inject: func(f *Fault) {
+				f.Inj.PauseNIC(f.Cluster.Nodes[f.Tree.Root].HW, 300*sim.Microsecond, 1200*sim.Microsecond)
+			},
+		},
+		{
+			Name: "ack-loss",
+			Desc: "all acknowledgment and nack frames dropped for 1.2ms; data flows untouched",
+			Inject: func(f *Fault) {
+				f.Inj.DropWindow("acks", 300*sim.Microsecond, 1500*sim.Microsecond, MatchAcks)
+			},
+		},
+		{
+			Name:  "cascade",
+			Desc:  "interior node isolated while the fabric duplicates and reorders traffic",
+			Nacks: true,
+			Inject: func(f *Fault) {
+				f.Inj.DropWindow("interior-node", 400*sim.Microsecond, 1100*sim.Microsecond,
+					MatchNode(f.InteriorNode()))
+				f.Inj.Duplicate("dup7", 0, 0, 7, MatchAll)
+				f.Inj.Reorder("hold9", 0, 0, 9, 15*sim.Microsecond, MatchData)
+			},
+		},
+	}
+}
+
+// Find returns the library scenario with the given name.
+func Find(name string) (Scenario, bool) {
+	for _, sc := range Library() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

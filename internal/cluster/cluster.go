@@ -125,7 +125,9 @@ func build(cfg *Config) *Cluster {
 	net := myrinet.AutoTopology(eng, cfg.Nodes, cfg.Link)
 	rng := sim.NewRNG(cfg.Seed)
 	net.SetRNG(rng)
-	net.LossRate = cfg.LossRate
+	if err := net.SetLossRate(cfg.LossRate); err != nil {
+		panic(err) // errors.Is-testable sentinel (ErrBadLossRate)
+	}
 	net.SetMetrics(cfg.Metrics)
 	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, RNG: rng}
 	for i := 0; i < cfg.Nodes; i++ {

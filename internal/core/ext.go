@@ -70,13 +70,26 @@ func (e *Ext) GroupOutstanding(id gm.GroupID) int {
 }
 
 // OutstandingRecords reports unretired multicast send records across all
-// groups — zero once every child of every packet has acknowledged.
+// groups, plus packets still staging toward a record — zero once every
+// child of every packet has acknowledged.
 func (e *Ext) OutstandingRecords() int {
 	n := 0
 	for _, g := range e.groups {
-		n += len(g.records)
+		n += len(g.records) + g.staging
 	}
 	return n
+}
+
+// PendingGroupTimers reports how many group retransmit timers are armed —
+// nonzero after quiescence means a leaked timer.
+func (e *Ext) PendingGroupTimers() int {
+	armed := 0
+	for _, g := range e.groups {
+		if g.timer.Pending() {
+			armed++
+		}
+	}
+	return armed
 }
 
 // InstallGroup preposts one group's tree information into the NIC group
@@ -178,11 +191,11 @@ func (e *Ext) rxData(fr *gm.Frame) {
 			return
 		}
 		switch {
-		case fr.Seq < g.recvSeq:
+		case gm.SeqBefore(fr.Seq, g.recvSeq):
 			e.m.duplicates.Inc()
 			e.ackParent(g, g.recvSeq-1)
 			buf.Release()
-		case fr.Seq > g.recvSeq:
+		case gm.SeqAfter(fr.Seq, g.recvSeq):
 			e.m.oooDrops.Inc()
 			if nic.Cfg.EnableNacks {
 				e.nackParent(g, g.recvSeq-1)

@@ -61,8 +61,11 @@ type group struct {
 	// timer is the reusable group retransmit timer (see conn.timer in gm).
 	timer *sim.Timer
 
-	// lastFast is the last nack-triggered retransmission, for holdoff.
-	lastFast sim.Time
+	// lastFast is when the last nack-triggered retransmission fired;
+	// fastArmed distinguishes "never fired" from "fired at sim time 0"
+	// (a bare zero-check would let a t=0 nack burst defeat the holdoff).
+	lastFast  sim.Time
+	fastArmed bool
 	// backoff counts consecutive timeouts; the retransmit interval doubles
 	// with each until the configured cap, resetting on ack progress.
 	backoff int
@@ -312,7 +315,7 @@ func (g *group) recordSent(fr *gm.Frame, t *mcastToken) {
 func (g *group) pendingChildren(seq uint32) map[myrinet.NodeID]bool {
 	pending := make(map[myrinet.NodeID]bool, len(g.children))
 	for _, c := range g.children {
-		if g.acked[c] < seq {
+		if gm.SeqBefore(g.acked[c], seq) {
 			pending[c] = true
 		}
 	}
@@ -320,12 +323,14 @@ func (g *group) pendingChildren(seq uint32) map[myrinet.NodeID]bool {
 }
 
 // handleAck processes a cumulative group acknowledgment from one child.
+// Sequence comparisons use serial-number arithmetic so long-lived groups
+// survive the uint32 wrap.
 func (g *group) handleAck(child myrinet.NodeID, ack uint32) {
-	if prev := g.acked[child]; ack > prev {
+	if prev := g.acked[child]; gm.SeqAfter(ack, prev) {
 		g.acked[child] = ack
 	}
 	for _, r := range g.records {
-		if r.seq <= ack {
+		if gm.SeqLEQ(r.seq, ack) {
 			delete(r.pending, child)
 		}
 	}
@@ -444,9 +449,10 @@ func (g *group) fastRetransmit() {
 	if len(g.records) == 0 {
 		return
 	}
-	if g.lastFast != 0 && now-g.lastFast < g.ext.nic.Cfg.NackHoldoff {
+	if g.fastArmed && now-g.lastFast < g.ext.nic.Cfg.NackHoldoff {
 		return
 	}
+	g.fastArmed = true
 	g.lastFast = now
 	g.onTimeout()
 }

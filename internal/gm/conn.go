@@ -57,8 +57,11 @@ type conn struct {
 	// timer is the reusable retransmit timer; arming it allocates nothing,
 	// which matters because every ack progression re-arms it.
 	timer *sim.Timer
-	// lastFast is the last nack-triggered retransmission, for holdoff.
-	lastFast sim.Time
+	// lastFast is when the last nack-triggered retransmission fired;
+	// fastArmed distinguishes "never fired" from "fired at sim time 0"
+	// (a bare zero-check would let a t=0 nack burst defeat the holdoff).
+	lastFast  sim.Time
+	fastArmed bool
 	// backoff counts consecutive timeouts; the retransmit interval doubles
 	// with each until the configured cap, and resets on ack progress.
 	backoff int
@@ -157,7 +160,7 @@ func (c *conn) handleAck(ack uint32) {
 	now := c.nic.Engine().Now()
 	retired := 0
 	for _, r := range c.records {
-		if r.seq > ack {
+		if SeqAfter(r.seq, ack) {
 			break
 		}
 		if c.nic.Cfg.AdaptiveRTO && !r.retransmitted {
@@ -283,9 +286,10 @@ func (c *conn) fastRetransmit() {
 	if len(c.records) == 0 {
 		return
 	}
-	if c.lastFast != 0 && now-c.lastFast < c.nic.Cfg.NackHoldoff {
+	if c.fastArmed && now-c.lastFast < c.nic.Cfg.NackHoldoff {
 		return
 	}
+	c.fastArmed = true
 	c.lastFast = now
 	c.onTimeout()
 }

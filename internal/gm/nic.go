@@ -116,6 +116,29 @@ func (n *NIC) Port(id PortID) *Port {
 	return p
 }
 
+// OutstandingRecords reports unacknowledged send records summed over every
+// sender-side connection — zero once all transmitted packets are acked.
+// Invariant checkers use it to prove recovery actually completed.
+func (n *NIC) OutstandingRecords() int {
+	total := 0
+	for _, c := range n.conns {
+		total += len(c.records) + c.staging
+	}
+	return total
+}
+
+// PendingRetransmitTimers reports how many connection retransmit timers are
+// armed — nonzero after quiescence means a leaked timer.
+func (n *NIC) PendingRetransmitTimers() int {
+	armed := 0
+	for _, c := range n.conns {
+		if c.timer.Pending() {
+			armed++
+		}
+	}
+	return armed
+}
+
 // NewMsgID allocates a node-unique message identifier.
 func (n *NIC) NewMsgID() uint64 {
 	n.nextMsgID++

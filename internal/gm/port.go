@@ -143,6 +143,10 @@ func (p *Port) ProvideN(n, capacity int) {
 // RecvTokens reports how many receive buffers are currently posted.
 func (p *Port) RecvTokens() int { return len(p.recvTokens) }
 
+// FreeSendTokens reports the host-level send tokens currently available —
+// back to Config.SendTokens once every posted send has completed.
+func (p *Port) FreeSendTokens() int { return p.sendTokens }
+
 // TakeSendToken blocks the caller until a host-level send token is free
 // and consumes it. Exposed for the multicast extension's host API. The
 // wait (zero when a token is free) feeds the token_wait_ns histogram —

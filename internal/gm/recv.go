@@ -31,14 +31,14 @@ func (n *NIC) rxData(fr *Frame) {
 			return
 		}
 		switch {
-		case fr.Seq < r.expect:
+		case SeqBefore(fr.Seq, r.expect):
 			// Duplicate of an already-accepted packet (its ack was lost, or
 			// go-back-N resent it). Re-ack so the sender advances.
 			n.m.duplicates.Inc()
 			n.traceDrop("duplicate seq=%d expect=%d", fr.Seq, r.expect)
 			n.sendAck(fr, r.expect-1)
 			buf.Release()
-		case fr.Seq > r.expect:
+		case SeqAfter(fr.Seq, r.expect):
 			// Hole ahead of us: drop; the sender's timeout resends in
 			// order. With fast recovery enabled, tell the sender now.
 			n.m.oooDrops.Inc()

@@ -1,0 +1,194 @@
+package gm
+
+// Regression tests for the sender-side recovery path: the nack-holdoff
+// fix at t=0, Karn's rule under adaptive timeouts, backoff reset
+// semantics, and sequence-number wraparound under loss.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// fakeToken returns a minimal unstaged token: handleAck can decrement
+// pending without ever completing it.
+func fakeToken(pending int) *sendToken {
+	return &sendToken{pending: pending}
+}
+
+// fakeRecord builds a send record whose retransmissions land on a closed
+// port at the destination, so running the engine after a forced go-back-N
+// is harmless.
+func fakeRecord(seq uint32, tok *sendToken) *sendRecord {
+	return &sendRecord{
+		seq: seq, tok: tok,
+		frame: &Frame{
+			Kind: KindData, SrcNode: 0, DstNode: 1,
+			SrcPort: 1, DstPort: 99, Seq: seq,
+		},
+	}
+}
+
+// TestFastRetransmitHoldoffAtTimeZero pins the holdoff fix: a nack burst
+// arriving at simulation time zero must still collapse into ONE go-back-N
+// round. The pre-fix code tracked holdoff arming with `lastFast != 0`,
+// which reads a t=0 retransmission as "never happened" and lets every
+// nack of the burst trigger its own full-window resend.
+func TestFastRetransmitHoldoffAtTimeZero(t *testing.T) {
+	r := newRig(t, 2, nil)
+	c := r.nics[0].sendConn(1, 1, 1)
+	c.records = append(c.records, fakeRecord(1, fakeToken(1)))
+	if now := r.eng.Now(); now != 0 {
+		t.Fatalf("test requires virtual time 0, engine at %v", now)
+	}
+	c.fastRetransmit()
+	c.fastRetransmit() // the second nack of the burst, same instant
+	if got := r.nics[0].m.timeouts.Value(); got != 1 {
+		t.Fatalf("t=0 nack burst triggered %d go-back-N rounds, want 1 (holdoff ignored at time zero)", got)
+	}
+}
+
+// TestFastRetransmitHoldoffExpiry verifies the other side of the fix: the
+// holdoff suppresses nacks only within NackHoldoff, and a later nack
+// triggers a fresh recovery round.
+func TestFastRetransmitHoldoffExpiry(t *testing.T) {
+	r := newRig(t, 2, nil)
+	c := r.nics[0].sendConn(1, 1, 1)
+	c.records = append(c.records, fakeRecord(1, fakeToken(1)))
+	hold := r.nics[0].Cfg.NackHoldoff
+	r.eng.At(0, c.fastRetransmit)
+	r.eng.At(hold/2, c.fastRetransmit)               // inside the holdoff: suppressed
+	r.eng.At(hold+sim.Microsecond, c.fastRetransmit) // past it: fires
+	r.eng.RunUntil(hold + 2*sim.Microsecond)
+	if got := r.nics[0].m.timeouts.Value(); got != 2 {
+		t.Fatalf("go-back-N rounds = %d, want 2 (one at t=0, one after the holdoff expired)", got)
+	}
+	r.eng.Kill()
+}
+
+// TestKarnRuleSkipsRetransmitRTTSample drops a message's first copy so the
+// ack that finally arrives belongs to a retransmission. Karn's rule says
+// that ack must NOT feed the RTT estimator — the measured "round trip"
+// would include the timeout and poison the adaptive RTO. A clean follow-up
+// message must then prime the estimator normally.
+func TestKarnRuleSkipsRetransmitRTTSample(t *testing.T) {
+	r := newRig(t, 2, func(c *Config) { c.AdaptiveRTO = true })
+	dropOnce := true
+	r.net.DropFn = func(p *myrinet.Packet, _ *myrinet.Link) bool {
+		if fr, ok := p.Payload.(*Frame); ok && fr.Kind == KindData && dropOnce {
+			dropOnce = false
+			return true
+		}
+		return false
+	}
+	msg := pattern(256)
+	r.eng.Spawn("recv", func(p *sim.Proc) {
+		r.ports[1].ProvideN(2, 1<<14)
+		r.ports[1].Recv(p)
+		r.ports[1].Recv(p)
+	})
+	var srttAfterRetransmit sim.Time
+	c := r.nics[0].sendConn(1, 1, 1)
+	r.eng.Spawn("send", func(p *sim.Proc) {
+		r.ports[0].SendSync(p, 1, 1, msg) // lost, recovered by timeout
+		srttAfterRetransmit = c.srtt
+		r.ports[0].SendSync(p, 1, 1, msg) // clean: first legitimate sample
+	})
+	r.run(t)
+	if got := r.nics[0].m.timeouts.Value(); got == 0 {
+		t.Fatal("the drop never forced a timeout — the test exercised nothing")
+	}
+	if srttAfterRetransmit != 0 {
+		t.Fatalf("retransmitted packet's ack was RTT-sampled: srtt=%v, want 0 (Karn's rule)", srttAfterRetransmit)
+	}
+	if c.srtt == 0 {
+		t.Fatal("clean send produced no RTT sample — estimator never primes")
+	}
+}
+
+// TestBackoffResetsOnlyOnAckProgress pins the backoff-reset rule: a
+// duplicate ack that retires nothing preserves the exponential backoff,
+// and only forward progress resets it. Resetting on every ack would let
+// duplicate-ack chatter defeat the backoff during congestion.
+func TestBackoffResetsOnlyOnAckProgress(t *testing.T) {
+	r := newRig(t, 2, nil)
+	c := r.nics[0].sendConn(1, 1, 1)
+	tok := fakeToken(2)
+	c.records = append(c.records, fakeRecord(1, tok), fakeRecord(2, tok))
+	c.nextSeq = 3
+	c.backoff = 3
+
+	c.handleAck(0) // duplicate ack: retires nothing
+	if c.backoff != 3 {
+		t.Fatalf("no-progress ack changed backoff to %d, want 3 preserved", c.backoff)
+	}
+	c.handleAck(1) // retires seq 1: forward progress
+	if c.backoff != 0 {
+		t.Fatalf("forward-progress ack left backoff at %d, want 0", c.backoff)
+	}
+	if len(c.records) != 1 || c.records[0].seq != 2 {
+		t.Fatalf("cumulative ack 1 left records %v, want exactly seq 2", len(c.records))
+	}
+	r.eng.Kill()
+}
+
+// TestSequenceWraparoundUnderLoss drives a connection across the uint32
+// sequence wrap with deterministic packet loss. Ordered comparisons on
+// raw sequence numbers deadlock here (records past the wrap are "smaller"
+// than the cumulative ack); serial-number arithmetic must carry the
+// stream through unharmed.
+func TestSequenceWraparoundUnderLoss(t *testing.T) {
+	r := newRig(t, 2, nil)
+	const start = uint32(0xFFFFFFFA) // six packets before the wrap
+	c := r.nics[0].sendConn(1, 1, 1)
+	c.nextSeq = start
+	r.nics[1].recvConn(0, 1, 1).expect = start
+
+	traversals := 0
+	r.net.DropFn = func(p *myrinet.Packet, _ *myrinet.Link) bool {
+		if fr, ok := p.Payload.(*Frame); ok && fr.Kind == KindData {
+			traversals++
+			return traversals%5 == 0 // deterministic loss straddling the wrap
+		}
+		return false
+	}
+
+	const msgs = 5
+	msg := pattern(3 * 4096) // three packets per message: 15 packets total
+	var got [][]byte
+	r.eng.Spawn("recv", func(p *sim.Proc) {
+		r.ports[1].ProvideN(msgs, 3*4096)
+		for i := 0; i < msgs; i++ {
+			got = append(got, r.ports[1].Recv(p).Data)
+		}
+	})
+	r.eng.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			r.ports[0].SendSync(p, 1, 1, msg)
+		}
+	})
+	// Bounded run: the pre-fix comparison bug retransmits forever instead
+	// of failing, so Run() would hang the test suite.
+	r.eng.RunUntil(sim.Second)
+	live := r.eng.LiveProcs()
+	r.eng.Kill()
+	if live != 0 {
+		t.Fatalf("%d processes still blocked after 1s — transfer deadlocked at the wrap", live)
+	}
+	if len(got) != msgs {
+		t.Fatalf("delivered %d messages, want %d", len(got), msgs)
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, msg) {
+			t.Fatalf("message %d corrupted across the wrap", i)
+		}
+	}
+	if c.nextSeq >= start {
+		t.Fatalf("stream never wrapped: nextSeq=%d still >= start", c.nextSeq)
+	}
+	if len(c.records) != 0 {
+		t.Fatalf("%d send records leaked across the wrap", len(c.records))
+	}
+}

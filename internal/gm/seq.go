@@ -1,0 +1,18 @@
+package gm
+
+// Serial-number arithmetic (RFC 1982 style) over the protocol's uint32
+// sequence space. Ordered comparisons on raw sequence numbers break the
+// moment a long-lived connection or group wraps past MaxUint32: the packet
+// after 0xFFFFFFFF is 0, which every `<` in an ack path would treat as
+// ancient. These helpers compare by signed distance instead, which is
+// correct whenever the live window spans less than 2^31 sequence numbers —
+// astronomically beyond the protocol's Window of in-flight packets.
+
+// SeqBefore reports whether a precedes b in sequence space.
+func SeqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqAfter reports whether a follows b in sequence space.
+func SeqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqLEQ reports whether a precedes or equals b in sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/chaos"
+)
+
+// ChaosSweep runs each scenario at every cluster size under the parallel
+// sweep runner, returning results scenario-major in deterministic order.
+// Each point is an independent experiment (own cluster, own seeded RNGs),
+// so results are byte-identical whether the sweep runs serial or fanned
+// out — the property the campaign's reproducibility contract rests on. A
+// shared metrics registry (Options.Metrics) forces the sweep serial, as
+// everywhere in the harness.
+func (o Options) ChaosSweep(scenarios []chaos.Scenario, nodeCounts []int, msgs, size int) []chaos.Result {
+	type point struct {
+		sc    chaos.Scenario
+		nodes int
+	}
+	var pts []point
+	for _, sc := range scenarios {
+		for _, n := range nodeCounts {
+			pts = append(pts, point{sc, n})
+		}
+	}
+	return parallelMap(o.workerCount(len(pts)), pts, func(_ int, p point) chaos.Result {
+		return chaos.RunScenario(p.sc, chaos.Config{
+			Nodes:   p.nodes,
+			Msgs:    msgs,
+			Size:    size,
+			Seed:    o.Seed,
+			Metrics: o.Metrics,
+		})
+	})
+}
+
+// WriteChaosTable renders a campaign's per-scenario pass/fail and
+// recovery-latency table, with invariant violations itemized under any
+// failing row.
+func WriteChaosTable(w io.Writer, title string, results []chaos.Result) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tnodes\tverdict\trecovery\tdrops\tdups\tpaused\tretrans\ttimeouts\tnacks")
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Scenario, r.Nodes, verdict, r.Recovery,
+			r.Drops, r.Dups, r.PausedDrops, r.Retransmits, r.Timeouts, r.Nacks)
+	}
+	tw.Flush()
+	for _, r := range results {
+		if r.Pass {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s @ %d nodes violated:\n", r.Scenario, r.Nodes)
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  - %s\n", v)
+		}
+	}
+}
+
+// ChaosFailures counts failing results.
+func ChaosFailures(results []chaos.Result) int {
+	n := 0
+	for _, r := range results {
+		if !r.Pass {
+			n++
+		}
+	}
+	return n
+}

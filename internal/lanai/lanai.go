@@ -79,6 +79,11 @@ type NIC struct {
 	// that arrives from the wire.
 	RxDispatch func(*myrinet.Packet)
 
+	// paused, when set, makes the NIC deaf: packets arriving from the wire
+	// are discarded before the firmware sees them, as during a firmware
+	// reload. Reliability above recovers the lost traffic after Resume.
+	paused bool
+
 	hostEvents []any
 	// pendingPost stages event records whose RDMA is still in flight;
 	// deliverHostEvent (via the pre-bound postFn) pops them FIFO, so
@@ -88,14 +93,15 @@ type NIC struct {
 	hostWaiter  *sim.Waiter
 
 	// Cached instruments, set by SetMetrics; nil (no-op) otherwise.
-	reg           *metrics.Registry
-	mCPUBusyNs    *metrics.Counter
-	mCPUBacklogNs *metrics.Gauge
-	mSDMABusyNs   *metrics.Counter
-	mRDMABusyNs   *metrics.Counter
-	mHostEvents   *metrics.Counter
-	mHostQueue    *metrics.Gauge
-	mRxNoBuffer   *metrics.Counter
+	reg            *metrics.Registry
+	mCPUBusyNs     *metrics.Counter
+	mCPUBacklogNs  *metrics.Gauge
+	mSDMABusyNs    *metrics.Counter
+	mRDMABusyNs    *metrics.Counter
+	mHostEvents    *metrics.Counter
+	mHostQueue     *metrics.Gauge
+	mRxNoBuffer    *metrics.Counter
+	mRxPausedDrops *metrics.Counter
 }
 
 // New attaches a NIC model to a network interface.
@@ -114,6 +120,10 @@ func New(eng *sim.Engine, ifc *myrinet.Iface, p Params) *NIC {
 	}
 	n.postFn = n.deliverHostEvent
 	ifc.Deliver = func(pkt *myrinet.Packet) {
+		if n.paused {
+			n.mRxPausedDrops.Inc()
+			return
+		}
 		if n.RxDispatch == nil {
 			panic(fmt.Sprintf("lanai: nic %v has no firmware attached", n.ID))
 		}
@@ -138,6 +148,18 @@ func (n *NIC) Stats() Stats {
 func (n *NIC) CountRxNoBuffer() {
 	n.mRxNoBuffer.Inc()
 }
+
+// Pause makes the NIC stop receiving: every packet arriving from the wire
+// is silently discarded until Resume, modelling a firmware reload or a hung
+// NIC processor. Host-posted work and already-scheduled DMA continue — only
+// the wire-facing receive path goes deaf.
+func (n *NIC) Pause() { n.paused = true }
+
+// Resume re-enables packet reception after a Pause.
+func (n *NIC) Resume() { n.paused = false }
+
+// Paused reports whether the NIC is currently discarding arrivals.
+func (n *NIC) Paused() bool { return n.paused }
 
 // CPUDo serializes cost worth of work on the LANai processor and runs fn
 // when it completes. The backlog gauge records (as a high-water mark) how

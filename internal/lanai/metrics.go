@@ -22,6 +22,7 @@ func (n *NIC) SetMetrics(reg *metrics.Registry) {
 	n.mHostEvents = reg.Counter(Component, id, "host_events")
 	n.mHostQueue = reg.Gauge(Component, id, "host_queue_depth")
 	n.mRxNoBuffer = reg.Counter(Component, id, "rx_nobuffer")
+	n.mRxPausedDrops = reg.Counter(Component, id, "rx_paused_drops")
 	n.SendBufs.setMetrics(reg, id, "sendbuf")
 	n.RecvBufs.setMetrics(reg, id, "recvbuf")
 }

@@ -1,0 +1,16 @@
+package myrinet
+
+import "errors"
+
+// Sentinel errors for API misuse of the fabric layer. Misconfiguration is
+// fatal (the fabric cannot limp along without its randomness source), so
+// these surface either as returned errors from the validating setters or
+// as panics carrying error values: recover the value and test it with
+// errors.Is.
+var (
+	// ErrLossRateWithoutRNG reports enabling stochastic loss on a fabric
+	// that has no randomness source installed (SetRNG).
+	ErrLossRateWithoutRNG = errors.New("myrinet: LossRate set without SetRNG")
+	// ErrBadLossRate reports a loss probability outside [0, 1].
+	ErrBadLossRate = errors.New("myrinet: loss rate outside [0, 1]")
+)

@@ -59,5 +59,34 @@ type Link struct {
 // String labels the link for diagnostics.
 func (l *Link) String() string { return fmt.Sprintf("%s->%s", l.from.label, l.to.label) }
 
+// FromLabel and ToLabel name the link's endpoints ("host3", "xbar0", ...),
+// letting fault injection target a specific link or switch by name.
+func (l *Link) FromLabel() string { return l.from.label }
+func (l *Link) ToLabel() string   { return l.to.label }
+
+// FromHost reports the host attached at the link's source, if any — true
+// exactly for a host's uplink into the fabric.
+func (l *Link) FromHost() (NodeID, bool) {
+	if l.from.host {
+		return l.from.hostID, true
+	}
+	return 0, false
+}
+
+// ToHost reports the host attached at the link's destination, if any —
+// true exactly for a host's downlink out of the fabric.
+func (l *Link) ToHost() (NodeID, bool) {
+	if l.to.host {
+		return l.to.hostID, true
+	}
+	return 0, false
+}
+
+// Touches reports whether the link attaches directly to the given host
+// (either direction).
+func (l *Link) Touches(id NodeID) bool {
+	return (l.from.host && l.from.hostID == id) || (l.to.host && l.to.hostID == id)
+}
+
 // BusyTime reports cumulative serialization time spent on the link.
 func (l *Link) BusyTime() sim.Time { return l.fac.BusyTime() }

@@ -18,6 +18,7 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 	n.mInjected = reg.Counter(Component, metrics.NodeFabric, "injected")
 	n.mDelivered = reg.Counter(Component, metrics.NodeFabric, "delivered")
 	n.mDropped = reg.Counter(Component, metrics.NodeFabric, "dropped")
+	n.mDuplicated = reg.Counter(Component, metrics.NodeFabric, "duplicated")
 	n.mLinkBusyNs = reg.Counter(Component, metrics.NodeFabric, "link_busy_ns")
 	for _, l := range n.links {
 		switch {

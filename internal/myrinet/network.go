@@ -27,10 +27,24 @@ type Network struct {
 
 	// LossRate is the per-link probability that a packet is corrupted and
 	// discarded (models nonzero bit-error rates). Requires SetRNG.
+	//
+	// Prefer SetLossRate, which validates the rate and the RNG requirement
+	// up front; setting the field directly defers the check to the first
+	// transmission.
 	LossRate float64
 	// DropFn, when non-nil, is consulted per link traversal; returning
 	// true drops the packet. It is the test hook for targeted loss.
 	DropFn func(p *Packet, l *Link) bool
+	// DupFn, when non-nil, is consulted once per packet as its final
+	// delivery is scheduled; returning true delivers a second copy of the
+	// packet one serialization time after the first (a fault-injection
+	// hook: real fabrics duplicate under retransmitting switches).
+	DupFn func(p *Packet, l *Link) bool
+	// DelayFn, when non-nil, reports extra delivery delay for a packet at
+	// its destination — the bounded-reordering fault-injection hook. A
+	// packet held back long enough for a later one to overtake it arrives
+	// out of order without being lost.
+	DelayFn func(p *Packet, l *Link) sim.Time
 
 	rng *sim.RNG
 
@@ -39,6 +53,7 @@ type Network struct {
 	mInjected   *metrics.Counter
 	mDelivered  *metrics.Counter
 	mDropped    *metrics.Counter
+	mDuplicated *metrics.Counter
 	mLinkBusyNs *metrics.Counter
 }
 
@@ -80,6 +95,24 @@ func (n *Network) Stats() Stats {
 
 // SetRNG installs the randomness source used for loss injection.
 func (n *Network) SetRNG(rng *sim.RNG) { n.rng = rng }
+
+// SetLossRate enables stochastic per-link loss, validating the probability
+// and the RNG requirement up front so misconfiguration fails at wiring time
+// rather than mid-simulation on the first transmit.
+func (n *Network) SetLossRate(rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("%w: %v", ErrBadLossRate, rate)
+	}
+	if rate > 0 && n.rng == nil {
+		return ErrLossRateWithoutRNG
+	}
+	n.LossRate = rate
+	return nil
+}
+
+// Links exposes every directed link of the fabric (fault injection and
+// diagnostics; the slice is the network's own — do not mutate).
+func (n *Network) Links() []*Link { return n.links }
 
 // Route returns the link path from src to dst, caching computed routes.
 // Routes are deterministic for a given topology.
@@ -168,11 +201,7 @@ func (tr *transit) run() {
 		p := tr.p
 		n.release(tr)
 		n.mDelivered.Inc()
-		dst := n.hosts[p.Dst]
-		if dst.Deliver == nil {
-			panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))
-		}
-		dst.Deliver(p)
+		n.deliver(p)
 		return
 	}
 	p, l := tr.p, tr.route[tr.i]
@@ -203,8 +232,32 @@ func (tr *transit) run() {
 		n.eng.At(headOut, tr.step)
 		return
 	}
+	tailIn := headOut + ser
+	if n.DelayFn != nil {
+		if d := n.DelayFn(p, l); d > 0 {
+			tailIn += d
+		}
+	}
+	if n.DupFn != nil && n.DupFn(p, l) {
+		// A duplicate copy trails the original by one serialization time,
+		// as if a retransmitting switch stage emitted the packet twice.
+		n.eng.At(tailIn+ser, func() {
+			n.mDuplicated.Inc()
+			n.mDelivered.Inc()
+			n.deliver(p)
+		})
+	}
 	tr.delivering = true
-	n.eng.At(headOut+ser, tr.step)
+	n.eng.At(tailIn, tr.step)
+}
+
+// deliver hands a fully-arrived packet to the destination NIC.
+func (n *Network) deliver(p *Packet) {
+	dst := n.hosts[p.Dst]
+	if dst.Deliver == nil {
+		panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))
+	}
+	dst.Deliver(p)
 }
 
 func (n *Network) dropped(p *Packet, l *Link) bool {
@@ -213,7 +266,9 @@ func (n *Network) dropped(p *Packet, l *Link) bool {
 	}
 	if n.LossRate > 0 {
 		if n.rng == nil {
-			panic("myrinet: LossRate set without SetRNG")
+			// Backstop for direct field assignment that bypassed
+			// SetLossRate; the panic value satisfies errors.Is.
+			panic(ErrLossRateWithoutRNG)
 		}
 		return n.rng.Bernoulli(n.LossRate)
 	}
