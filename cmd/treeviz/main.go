@@ -3,21 +3,43 @@
 // and the NIC-based scheme's size-specific optimal trees (postal-model
 // trees for single-packet messages, pipelining-aware low-fanout trees for
 // multi-packet ones), together with their postal parameters.
+//
+// With -churn N it instead renders the per-epoch tree sequence of a
+// churn run: a deterministic plan of N join/leave transitions is
+// generated from -seed, replayed through the coordinator's validation
+// rules and tree.Incremental, and one Graphviz DOT digraph is emitted
+// per committed epoch. Edges carried over from the previous epoch's
+// tree are solid; edges the incremental rebuild created are dashed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/myrinet"
+	"repro/internal/sim"
 	"repro/internal/tree"
+	"repro/internal/workload"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 16, "system size")
 	root := flag.Int("root", 0, "root node")
+	churn := flag.Int("churn", 0, "render the per-epoch trees of a churn run with this many transitions")
+	seed := flag.Int64("seed", 1, "churn plan seed")
+	fanout := flag.Int("fanout", 2, "fanout bound for the churn run's incremental trees")
 	flag.Parse()
+
+	if *churn > 0 {
+		if err := churnMode(*nodes, *churn, *fanout, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "treeviz: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	cfg := cluster.DefaultConfig(*nodes)
 	members := make([]myrinet.NodeID, *nodes)
@@ -35,4 +57,82 @@ func main() {
 		fmt.Printf("NIC-based tree for %d-byte messages: lambda=%v gap=%v ratio=%.2f depth=%d maxFanout=%d\n%s\n",
 			size, pp.Lambda, pp.Gap, pp.Ratio(), tr.Depth(), tr.MaxFanout(), tr)
 	}
+}
+
+// churnMode generates a churn plan, replays its transitions with the
+// same acceptance rules the membership coordinator applies, and writes
+// one DOT digraph per epoch to stdout.
+func churnMode(nodes, transitions, fanout int, seed int64) error {
+	plan, err := workload.GenerateChurn(workload.ChurnSpec{
+		Nodes:       nodes,
+		Transitions: transitions,
+		Msgs:        1,
+	}, sim.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	root := myrinet.NodeID(plan.Root)
+	members := map[myrinet.NodeID]bool{root: true}
+	for _, m := range plan.Initial {
+		members[myrinet.NodeID(m)] = true
+	}
+
+	tr := tree.Incremental(nil, root, memberList(members), fanout)
+	writeDot(0, "initial", nil, tr)
+	epoch := 1
+	for _, ev := range plan.Events {
+		n := myrinet.NodeID(ev.Node)
+		// The coordinator's acceptance rules: no-op joins/leaves, root
+		// departure, and would-empty leaves are rejected without a roll.
+		if ev.Join == members[n] || (!ev.Join && (n == root || len(members) <= 2)) {
+			continue
+		}
+		members[n] = ev.Join
+		if !ev.Join {
+			delete(members, n)
+		}
+		verb := "leave"
+		if ev.Join {
+			verb = "join"
+		}
+		next := tree.Incremental(tr, root, memberList(members), fanout)
+		writeDot(epoch, fmt.Sprintf("%s %d", verb, n), tr, next)
+		tr = next
+		epoch++
+	}
+	return nil
+}
+
+func memberList(members map[myrinet.NodeID]bool) []myrinet.NodeID {
+	list := make([]myrinet.NodeID, 0, len(members))
+	for m := range members {
+		list = append(list, m)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	return list
+}
+
+// writeDot emits one epoch's tree as a DOT digraph: edges that survive
+// from the previous epoch solid, edges the rebuild created dashed.
+func writeDot(epoch int, cause string, prev, tr *tree.Tree) {
+	fmt.Printf("digraph epoch%d {\n", epoch)
+	fmt.Printf("  label=\"epoch %d (%s): %d members, depth %d, maxFanout %d\";\n",
+		epoch, cause, tr.Size(), tr.Depth(), tr.MaxFanout())
+	fmt.Printf("  %d [shape=doublecircle];\n", tr.Root)
+	for _, n := range tr.Nodes() {
+		p, ok := tr.Parent(n)
+		if !ok {
+			continue
+		}
+		style := "dashed"
+		if prev != nil {
+			if q, ok := prev.Parent(n); ok && q == p {
+				style = "solid"
+			}
+		} else if epoch == 0 {
+			style = "solid" // the initial tree has no predecessor to differ from
+		}
+		fmt.Printf("  %d -> %d [style=%s];\n", p, n, style)
+	}
+	fmt.Printf("}\n")
 }

@@ -1,0 +1,196 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Regression (dynamic-membership satellite): RemoveGroup used to panic
+// ErrGroupBusy when the group still had unacknowledged records. It now
+// rides the quiesce path — the entry is deleted by the firmware event
+// that retires the last record. On the old firmware this test dies in the
+// panic; on the new one the message still completes and the teardown
+// lands afterwards.
+func TestRemoveGroupBusyDefersUntilDrained(t *testing.T) {
+	r := newRig(t, 4, tree.Flat, nil)
+	got := r.spawnReceivers(1, 20000)
+	removed := false
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		ext := r.c.Nodes[0].Ext
+		ext.Mcast(p, r.ports[0], r.gid, pattern(16384))
+		// The multi-packet message is still in flight: the removal must
+		// defer, not panic and not drop the message.
+		ext.RemoveGroup(r.gid, func() {
+			removed = true
+			if ext.GroupOutstanding(r.gid) != 0 {
+				t.Error("group removed while records were outstanding")
+			}
+		})
+		r.ports[0].WaitSendDone(p)
+	})
+	r.run(t)
+	if len(*got) != 3 {
+		t.Fatalf("message delivered to %d nodes, want 3", len(*got))
+	}
+	if !removed {
+		t.Fatal("deferred removal never ran")
+	}
+	if r.c.Nodes[0].Ext.HasGroup(r.gid) {
+		t.Fatal("group still installed after drained removal")
+	}
+}
+
+// QuiesceGroup on an idle group fires immediately; on a busy one it fires
+// at the exact event that retires the last record.
+func TestQuiesceGroupWaitsForDrain(t *testing.T) {
+	r := newRig(t, 4, tree.Flat, nil)
+	got := r.spawnReceivers(1, 20000)
+	idleRan, busyRan := false, false
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		ext := r.c.Nodes[0].Ext
+		ext.QuiesceGroup(r.gid, func() { idleRan = true })
+		ext.QuiesceGroup(999, func() {}) // unknown groups complete immediately
+		ext.Mcast(p, r.ports[0], r.gid, pattern(16384))
+		ext.QuiesceGroup(r.gid, func() {
+			busyRan = true
+			if n := ext.GroupOutstanding(r.gid); n != 0 {
+				t.Errorf("quiesce fired with %d records outstanding", n)
+			}
+		})
+		r.ports[0].WaitSendDone(p)
+		if !busyRan {
+			t.Error("send completed but the quiesce callback had not fired")
+		}
+	})
+	r.run(t)
+	if !idleRan {
+		t.Fatal("idle-group quiesce never fired")
+	}
+	if len(*got) != 3 {
+		t.Fatalf("message delivered to %d nodes, want 3", len(*got))
+	}
+}
+
+// rollEpoch prepares and commits the same tree at a new epoch on the
+// given nodes, waiting for each firmware phase to land everywhere before
+// starting the next.
+func rollEpoch(p *sim.Proc, r *rig, epoch uint32, nodes ...int) {
+	left := 0
+	for _, n := range nodes {
+		left++
+		r.c.Nodes[n].Ext.PrepareGroupEpoch(r.gid, r.tr, testPort, testPort, epoch, func() { left-- })
+	}
+	for left > 0 {
+		p.Sleep(sim.Microsecond)
+	}
+	for _, n := range nodes {
+		left++
+		r.c.Nodes[n].Ext.CommitGroupEpoch(r.gid, epoch, func() { left-- })
+	}
+	for left > 0 {
+		p.Sleep(sim.Microsecond)
+	}
+}
+
+// A full prepare/commit roll across all members: traffic flows before and
+// after, the epoch advances, and the sequence space restarts cleanly.
+func TestEpochRollCarriesTraffic(t *testing.T) {
+	r := newRig(t, 4, tree.Flat, nil)
+	got := r.spawnReceivers(2, 256)
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		ext := r.c.Nodes[0].Ext
+		ext.McastSync(p, r.ports[0], r.gid, pattern(64))
+		rollEpoch(p, r, 1, 0, 1, 2, 3)
+		if ep, live := ext.GroupEpoch(r.gid); ep != 1 || !live {
+			t.Errorf("root group at epoch %d live=%v after commit, want 1/true", ep, live)
+		}
+		ext.McastSync(p, r.ports[0], r.gid, pattern(64))
+	})
+	r.run(t)
+	for n, msgs := range *got {
+		if len(msgs) != 2 {
+			t.Fatalf("node %d got %d messages across the roll, want 2", n, len(msgs))
+		}
+	}
+	for _, n := range []int{0, 1, 2, 3} {
+		if c := r.c.Nodes[n].Ext.Stats().EpochCommits; c != 1 {
+			t.Fatalf("node %d counted %d epoch commits, want 1", n, c)
+		}
+	}
+}
+
+// A frame from an older epoch arriving at a NIC that has moved on is
+// acked-as-dropped: the payload is not delivered, but the sender's window
+// advances — the departed-NIC rule that keeps the root from deadlocking.
+func TestStaleEpochFrameAckedAsDropped(t *testing.T) {
+	r := newRig(t, 4, tree.Flat, nil)
+	got := r.spawnReceivers(1, 256)
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		rollEpoch(p, r, 1, 2) // node 2 moves ahead; everyone else stays at 0
+		// McastSync returning proves node 2's rejection still acked.
+		r.c.Nodes[0].Ext.McastSync(p, r.ports[0], r.gid, pattern(64))
+	})
+	r.run(t)
+	if len(*got) != 2 {
+		t.Fatalf("delivered to %d nodes, want 2 (node 2 must reject)", len(*got))
+	}
+	if _, ok := (*got)[2]; ok {
+		t.Fatal("stale-epoch frame was delivered at the node that moved ahead")
+	}
+	st := r.c.Nodes[2].Ext.Stats()
+	if st.StaleEpochDrops == 0 || st.AckedAsDropped == 0 {
+		t.Fatalf("stale frame not counted: %+v", st)
+	}
+}
+
+// A frame from a *future* epoch (the receiver has not committed yet) is
+// silently dropped; the parent keeps retransmitting and delivery
+// completes once the receiver commits — nothing is lost across the gap.
+func TestFutureEpochFrameDeliveredAfterCommit(t *testing.T) {
+	r := newRig(t, 4, tree.Flat, nil)
+	got := r.spawnReceivers(1, 256)
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		rollEpoch(p, r, 1, 0, 1, 3) // node 2 lags at epoch 0
+		r.c.Nodes[0].Ext.Mcast(p, r.ports[0], r.gid, pattern(64))
+		p.Sleep(300 * sim.Microsecond)
+		if r.c.Nodes[2].Ext.Stats().FutureEpochDrops == 0 {
+			t.Error("lagging node accepted (or never saw) a future-epoch frame")
+		}
+		rollEpoch(p, r, 1, 2) // node 2 catches up; retransmits now land
+		r.ports[0].WaitSendDone(p)
+	})
+	r.run(t)
+	if len(*got) != 3 {
+		t.Fatalf("delivered to %d nodes, want all 3 after the laggard commits", len(*got))
+	}
+}
+
+// Committing an epoch nobody prepared, or regressing a live epoch, are
+// firmware protocol violations and panic with the sentinel errors.
+func TestEpochProtocolViolationsPanic(t *testing.T) {
+	check := func(name string, want error, drive func(r *rig)) {
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t, 2, tree.Flat, nil)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic (want %v)", name, want)
+				}
+			}()
+			drive(r)
+			r.c.Eng.Run()
+		})
+	}
+	check("commit-unprepared", core.ErrNotPrepared, func(r *rig) {
+		r.c.Nodes[0].Ext.CommitGroupEpoch(r.gid, 3, nil)
+	})
+	check("epoch-regression", core.ErrEpochRegressed, func(r *rig) {
+		r.c.Nodes[0].Ext.PrepareGroupEpoch(r.gid, r.tr, testPort, testPort, 0, nil)
+	})
+	check("departure-of-unknown-group", core.ErrNoSuchGroup, func(r *rig) {
+		r.c.Nodes[0].Ext.PrepareGroupEpoch(gm.GroupID(999), nil, testPort, testPort, 1, nil)
+	})
+}

@@ -31,4 +31,9 @@ var (
 	// ErrBadReduce reports a malformed reduction: unknown operator,
 	// oversized vector, or operator/length mismatch across contributions.
 	ErrBadReduce = errors.New("core: malformed reduction")
+	// ErrEpochRegressed reports preparing a group epoch that does not
+	// advance the entry's live epoch.
+	ErrEpochRegressed = errors.New("core: group epoch did not advance")
+	// ErrNotPrepared reports committing an epoch no prepare staged.
+	ErrNotPrepared = errors.New("core: no prepared view for epoch")
 )

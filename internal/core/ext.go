@@ -61,12 +61,54 @@ func (e *Ext) HasGroup(id gm.GroupID) bool {
 }
 
 // GroupOutstanding reports one group's unretired send records (0 for an
-// unknown group) — callers poll it to quiesce before RemoveGroup.
+// unknown group).
+//
+// Deprecated: polling this from the host to quiesce a group races the
+// firmware (records can be created between polls) and burns simulated
+// time. Use QuiesceGroup, which runs a callback exactly when the entry's
+// outstanding send work has drained.
 func (e *Ext) GroupOutstanding(id gm.GroupID) int {
 	if g, ok := e.groups[id]; ok {
 		return len(g.records)
 	}
 	return 0
+}
+
+// GroupEpoch reports a group's active epoch (0 for static groups and for
+// unknown groups) and whether the entry is live — a joining NIC's staged
+// entry exists but is not live until its first commit.
+func (e *Ext) GroupEpoch(id gm.GroupID) (epoch uint32, live bool) {
+	if g, ok := e.groups[id]; ok {
+		return g.epoch, g.live
+	}
+	return 0, false
+}
+
+// QuiesceGroup runs fn (in firmware context) as soon as the group's
+// outstanding send-side work — unretired send records and packets still
+// staging or replicating — has drained; immediately if it already has, or
+// if the group is unknown. This replaces the old idiom of polling
+// GroupOutstanding from the host: the callback fires at the exact
+// firmware event that retires the last record, with no race window and
+// no polling traffic.
+func (e *Ext) QuiesceGroup(id gm.GroupID, fn func()) {
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			g, ok := e.groups[id]
+			if !ok {
+				if fn != nil {
+					fn()
+				}
+				return
+			}
+			e.m.quiesceReqs.Inc()
+			g.onQuiesce(func() {
+				if fn != nil {
+					fn()
+				}
+			})
+		})
+	})
 }
 
 // OutstandingRecords reports unretired multicast send records across all
@@ -99,6 +141,14 @@ func (e *Ext) PendingGroupTimers() int {
 // must satisfy the ID-sorted deadlock invariant. fn, if non-nil, runs when
 // the entry is live.
 func (e *Ext) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID, fn func()) {
+	e.InstallGroupEpoch(id, tr, port, rootPort, 0, fn)
+}
+
+// InstallGroupEpoch is InstallGroup with the entry tagged to a specific
+// epoch — the initial installation path of the dynamic-membership
+// subsystem (internal/member), whose later updates arrive through
+// PrepareGroupEpoch/CommitGroupEpoch. Static groups use epoch 0.
+func (e *Ext) InstallGroupEpoch(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID, epoch uint32, fn func()) {
 	if err := tr.Validate(); err != nil {
 		panic(fmt.Errorf("%w: group %d: %v", ErrInvalidTree, id, err))
 	}
@@ -107,7 +157,98 @@ func (e *Ext) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortI
 			if _, dup := e.groups[id]; dup {
 				panic(fmt.Errorf("%w: group %d at %v", ErrGroupInstalled, id, e.nic.ID()))
 			}
-			e.groups[id] = localView(e, id, tr, port, rootPort)
+			g := localView(e, id, tr, port, rootPort)
+			g.epoch = epoch
+			e.groups[id] = g
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// PrepareGroupEpoch stages the next epoch's view of a group without
+// activating it — phase one of the two-phase membership roll. A nil tree
+// stages this node's departure. On a NIC without an entry (a joining
+// node) a non-live entry is created: it accepts no traffic until the
+// commit. Staging freezes a root's pump at message boundaries, so no
+// message straddles the epoch change. The staged epoch must advance the
+// live entry's epoch (serial-number order); fn runs when the stage is in
+// the table.
+func (e *Ext) PrepareGroupEpoch(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID, epoch uint32, fn func()) {
+	if tr != nil {
+		if err := tr.Validate(); err != nil {
+			panic(fmt.Errorf("%w: group %d: %v", ErrInvalidTree, id, err))
+		}
+	}
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			g, ok := e.groups[id]
+			if !ok {
+				if tr == nil {
+					panic(fmt.Errorf("%w: preparing departure of group %d at %v",
+						ErrNoSuchGroup, id, e.nic.ID()))
+				}
+				g = localView(e, id, tr, port, rootPort)
+				g.live = false
+				g.epoch = epoch
+				e.groups[id] = g
+			} else if g.live && !gm.SeqAfter(epoch, g.epoch) {
+				panic(fmt.Errorf("%w: group %d at %v prepared for epoch %d, live epoch is %d",
+					ErrEpochRegressed, id, e.nic.ID(), epoch, g.epoch))
+			}
+			g.next = &pendingView{
+				epoch: epoch, remove: tr == nil, tr: tr,
+				port: port, rootPort: rootPort,
+			}
+			// Freezing the pump may itself complete a pending quiesce
+			// (queued-but-unstarted messages now belong to the next epoch).
+			g.checkQuiesce()
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// CommitGroupEpoch activates a staged view — phase two of the membership
+// roll, issued by the coordinator only after every old-epoch member has
+// quiesced. The entry must be drained (no records, nothing staging);
+// committing a busy entry panics, because the coordinator's quiesce phase
+// is what guarantees no old-epoch frame is ever attributed to the new
+// sequence space. A staged departure deletes the entry; a staged update
+// activates it and restarts a frozen root pump, whose queued messages
+// flow in the new epoch. fn runs after activation.
+func (e *Ext) CommitGroupEpoch(id gm.GroupID, epoch uint32, fn func()) {
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			g, ok := e.groups[id]
+			if !ok {
+				panic(fmt.Errorf("%w: committing group %d at %v", ErrNoSuchGroup, id, e.nic.ID()))
+			}
+			v := g.next
+			if v == nil || v.epoch != epoch {
+				panic(fmt.Errorf("%w: group %d at %v has no prepared view for epoch %d",
+					ErrNotPrepared, id, e.nic.ID(), epoch))
+			}
+			if len(g.records) > 0 || g.staging > 0 {
+				panic(fmt.Errorf("%w: committing epoch %d of group %d at %v with %d records, %d staging",
+					ErrGroupBusy, epoch, id, e.nic.ID(), len(g.records), g.staging))
+			}
+			if v.remove {
+				if len(g.queue) > 0 {
+					panic(fmt.Errorf("%w: removing group %d at %v with %d queued send tokens",
+						ErrGroupBusy, id, e.nic.ID(), len(g.queue)))
+				}
+				g.timer.Stop()
+				delete(e.groups, id)
+			} else {
+				g.activate(v)
+				e.m.epochCommits.Inc()
+				if g.isRoot() {
+					g.pump()
+				}
+			}
 			if fn != nil {
 				fn()
 			}
@@ -117,10 +258,11 @@ func (e *Ext) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortI
 
 // RemoveGroup deletes a group's entry from the NIC table once its
 // outstanding work has drained — the teardown half of demand-driven group
-// management (an MPI layer frees it with the communicator). Removing a
-// group with unretired send records panics: quiescing first is the
-// caller's contract, since dropping records would silently abandon
-// children awaiting retransmission.
+// management (an MPI layer frees it with the communicator). Removal of a
+// busy group is routed through the quiesce path: the entry is deleted by
+// the firmware event that retires its last send record, so removing under
+// live traffic is safe and never abandons children awaiting
+// retransmission. fn runs after the entry is gone.
 func (e *Ext) RemoveGroup(id gm.GroupID, fn func()) {
 	e.nic.HW.HostPost(func() {
 		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
@@ -128,15 +270,13 @@ func (e *Ext) RemoveGroup(id gm.GroupID, fn func()) {
 			if !ok {
 				panic(fmt.Errorf("%w: removing group %d at %v", ErrNoSuchGroup, id, e.nic.ID()))
 			}
-			if len(g.records) > 0 {
-				panic(fmt.Errorf("%w: removing group %d at %v with %d outstanding records",
-					ErrGroupBusy, id, e.nic.ID(), len(g.records)))
-			}
-			g.timer.Stop()
-			delete(e.groups, id)
-			if fn != nil {
-				fn()
-			}
+			g.onQuiesce(func() {
+				g.timer.Stop()
+				delete(e.groups, id)
+				if fn != nil {
+					fn()
+				}
+			})
 		})
 	})
 }
@@ -186,7 +326,19 @@ func (e *Ext) rxData(fr *gm.Frame) {
 	nic.HW.CPUDo(nic.Cfg.RecvProcCost, func() {
 		g, member := e.groups[fr.Group]
 		if !member {
+			// A departed NIC has no entry at all; a dynamic-epoch frame
+			// reaching one is acked-as-dropped so the sender's window never
+			// deadlocks on a node that left. Static (epoch 0) traffic keeps
+			// the silent not-a-member drop.
 			e.m.notMemberDrops.Inc()
+			if fr.Epoch != 0 {
+				e.ackDropped(fr)
+			}
+			buf.Release()
+			return
+		}
+		if !g.live || fr.Epoch != g.epoch {
+			e.dropEpochMismatch(g, fr)
 			buf.Release()
 			return
 		}
@@ -260,6 +412,7 @@ func (e *Ext) rxData(fr *gm.Frame) {
 func (e *Ext) forward(g *group, fr *gm.Frame, release func()) {
 	nic := e.nic
 	g.sendSeq = fr.Seq
+	g.staging++ // in flight toward children until recordForwarded files it
 	if fr.Offset+len(fr.Payload) < fr.MsgLen {
 		// The message's tail has not arrived yet — this forward is the
 		// per-packet pipelining the paper's scheme exists to enable.
@@ -321,6 +474,7 @@ func (e *Ext) storeAndForward(g *group, fr *gm.Frame) {
 	for _, qf := range st.frames {
 		f := qf
 		g.sendSeq = f.Seq
+		g.staging++
 		nic.HW.SendBufs.Acquire(func(buf bufToken) {
 			nic.HW.HostToNIC(len(f.Payload), func() {
 				nic.HW.CPUDo(e.cfg.ForwardSetupCost, func() {
@@ -361,12 +515,14 @@ func (g *group) replicateForward(fr *gm.Frame, buf bufToken) {
 // when non-nil, pins a NIC receive buffer until the record retires (the
 // RetransmitHoldBuffer ablation).
 func (g *group) recordForwarded(fr *gm.Frame, release func()) {
+	g.staging--
 	pending := g.pendingChildren(fr.Seq)
 	if len(pending) == 0 {
 		// All children acked before the last replica's callback ran.
 		if release != nil {
 			release()
 		}
+		g.checkQuiesce()
 		return
 	}
 	g.records = append(g.records, &mcastRecord{
@@ -374,6 +530,40 @@ func (g *group) recordForwarded(fr *gm.Frame, release func()) {
 		pending: pending, release: release,
 	})
 	g.armTimer()
+}
+
+// dropEpochMismatch refuses a multicast data frame from another epoch.
+// Stale frames (an epoch the entry has moved past) are acked-as-dropped
+// back to whoever transmitted them, carrying the frame's own epoch: a
+// sender still holding old-epoch send records retires them instead of
+// retransmitting into a view that will never accept them. Frames from a
+// future epoch — data racing ahead of this NIC's commit, or anything
+// aimed at a staged-but-not-live joining entry — are dropped silently;
+// the parent's retransmission arrives after the commit lands.
+func (e *Ext) dropEpochMismatch(g *group, fr *gm.Frame) {
+	if g.live && gm.SeqBefore(fr.Epoch, g.epoch) {
+		e.m.staleEpochDrops.Inc()
+		e.ackDropped(fr)
+		return
+	}
+	e.m.futureEpochDrops.Inc()
+}
+
+// ackDropped acknowledges a refused stale-epoch frame to its transmitter
+// under the frame's own epoch — "acked as dropped". The cumulative ack
+// retires the sender's record for this packet (and everything before it,
+// which the departed receiver equally will never take).
+func (e *Ext) ackDropped(fr *gm.Frame) {
+	e.m.ackedAsDropped.Inc()
+	e.m.acksSent.Inc()
+	e.nic.Inject(&gm.Frame{
+		Kind:    gm.KindMcastAck,
+		SrcNode: e.nic.ID(),
+		DstNode: fr.SrcNode,
+		Group:   fr.Group,
+		Epoch:   fr.Epoch,
+		Ack:     fr.Seq,
+	}, nil)
 }
 
 // ackParent sends a cumulative group acknowledgment toward the root.
@@ -387,6 +577,7 @@ func (e *Ext) ackParent(g *group, ack uint32) {
 		SrcNode: e.nic.ID(),
 		DstNode: g.parent,
 		Group:   g.id,
+		Epoch:   g.epoch,
 		Ack:     ack,
 	}, nil)
 }
@@ -403,6 +594,7 @@ func (e *Ext) nackParent(g *group, lastGood uint32) {
 		SrcNode: e.nic.ID(),
 		DstNode: g.parent,
 		Group:   g.id,
+		Epoch:   g.epoch,
 		Ack:     lastGood,
 	}, nil)
 }
@@ -415,6 +607,13 @@ func (e *Ext) rxNack(fr *gm.Frame) {
 	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
 		g, ok := e.groups[fr.Group]
 		if !ok {
+			return
+		}
+		if !g.live || fr.Epoch != g.epoch {
+			// An ack or nack minted under another epoch must not touch this
+			// epoch's sequence space — each commit resets it, so the raw
+			// numbers would alias.
+			e.m.staleEpochAcks.Inc()
 			return
 		}
 		e.m.nacksRecv.Inc()
@@ -430,6 +629,10 @@ func (e *Ext) rxAck(fr *gm.Frame) {
 		g, ok := e.groups[fr.Group]
 		if !ok {
 			return // stale ack for a group we no longer know
+		}
+		if !g.live || fr.Epoch != g.epoch {
+			e.m.staleEpochAcks.Inc()
+			return
 		}
 		e.m.acksRecv.Inc()
 		g.handleAck(fr.SrcNode, fr.Ack)

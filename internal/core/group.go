@@ -19,6 +19,12 @@ type mcastToken struct {
 	pending int // packets with at least one unacknowledged child
 	staged  bool
 	onDone  func()
+	// onEpoch, when non-nil, fires once with the group epoch the message
+	// stages under. A token never straddles epochs: an epoch change freezes
+	// the pump at message boundaries, so the first chunk's epoch is the
+	// whole message's epoch.
+	onEpoch func(epoch uint32)
+	stamped bool
 }
 
 func (t *mcastToken) remaining() int { return len(t.data) - t.nextOff }
@@ -83,6 +89,19 @@ type group struct {
 	// sf gathers per-message packets in the store-and-forward ablation.
 	sf map[uint64]*sfState
 
+	// Dynamic membership (internal/member). epoch tags the active view;
+	// data and acks carry it so frames from another epoch are rejected.
+	// live is false for an entry staged by a joining node before its first
+	// commit: the view exists (so a commit can activate it) but accepts no
+	// traffic. next holds the prepared-but-uncommitted view; while it is
+	// non-nil the root pump freezes at message boundaries so no message
+	// straddles the epoch change. quiesceFns run when the entry's
+	// outstanding send work has drained (see quiescedNow).
+	epoch      uint32
+	live       bool
+	next       *pendingView
+	quiesceFns []func()
+
 	// NIC-based reduction state (core/reduce.go).
 	redSeq    uint32
 	red       map[uint32]*reduceState
@@ -91,6 +110,16 @@ type group struct {
 }
 
 func (g *group) isRoot() bool { return g.root == g.ext.nic.ID() }
+
+// pendingView is a prepared-but-uncommitted group-table update: the next
+// epoch's tree neighborhood (or, with a nil tree, the node's departure).
+type pendingView struct {
+	epoch    uint32
+	remove   bool
+	tr       *tree.Tree
+	port     gm.PortID
+	rootPort gm.PortID
+}
 
 // localView extracts this NIC's tree neighborhood from a full tree.
 func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID) *group {
@@ -104,6 +133,7 @@ func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID)
 		rootPort:  rootPort,
 		sendSeq:   0,
 		recvSeq:   1,
+		live:      true,
 		acked:     make(map[myrinet.NodeID]uint32),
 		red:       make(map[uint32]*reduceState),
 		redSeen:   make(map[redDupKey]bool),
@@ -135,10 +165,23 @@ func (g *group) enqueue(t *mcastToken) {
 
 // pump stages packets at the root: one SDMA per chunk, then a replica
 // transmitted to each child through the header-rewrite callback chain.
+// While an epoch change is prepared (g.next non-nil) the pump freezes at
+// message boundaries: the message being staged finishes in its epoch, but
+// no new message starts, so the commit can reset the sequence space
+// without ever splitting one message across two epochs.
 func (g *group) pump() {
 	nic := g.ext.nic
 	for len(g.queue) > 0 && g.windowOpen() {
 		t := g.queue[0]
+		if g.next != nil && t.nextOff == 0 {
+			break // frozen for an epoch change; resume after commit
+		}
+		if !t.stamped {
+			t.stamped = true
+			if t.onEpoch != nil {
+				t.onEpoch(g.epoch)
+			}
+		}
 		chunk := t.remaining()
 		if chunk > nic.Cfg.MTU {
 			chunk = nic.Cfg.MTU
@@ -154,6 +197,7 @@ func (g *group) pump() {
 			MsgLen:  len(t.data),
 			Offset:  t.nextOff,
 			Group:   g.id,
+			Epoch:   g.epoch,
 		}
 		if chunk > 0 {
 			fr.Payload = t.data[t.nextOff : t.nextOff+chunk]
@@ -304,6 +348,7 @@ func (g *group) recordSent(fr *gm.Frame, t *mcastToken) {
 		// No children (degenerate group), or every child acked before the
 		// transmit callback ran: complete immediately.
 		g.retire(r)
+		g.checkQuiesce()
 		return
 	}
 	g.records = append(g.records, r)
@@ -356,6 +401,7 @@ func (g *group) handleAck(child myrinet.NodeID, ack uint32) {
 	if g.isRoot() {
 		g.pump()
 	}
+	g.checkQuiesce()
 }
 
 // retire completes a record; at the root this may finish the send token,
@@ -455,6 +501,62 @@ func (g *group) fastRetransmit() {
 	g.fastArmed = true
 	g.lastFast = now
 	g.onTimeout()
+}
+
+// quiescedNow reports whether the entry's outstanding send-side work has
+// drained: no unretired send records, no packets staging or mid-replica-
+// chain. Queued root send tokens only block quiescence when no epoch
+// change is prepared — a frozen pump holds whole messages back for the
+// next epoch, so they are not old-epoch work.
+func (g *group) quiescedNow() bool {
+	return len(g.records) == 0 && g.staging == 0 &&
+		(g.next != nil || len(g.queue) == 0)
+}
+
+// onQuiesce runs fn as soon as the entry is quiesced — immediately when it
+// already is. Firmware-context counterpart of Ext.QuiesceGroup.
+func (g *group) onQuiesce(fn func()) {
+	if g.quiescedNow() {
+		fn()
+		return
+	}
+	g.quiesceFns = append(g.quiesceFns, fn)
+}
+
+// checkQuiesce fires registered quiesce callbacks once the entry drains.
+// Called wherever records retire or staging completes.
+func (g *group) checkQuiesce() {
+	if len(g.quiesceFns) == 0 || !g.quiescedNow() {
+		return
+	}
+	fns := g.quiesceFns
+	g.quiesceFns = nil
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// activate installs a prepared view as the entry's live state: the next
+// epoch's tree neighborhood, with the per-epoch sequence space reset. The
+// entry must be drained (CommitGroupEpoch checks).
+func (g *group) activate(v *pendingView) {
+	self := g.ext.nic.ID()
+	g.root = v.tr.Root
+	g.children = append(g.children[:0], v.tr.Children(self)...)
+	if p, ok := v.tr.Parent(self); ok {
+		g.parent = p
+	} else {
+		g.parent = self
+	}
+	g.port, g.rootPort = v.port, v.rootPort
+	g.epoch = v.epoch
+	g.live = true
+	g.sendSeq, g.recvSeq = 0, 1
+	g.acked = make(map[myrinet.NodeID]uint32)
+	g.backoff = 0
+	g.fastArmed = false
+	g.lastFast = 0
+	g.next = nil
 }
 
 func (g *group) String() string {

@@ -17,6 +17,17 @@ import (
 // observable via port.WaitSendDone. The caller must not mutate data until
 // then — it is the registered host replica retransmissions read from.
 func (e *Ext) Mcast(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte) {
+	e.McastEpoch(proc, port, id, data, nil)
+}
+
+// McastEpoch posts a multicast like Mcast and additionally reports, via
+// the firmware callback onEpoch, the group epoch the message stages
+// under. Under dynamic membership a message posted during an epoch roll
+// is held by the frozen pump and flows entirely in the next epoch; the
+// callback is the authoritative attribution (the epoch whose membership
+// the message is delivered to), which host-side bookkeeping cannot know
+// at post time.
+func (e *Ext) McastEpoch(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte, onEpoch func(epoch uint32)) {
 	if port.NIC() != e.nic {
 		panic(fmt.Errorf("%w: Mcast", ErrWrongNIC))
 	}
@@ -33,9 +44,10 @@ func (e *Ext) Mcast(proc *sim.Proc, port *gm.Port, id gm.GroupID, data []byte) {
 				panic(fmt.Errorf("%w: group %d at %v", ErrNotRoot, id, nic.ID()))
 			}
 			g.enqueue(&mcastToken{
-				data:   data,
-				msgID:  nic.NewMsgID(),
-				onDone: port.ReturnSendToken,
+				data:    data,
+				msgID:   nic.NewMsgID(),
+				onDone:  port.ReturnSendToken,
+				onEpoch: onEpoch,
 			})
 		})
 	})

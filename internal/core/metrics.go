@@ -11,23 +11,29 @@ const Component = "core"
 // registry is wired at all, Install falls back to a private enabled
 // registry so the legacy Stats accessor still counts.
 type instruments struct {
-	mcastSent      *metrics.Counter
-	mcastReceived  *metrics.Counter
-	mcastForwarded *metrics.Counter
-	acksSent       *metrics.Counter
-	acksRecv       *metrics.Counter
-	retransmits    *metrics.Counter
-	timeouts       *metrics.Counter
-	duplicates     *metrics.Counter
-	oooDrops       *metrics.Counter
-	noTokenDrops   *metrics.Counter
-	notMemberDrops *metrics.Counter
-	nacksSent      *metrics.Counter
-	nacksRecv      *metrics.Counter
-	barrierSent    *metrics.Counter
-	barriersDone   *metrics.Counter
-	reduceSent     *metrics.Counter
-	reduceCombines *metrics.Counter
+	mcastSent        *metrics.Counter
+	mcastReceived    *metrics.Counter
+	mcastForwarded   *metrics.Counter
+	acksSent         *metrics.Counter
+	acksRecv         *metrics.Counter
+	retransmits      *metrics.Counter
+	timeouts         *metrics.Counter
+	duplicates       *metrics.Counter
+	oooDrops         *metrics.Counter
+	noTokenDrops     *metrics.Counter
+	notMemberDrops   *metrics.Counter
+	nacksSent        *metrics.Counter
+	nacksRecv        *metrics.Counter
+	staleEpochDrops  *metrics.Counter
+	futureEpochDrops *metrics.Counter
+	staleEpochAcks   *metrics.Counter
+	ackedAsDropped   *metrics.Counter
+	epochCommits     *metrics.Counter
+	quiesceReqs      *metrics.Counter
+	barrierSent      *metrics.Counter
+	barriersDone     *metrics.Counter
+	reduceSent       *metrics.Counter
+	reduceCombines   *metrics.Counter
 
 	// headerRewrites counts transmit-callback header rewrites (the
 	// multisend mechanism's defining per-replica cost); fwdBeforeFull
@@ -45,27 +51,33 @@ type instruments struct {
 func (e *Ext) initMetrics(reg *metrics.Registry) {
 	id := int(e.nic.ID())
 	e.m = instruments{
-		mcastSent:      reg.Counter(Component, id, "mcast_sent"),
-		mcastReceived:  reg.Counter(Component, id, "mcast_received"),
-		mcastForwarded: reg.Counter(Component, id, "mcast_forwarded"),
-		acksSent:       reg.Counter(Component, id, "mcast_acks_sent"),
-		acksRecv:       reg.Counter(Component, id, "mcast_acks_received"),
-		retransmits:    reg.Counter(Component, id, "retransmits"),
-		timeouts:       reg.Counter(Component, id, "timeouts"),
-		duplicates:     reg.Counter(Component, id, "duplicates"),
-		oooDrops:       reg.Counter(Component, id, "out_of_order_drops"),
-		noTokenDrops:   reg.Counter(Component, id, "no_token_drops"),
-		notMemberDrops: reg.Counter(Component, id, "not_member_drops"),
-		nacksSent:      reg.Counter(Component, id, "mcast_nacks_sent"),
-		nacksRecv:      reg.Counter(Component, id, "mcast_nacks_received"),
-		barrierSent:    reg.Counter(Component, id, "barrier_sent"),
-		barriersDone:   reg.Counter(Component, id, "barriers_done"),
-		reduceSent:     reg.Counter(Component, id, "reduce_sent"),
-		reduceCombines: reg.Counter(Component, id, "reduce_combines"),
-		headerRewrites: reg.Counter(Component, id, "header_rewrites"),
-		fwdBeforeFull:  reg.Counter(Component, id, "forwards_before_full"),
-		fanout:         reg.Histogram(Component, id, "fanout"),
-		ackLatencyNs:   reg.Histogram(Component, id, "ack_latency_ns"),
+		mcastSent:        reg.Counter(Component, id, "mcast_sent"),
+		mcastReceived:    reg.Counter(Component, id, "mcast_received"),
+		mcastForwarded:   reg.Counter(Component, id, "mcast_forwarded"),
+		acksSent:         reg.Counter(Component, id, "mcast_acks_sent"),
+		acksRecv:         reg.Counter(Component, id, "mcast_acks_received"),
+		retransmits:      reg.Counter(Component, id, "retransmits"),
+		timeouts:         reg.Counter(Component, id, "timeouts"),
+		duplicates:       reg.Counter(Component, id, "duplicates"),
+		oooDrops:         reg.Counter(Component, id, "out_of_order_drops"),
+		noTokenDrops:     reg.Counter(Component, id, "no_token_drops"),
+		notMemberDrops:   reg.Counter(Component, id, "not_member_drops"),
+		nacksSent:        reg.Counter(Component, id, "mcast_nacks_sent"),
+		nacksRecv:        reg.Counter(Component, id, "mcast_nacks_received"),
+		staleEpochDrops:  reg.Counter(Component, id, "stale_epoch_drops"),
+		futureEpochDrops: reg.Counter(Component, id, "future_epoch_drops"),
+		staleEpochAcks:   reg.Counter(Component, id, "stale_epoch_acks"),
+		ackedAsDropped:   reg.Counter(Component, id, "acked_as_dropped"),
+		epochCommits:     reg.Counter(Component, id, "epoch_commits"),
+		quiesceReqs:      reg.Counter(Component, id, "quiesce_requests"),
+		barrierSent:      reg.Counter(Component, id, "barrier_sent"),
+		barriersDone:     reg.Counter(Component, id, "barriers_done"),
+		reduceSent:       reg.Counter(Component, id, "reduce_sent"),
+		reduceCombines:   reg.Counter(Component, id, "reduce_combines"),
+		headerRewrites:   reg.Counter(Component, id, "header_rewrites"),
+		fwdBeforeFull:    reg.Counter(Component, id, "forwards_before_full"),
+		fanout:           reg.Histogram(Component, id, "fanout"),
+		ackLatencyNs:     reg.Histogram(Component, id, "ack_latency_ns"),
 	}
 }
 
@@ -76,21 +88,26 @@ func (e *Ext) initMetrics(reg *metrics.Registry) {
 // callers that predate the registry.
 func (e *Ext) Stats() Stats {
 	return Stats{
-		McastSent:       e.m.mcastSent.Value(),
-		McastReceived:   e.m.mcastReceived.Value(),
-		McastForwarded:  e.m.mcastForwarded.Value(),
-		McastAcksSent:   e.m.acksSent.Value(),
-		McastAcksRecv:   e.m.acksRecv.Value(),
-		Retransmits:     e.m.retransmits.Value(),
-		Duplicates:      e.m.duplicates.Value(),
-		OutOfOrderDrops: e.m.oooDrops.Value(),
-		NoTokenDrops:    e.m.noTokenDrops.Value(),
-		NotMemberDrops:  e.m.notMemberDrops.Value(),
-		McastNacksSent:  e.m.nacksSent.Value(),
-		McastNacksRecv:  e.m.nacksRecv.Value(),
-		BarrierSent:     e.m.barrierSent.Value(),
-		BarriersDone:    e.m.barriersDone.Value(),
-		ReduceSent:      e.m.reduceSent.Value(),
-		ReduceCombines:  e.m.reduceCombines.Value(),
+		McastSent:        e.m.mcastSent.Value(),
+		McastReceived:    e.m.mcastReceived.Value(),
+		McastForwarded:   e.m.mcastForwarded.Value(),
+		McastAcksSent:    e.m.acksSent.Value(),
+		McastAcksRecv:    e.m.acksRecv.Value(),
+		Retransmits:      e.m.retransmits.Value(),
+		Duplicates:       e.m.duplicates.Value(),
+		OutOfOrderDrops:  e.m.oooDrops.Value(),
+		NoTokenDrops:     e.m.noTokenDrops.Value(),
+		NotMemberDrops:   e.m.notMemberDrops.Value(),
+		McastNacksSent:   e.m.nacksSent.Value(),
+		McastNacksRecv:   e.m.nacksRecv.Value(),
+		StaleEpochDrops:  e.m.staleEpochDrops.Value(),
+		FutureEpochDrops: e.m.futureEpochDrops.Value(),
+		StaleEpochAcks:   e.m.staleEpochAcks.Value(),
+		AckedAsDropped:   e.m.ackedAsDropped.Value(),
+		EpochCommits:     e.m.epochCommits.Value(),
+		BarrierSent:      e.m.barrierSent.Value(),
+		BarriersDone:     e.m.barriersDone.Value(),
+		ReduceSent:       e.m.reduceSent.Value(),
+		ReduceCombines:   e.m.reduceCombines.Value(),
 	}
 }

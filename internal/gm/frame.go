@@ -94,8 +94,13 @@ type Frame struct {
 	MsgLen int
 	Offset int
 
-	// Group tags multicast traffic.
+	// Group tags multicast traffic. Epoch is the group-table epoch the
+	// frame was emitted under (core extension's dynamic membership):
+	// multicast data and acks carry it so a stale-epoch frame arriving at
+	// a departed or not-yet-joined NIC is rejected instead of delivered.
+	// Static groups never leave epoch 0.
 	Group GroupID
+	Epoch uint32
 
 	Payload []byte
 }
@@ -124,7 +129,11 @@ func (f *Frame) packet(cfg Config, txDone func()) *myrinet.Packet {
 }
 
 func (f *Frame) String() string {
-	return fmt.Sprintf("%s %v:%d->%v:%d seq=%d ack=%d msg=%d off=%d/%d grp=%d len=%d",
+	s := fmt.Sprintf("%s %v:%d->%v:%d seq=%d ack=%d msg=%d off=%d/%d grp=%d len=%d",
 		f.Kind, f.SrcNode, f.SrcPort, f.DstNode, f.DstPort,
 		f.Seq, f.Ack, f.MsgID, f.Offset, f.MsgLen, f.Group, len(f.Payload))
+	if f.Epoch != 0 {
+		s += fmt.Sprintf(" ep=%d", f.Epoch)
+	}
+	return s
 }

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/chaos"
+)
+
+// MemberSweep runs each membership scenario at every (group size, churn
+// rate) point under the parallel sweep runner, returning results
+// scenario-major, then size-major, in deterministic order. Churn rate is
+// expressed as the number of join/leave transitions the plan schedules
+// over the fixed message stream. Each point is an independent experiment
+// (own cluster, own churn plan, own seeded injector), so the campaign is
+// byte-identical serial or fanned out; a shared Options.Metrics registry
+// forces it serial, as everywhere in the harness.
+func (o Options) MemberSweep(scenarios []chaos.MemberScenario, nodeCounts, transitionCounts []int, msgs, size int) []chaos.MemberResult {
+	type point struct {
+		sc          chaos.MemberScenario
+		nodes       int
+		transitions int
+	}
+	var pts []point
+	for _, sc := range scenarios {
+		for _, n := range nodeCounts {
+			for _, tr := range transitionCounts {
+				pts = append(pts, point{sc, n, tr})
+			}
+		}
+	}
+	return parallelMap(o.workerCount(len(pts)), pts, func(_ int, p point) chaos.MemberResult {
+		return chaos.RunMemberScenario(p.sc, chaos.MemberConfig{
+			Nodes:       p.nodes,
+			Msgs:        msgs,
+			Size:        size,
+			Transitions: p.transitions,
+			Seed:        o.Seed,
+			Metrics:     o.Metrics,
+		})
+	})
+}
+
+// WriteMemberTable renders a membership campaign's per-point verdicts:
+// committed epochs, rejected requests, recovery latency, and the epoch
+// machinery's traffic, with invariant violations itemized under any
+// failing row.
+func WriteMemberTable(w io.Writer, title string, results []chaos.MemberResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tnodes\tchurn\tverdict\tepochs\trejected\trecovery\tdrops\tdups\tretrans\tstale\tfuture\tackdrop")
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%d\t%v\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Scenario, r.Nodes, r.Transitions, verdict, r.Epochs, r.Rejected,
+			r.Recovery, r.Drops, r.Dups, r.Retransmits,
+			r.StaleEpochDrops, r.FutureDrops, r.AckedAsDropped)
+	}
+	tw.Flush()
+	for _, r := range results {
+		if r.Pass {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s @ %d nodes / %d transitions violated:\n", r.Scenario, r.Nodes, r.Transitions)
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  - %s\n", v)
+		}
+	}
+}
+
+// MemberFailures counts failing results.
+func MemberFailures(results []chaos.MemberResult) int {
+	n := 0
+	for _, r := range results {
+		if !r.Pass {
+			n++
+		}
+	}
+	return n
+}

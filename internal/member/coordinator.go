@@ -1,0 +1,320 @@
+package member
+
+import (
+	"sort"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Coordinator phases. One transition is in flight at a time; requests
+// arriving mid-transition queue.
+const (
+	phaseIdle = iota
+	phasePreparing
+	phaseQuiescing
+	phaseCommitting
+)
+
+// coord is the membership coordinator state machine, driven by the root
+// node's control loop.
+type coord struct {
+	s *System
+
+	members map[myrinet.NodeID]bool // current membership, root included
+	tr      *tree.Tree              // current epoch's tree
+	epoch   uint32
+
+	phase   int
+	reqNode myrinet.NodeID // the transition's subject (root for finalize)
+	reqJoin bool
+	target  []myrinet.NodeID // new membership, ascending, root included
+	nextTr  *tree.Tree
+	parts   []myrinet.NodeID        // union(old, new) membership
+	waitFor map[myrinet.NodeID]bool // outstanding replies this phase/level
+	levels  [][]myrinet.NodeID      // old tree in BFS level order
+	lvl     int
+	startAt sim.Time // request accepted: rebuild latency starts here
+	// freezeAt/thawAt bracket the root pump's stall — the traffic
+	// disruption gap. Stamped by the root's own agent handlers.
+	freezeAt, thawAt sim.Time
+
+	pending      []ctrlMsg // requests queued behind the in-flight transition
+	reqsSeen     int       // join/leave requests received (incl. rejected)
+	wantFinalize bool
+	wantShutdown bool
+	done         bool
+}
+
+func newCoord(s *System, initial []myrinet.NodeID, tr *tree.Tree) *coord {
+	co := &coord{s: s, tr: tr, members: make(map[myrinet.NodeID]bool, len(initial))}
+	for _, m := range initial {
+		co.members[m] = true
+	}
+	return co
+}
+
+// handle processes one coordinator-addressed control message.
+func (co *coord) handle(p *sim.Proc, m ctrlMsg) {
+	switch m.kind {
+	case ctrlJoin, ctrlLeave:
+		co.reqsSeen++
+		if co.phase != phaseIdle {
+			co.pending = append(co.pending, m)
+			return
+		}
+		co.request(p, m)
+	case ctrlFinalize:
+		co.wantFinalize = true
+	case ctrlShutdownReq:
+		co.wantShutdown = true
+	case ctrlPrepared:
+		co.reply(p, phasePreparing, m)
+	case ctrlDrained:
+		co.reply(p, phaseQuiescing, m)
+	case ctrlCommitted:
+		co.reply(p, phaseCommitting, m)
+	default:
+		co.s.res.fail("coordinator: unexpected control kind %d", m.kind)
+	}
+	co.idle(p)
+}
+
+// idle drains deferred work whenever the coordinator returns to idle:
+// queued requests first, then a pending finalize (only once every
+// scheduled request has been seen), then shutdown.
+func (co *coord) idle(p *sim.Proc) {
+	for co.phase == phaseIdle && !co.done {
+		switch {
+		case len(co.pending) > 0:
+			m := co.pending[0]
+			co.pending = co.pending[1:]
+			co.request(p, m)
+		case co.wantFinalize && co.reqsSeen == len(co.s.plan.Events):
+			co.wantFinalize = false
+			co.finalize(p)
+		case co.s.finalized && co.wantShutdown:
+			co.shutdown(p)
+		default:
+			return
+		}
+	}
+}
+
+// request validates one join/leave against the ACTUAL current membership
+// (requests may arrive reordered across nodes relative to the plan) and
+// starts a transition. Invalid requests — joining a member, leaving a
+// non-member, leaving as root, or a leave that would empty the group —
+// are rejected and counted.
+func (co *coord) request(p *sim.Proc, m ctrlMsg) {
+	join := m.kind == ctrlJoin
+	bad := m.node == co.s.root ||
+		int(m.node) < 0 || int(m.node) >= len(co.s.c.Nodes) ||
+		join == co.members[m.node] ||
+		(!join && len(co.members) <= 2)
+	if bad {
+		co.s.mRejected.Inc()
+		co.s.res.Rejected++
+		return
+	}
+	target := make([]myrinet.NodeID, 0, len(co.members)+1)
+	for n := range co.members {
+		if !join && n == m.node {
+			continue
+		}
+		target = append(target, n)
+	}
+	if join {
+		target = append(target, m.node)
+	}
+	co.begin(p, m.node, join, target)
+}
+
+// finalize grows the group to full cluster membership (a single
+// transition) so the sentinel reaches every node. A no-op if everyone is
+// already a member.
+func (co *coord) finalize(p *sim.Proc) {
+	if len(co.members) == len(co.s.c.Nodes) {
+		co.s.finalized = true
+		co.s.finalWait.WakeAll()
+		return
+	}
+	target := make([]myrinet.NodeID, 0, len(co.s.c.Nodes))
+	for n := range co.s.c.Nodes {
+		target = append(target, myrinet.NodeID(n))
+	}
+	co.begin(p, co.s.root, true, target)
+}
+
+// begin starts the two-phase epoch roll toward the target membership:
+// rebuild the tree incrementally, then PREPARE every participant (union
+// of old and new membership).
+func (co *coord) begin(p *sim.Proc, node myrinet.NodeID, join bool, target []myrinet.NodeID) {
+	sort.Slice(target, func(i, j int) bool { return target[i] < target[j] })
+	co.reqNode, co.reqJoin = node, join
+	co.target = target
+	co.nextTr = tree.Incremental(co.tr, co.s.root, target, co.s.cfg.Fanout)
+	co.startAt = p.Now()
+
+	union := make(map[myrinet.NodeID]bool, len(target)+1)
+	for n := range co.members {
+		union[n] = true
+	}
+	for _, n := range target {
+		union[n] = true
+	}
+	co.parts = co.parts[:0]
+	for n := range union {
+		co.parts = append(co.parts, n)
+	}
+	sort.Slice(co.parts, func(i, j int) bool { return co.parts[i] < co.parts[j] })
+
+	co.phase = phasePreparing
+	co.waitFor = make(map[myrinet.NodeID]bool, len(co.parts))
+	msg := ctrlMsg{
+		kind:    ctrlPrepare,
+		epoch:   co.epoch + 1,
+		root:    co.s.root,
+		members: co.target,
+		parents: co.nextTr.Parents(),
+	}
+	for _, n := range co.parts {
+		co.waitFor[n] = true
+	}
+	for _, n := range co.parts {
+		co.s.sendCtrl(p, co.s.root, n, msg)
+	}
+}
+
+// reply retires one outstanding phase reply and advances the machine
+// when the wait set empties.
+func (co *coord) reply(p *sim.Proc, wantPhase int, m ctrlMsg) {
+	if co.phase != wantPhase || m.epoch != co.epoch+1 || !co.waitFor[m.node] {
+		co.s.res.fail("coordinator: stray reply kind=%d node=%d epoch=%d in phase %d",
+			m.kind, m.node, m.epoch, co.phase)
+		return
+	}
+	delete(co.waitFor, m.node)
+	if len(co.waitFor) > 0 {
+		return
+	}
+	switch co.phase {
+	case phasePreparing:
+		// Everyone staged and frozen. Drain the OLD epoch top-down in BFS
+		// level order over the OLD tree: a node's drain is only stable
+		// once its parent has drained (the root's frozen pump is the
+		// ground case), so each level must fully report before the next
+		// is asked.
+		co.phase = phaseQuiescing
+		co.levels = bfsLevels(co.tr)
+		co.lvl = 0
+		co.quiesceLevel(p)
+	case phaseQuiescing:
+		co.lvl++
+		if co.lvl < len(co.levels) {
+			co.quiesceLevel(p)
+			return
+		}
+		co.phase = phaseCommitting
+		co.waitFor = make(map[myrinet.NodeID]bool, len(co.parts))
+		for _, n := range co.parts {
+			co.waitFor[n] = true
+		}
+		msg := ctrlMsg{kind: ctrlCommit, epoch: co.epoch + 1}
+		// Commit remote participants before the root: the root's commit
+		// un-freezes the pump, and a head start for the others shortens
+		// the future-epoch retransmit window (correct either way — a NIC
+		// that has not committed yet silently drops the new epoch's
+		// frames and the parent retransmits).
+		for _, n := range co.parts {
+			if n != co.s.root {
+				co.s.sendCtrl(p, co.s.root, n, msg)
+			}
+		}
+		co.s.sendCtrl(p, co.s.root, co.s.root, msg)
+	case phaseCommitting:
+		co.finish(p)
+	}
+}
+
+// quiesceLevel asks every old member in the current BFS level to drain.
+func (co *coord) quiesceLevel(p *sim.Proc) {
+	level := co.levels[co.lvl]
+	co.waitFor = make(map[myrinet.NodeID]bool, len(level))
+	for _, n := range level {
+		co.waitFor[n] = true
+	}
+	msg := ctrlMsg{kind: ctrlQuiesce, epoch: co.epoch + 1}
+	for _, n := range level {
+		co.s.sendCtrl(p, co.s.root, n, msg)
+	}
+}
+
+// finish records the committed epoch: the new membership becomes ground
+// truth for the membership invariant, and the rebuild latency and
+// traffic-disruption gap feed the histograms.
+func (co *coord) finish(p *sim.Proc) {
+	co.epoch++
+	co.members = make(map[myrinet.NodeID]bool, len(co.target))
+	for _, n := range co.target {
+		co.members[n] = true
+	}
+	co.tr = co.nextTr
+	co.phase = phaseIdle
+
+	rebuild := int64(p.Now() - co.startAt)
+	disrupt := int64(co.thawAt - co.freezeAt)
+	co.s.mTransitions.Inc()
+	if co.reqNode != co.s.root {
+		if co.reqJoin {
+			co.s.mJoins.Inc()
+		} else {
+			co.s.mLeaves.Inc()
+		}
+	}
+	co.s.mRebuildNs.Observe(rebuild)
+	co.s.mDisruptNs.Observe(disrupt)
+	co.s.res.Transitions++
+	co.s.res.Epochs = append(co.s.res.Epochs, EpochRecord{
+		Epoch:     co.epoch,
+		Members:   append([]myrinet.NodeID(nil), co.target...),
+		Node:      co.reqNode,
+		Join:      co.reqJoin,
+		At:        p.Now(),
+		RebuildNs: rebuild,
+		DisruptNs: disrupt,
+	})
+	if co.reqNode == co.s.root {
+		// This was the finalize transition.
+		co.s.finalized = true
+		co.s.finalWait.WakeAll()
+	}
+}
+
+// shutdown broadcasts exit to every other agent and retires the
+// coordinator's own loop.
+func (co *coord) shutdown(p *sim.Proc) {
+	msg := ctrlMsg{kind: ctrlShutdown}
+	for n := range co.s.c.Nodes {
+		if id := myrinet.NodeID(n); id != co.s.root {
+			co.s.sendCtrl(p, co.s.root, id, msg)
+		}
+	}
+	co.done = true
+}
+
+// bfsLevels returns the tree's nodes grouped by depth, root first.
+func bfsLevels(t *tree.Tree) [][]myrinet.NodeID {
+	var out [][]myrinet.NodeID
+	level := []myrinet.NodeID{t.Root}
+	for len(level) > 0 {
+		out = append(out, level)
+		var next []myrinet.NodeID
+		for _, n := range level {
+			next = append(next, t.Children(n)...)
+		}
+		level = next
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package member implements dynamic group membership for the NIC-based
+// multicast extension: an epoch-based join/leave protocol that reinstalls
+// the spanning tree under live traffic without dropping, duplicating, or
+// reordering any payload.
+//
+// A coordinator runs on the group root's host. Nodes request join/leave
+// over reliable GM unicast on a dedicated control port. For each
+// transition the coordinator recomputes the tree incrementally
+// (tree.Incremental keeps surviving edges stable) and rolls the cluster
+// to a new epoch in two phases:
+//
+//  1. prepare — every participant (union of old and new membership)
+//     stages the epoch-stamped view with Ext.PrepareGroupEpoch. Staging
+//     freezes the root's send pump at a message boundary, so no message
+//     ever straddles two epochs.
+//  2. quiesce + commit — the coordinator drains the old epoch's in-flight
+//     traffic with Ext.QuiesceGroup, walking the OLD tree top-down in BFS
+//     level order (a node's "drained" is only stable once its parent has
+//     drained), then commits the staged view everywhere with
+//     Ext.CommitGroupEpoch. Senders switch epochs atomically with the
+//     root's commit; stale-epoch frames arriving at departed NICs are
+//     acked-as-dropped so the sender's window never deadlocks.
+//
+// Run drives a workload.ChurnPlan through a cluster and records, per
+// epoch, exactly which nodes were members — the ground truth for the
+// membership invariant checked by Result.Verify: every payload multicast
+// in epoch E is delivered exactly once, in order, to exactly E's members.
+package member
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/myrinet"
+)
+
+// Control message kinds, carried on the membership control port.
+const (
+	ctrlJoin        uint32 = iota + 1 // node -> coordinator: request join
+	ctrlLeave                         // node -> coordinator: request leave
+	ctrlPrepare                       // coordinator -> participant: stage epoch view
+	ctrlPrepared                      // participant -> coordinator: view staged
+	ctrlQuiesce                       // coordinator -> old member: drain old epoch
+	ctrlDrained                       // old member -> coordinator: drained
+	ctrlCommit                        // coordinator -> participant: activate epoch
+	ctrlCommitted                     // participant -> coordinator: activated
+	ctrlFinalize                      // sender -> coordinator: no more churn; grow to full membership
+	ctrlShutdownReq                   // sender -> coordinator: all traffic delivered
+	ctrlShutdown                      // coordinator -> agent: exit
+)
+
+// ctrlMsg is the single wire form for all control traffic. Unused fields
+// encode as zero-length; the codec is symmetric and versionless (both
+// ends are the same binary in the simulator).
+type ctrlMsg struct {
+	kind  uint32
+	node  myrinet.NodeID
+	epoch uint32
+	root  myrinet.NodeID
+	// members is the new epoch's full membership (root included),
+	// ascending; parents is the new tree in wire form (child -> parent),
+	// exactly what tree.FromParents reconstructs.
+	members []myrinet.NodeID
+	parents map[myrinet.NodeID]myrinet.NodeID
+}
+
+func (m ctrlMsg) encode() []byte {
+	buf := make([]byte, 0, 24+4*len(m.members)+8*len(m.parents))
+	var w [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	put(m.kind)
+	put(uint32(m.node))
+	put(m.epoch)
+	put(uint32(m.root))
+	put(uint32(len(m.members)))
+	for _, n := range m.members {
+		put(uint32(n))
+	}
+	put(uint32(len(m.parents)))
+	children := make([]myrinet.NodeID, 0, len(m.parents))
+	for c := range m.parents {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	for _, c := range children {
+		put(uint32(c))
+		put(uint32(m.parents[c]))
+	}
+	return buf
+}
+
+func decodeCtrl(b []byte) (ctrlMsg, error) {
+	var m ctrlMsg
+	off := 0
+	get := func() (uint32, bool) {
+		if off+4 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	fields := [4]*uint32{&m.kind, nil, &m.epoch, nil}
+	var node, root uint32
+	fields[1], fields[3] = &node, &root
+	for _, f := range fields {
+		v, ok := get()
+		if !ok {
+			return m, fmt.Errorf("member: short control message (%d bytes)", len(b))
+		}
+		*f = v
+	}
+	m.node, m.root = myrinet.NodeID(node), myrinet.NodeID(root)
+	nm, ok := get()
+	if !ok {
+		return m, fmt.Errorf("member: truncated member list")
+	}
+	for i := uint32(0); i < nm; i++ {
+		v, ok := get()
+		if !ok {
+			return m, fmt.Errorf("member: truncated member list")
+		}
+		m.members = append(m.members, myrinet.NodeID(v))
+	}
+	np, ok := get()
+	if !ok {
+		return m, fmt.Errorf("member: truncated parent list")
+	}
+	if np > 0 {
+		m.parents = make(map[myrinet.NodeID]myrinet.NodeID, np)
+	}
+	for i := uint32(0); i < np; i++ {
+		c, ok1 := get()
+		p, ok2 := get()
+		if !ok1 || !ok2 {
+			return m, fmt.Errorf("member: truncated parent list")
+		}
+		m.parents[myrinet.NodeID(c)] = myrinet.NodeID(p)
+	}
+	return m, nil
+}

@@ -197,11 +197,10 @@ func (c *Comm) Free() {
 		}
 		ext := r.w.C.Nodes[r.id].Ext
 		if ext.HasGroup(bg.gid) {
-			// Quiesce: the barrier above synchronized the hosts, but the
-			// root's last packets may still await child acknowledgments.
-			for ext.GroupOutstanding(bg.gid) > 0 {
-				r.proc.Sleep(10 * sim.Microsecond)
-			}
+			// The barrier above synchronized the hosts, but the root's last
+			// packets may still await child acknowledgments; RemoveGroup
+			// rides the firmware quiesce path, deleting the entry the
+			// moment the last send record retires.
 			done := false
 			w := sim.NewWaiter(r.w.C.Eng)
 			ext.RemoveGroup(bg.gid, func() {

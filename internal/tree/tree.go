@@ -263,6 +263,94 @@ func FromParents(root myrinet.NodeID, parents map[myrinet.NodeID]myrinet.NodeID)
 	return t
 }
 
+// Incremental rebuilds a spanning tree after membership churn, reusing
+// every edge of prev whose endpoints both survive into the new membership
+// and whose orientation still satisfies the deadlock invariant under the
+// new root. Orphans (nodes whose old parent left) and new joiners attach
+// greedily to the eligible member with the fewest children — preferring
+// members below maxFanout (<= 0 means unbounded), breaking ties toward
+// the lowest ID — so a single join or leave perturbs only the subtrees it
+// must. A nil prev builds the greedy tree from scratch. Children attach
+// in ascending ID order, so the result round-trips exactly through
+// Parents/FromParents (the wire form the membership protocol ships).
+func Incremental(prev *Tree, root myrinet.NodeID, members []myrinet.NodeID, maxFanout int) *Tree {
+	dests := sortedDests(root, members)
+	member := make(map[myrinet.NodeID]bool, len(dests)+1)
+	member[root] = true
+	for _, d := range dests {
+		member[d] = true
+	}
+
+	// First pass: carry surviving edges over. The parent must survive, and
+	// the edge must still be legal: any child under the (new) root, else
+	// strictly ID-increasing.
+	parents := make(map[myrinet.NodeID]myrinet.NodeID, len(dests))
+	fanout := make(map[myrinet.NodeID]int, len(dests)+1)
+	if prev != nil {
+		for _, d := range dests {
+			p, ok := prev.parent[d]
+			if !ok && d != prev.Root {
+				continue // not in the old tree: a joiner
+			}
+			if d == prev.Root {
+				continue // the old root needs a fresh attachment point
+			}
+			if !member[p] || (p != root && p >= d) {
+				continue // parent departed, or edge now violates ordering
+			}
+			parents[d] = p
+			fanout[p]++
+		}
+	}
+
+	// Second pass: attach orphans and joiners in ascending ID order, each
+	// to the least-loaded eligible member (root, or any member with a
+	// smaller ID — the invariant guarantees candidates exist).
+	for _, d := range dests {
+		if _, ok := parents[d]; ok {
+			continue
+		}
+		best := root
+		bestLoad := fanout[root]
+		bestFull := maxFanout > 0 && bestLoad >= maxFanout
+		for _, c := range dests {
+			if c >= d {
+				break // dests ascending: no further candidates
+			}
+			load := fanout[c]
+			full := maxFanout > 0 && load >= maxFanout
+			// Prefer any under-fanout candidate to a full one; among
+			// equals, fewest children, then lowest ID (iteration order).
+			if (bestFull && !full) || (bestFull == full && load < bestLoad) {
+				best, bestLoad, bestFull = c, load, full
+			}
+		}
+		parents[d] = best
+		fanout[best]++
+	}
+
+	t := newTree(root, dests)
+	for _, d := range dests { // ascending: children lists come out sorted
+		t.link(parents[d], d)
+	}
+	return t
+}
+
+// SharedEdges counts the parent→child edges two trees have in common —
+// how much of a rebuilt tree Incremental actually reused.
+func SharedEdges(a, b *Tree) int {
+	if a == nil || b == nil {
+		return 0
+	}
+	n := 0
+	for c, p := range a.parent {
+		if q, ok := b.parent[c]; ok && q == p {
+			n++
+		}
+	}
+	return n
+}
+
 // Parents returns the tree's parent relation, the wire-portable form.
 func (t *Tree) Parents() map[myrinet.NodeID]myrinet.NodeID {
 	out := make(map[myrinet.NodeID]myrinet.NodeID, len(t.parent))

@@ -33,10 +33,15 @@ const (
 	Hotspot Pattern = "hotspot"
 	// Neighbor sends to (rank+1) mod n — a 1-D halo exchange.
 	Neighbor Pattern = "neighbor"
+	// Churn interleaves multicast traffic from a fixed root with a
+	// deterministic join/leave schedule — the dynamic-membership workload.
+	// Generated via GenerateChurn (it needs a group schedule, not a
+	// point-to-point message list).
+	Churn Pattern = "churn"
 )
 
 // Patterns lists the supported patterns.
-func Patterns() []Pattern { return []Pattern{Uniform, Permutation, Hotspot, Neighbor} }
+func Patterns() []Pattern { return []Pattern{Uniform, Permutation, Hotspot, Neighbor, Churn} }
 
 // SizeDist names a message-size distribution.
 type SizeDist string
@@ -85,6 +90,10 @@ func Generate(spec Spec, rng *sim.RNG) ([]Message, error) {
 	hot := spec.HotFraction
 	if hot == 0 {
 		hot = 0.8
+	}
+
+	if spec.Pattern == Churn {
+		return nil, fmt.Errorf("workload: pattern %q produces a group schedule, use GenerateChurn", Churn)
 	}
 
 	var perm []int

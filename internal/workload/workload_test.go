@@ -26,6 +26,9 @@ func TestGenerateValidation(t *testing.T) {
 
 func TestGenerateNeverSelfSends(t *testing.T) {
 	for _, pat := range Patterns() {
+		if pat == Churn {
+			continue // group schedule, not point-to-point: see churn_test.go
+		}
 		msgs, err := Generate(Spec{Nodes: 5, Messages: 500, Pattern: pat, MeanSize: 64}, sim.NewRNG(3))
 		if err != nil {
 			t.Fatal(err)
@@ -107,7 +110,7 @@ func TestInjectionTimesAdvancePerSource(t *testing.T) {
 // well-formed.
 func TestGenerateProperty(t *testing.T) {
 	f := func(seed int64, patPick, sizePick uint8, count uint8) bool {
-		pats := Patterns()
+		pats := []Pattern{Uniform, Permutation, Hotspot, Neighbor} // Churn: churn_test.go
 		sizes := []SizeDist{Fixed, Bimodal, UniformSize}
 		spec := Spec{
 			Nodes:    6,
