@@ -1,15 +1,25 @@
-// Command benchjson measures the event-kernel and sweep-runner benchmarks
-// (the bodies shared with `go test -bench` via internal/benchkernel) and
-// writes a machine-readable perf baseline:
+// Command benchjson measures the event-kernel, sweep-runner, and
+// multicast-storm benchmarks (the bodies shared with `go test -bench` via
+// internal/benchkernel) and writes a machine-readable perf baseline:
 //
-//	go run ./cmd/benchjson -o BENCH_sim.json
+//	go run ./cmd/benchjson -rev $(git rev-parse --short HEAD) -o BENCH_sim.json
 //
 // The output records ns/op, bytes/op and allocs/op for each kernel
 // workload on both the live engine and the preserved legacy
 // (container/heap) engine, the packet-storm comparison against the seed
-// baseline, and the wall-clock ratio of the serial vs parallel sweep
-// runner on this machine. Committing the file gives later changes a
-// concrete number to be diffed against.
+// baseline, the wall-clock ratio of the serial vs parallel sweep runner,
+// and serial-vs-sharded wall-clock pairs for the single-run multicast
+// storm (the conservative PDES mode). Committing the file gives later
+// changes a concrete number to be diffed against.
+//
+// The revision stamp is caller-supplied (-rev): simulation results must be
+// a pure function of configuration and seed, so nothing in the measurement
+// path reads wall-clock identity like time.Now — provenance comes from the
+// caller, who knows what tree it is measuring.
+//
+// With -check FILE the command instead re-measures only the Schedule
+// kernel benchmark and exits nonzero if it regressed more than -tolerance
+// (default 20%) against the committed baseline — the CI perf gate.
 package main
 
 import (
@@ -19,8 +29,10 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/benchkernel"
+	"repro/internal/sim"
 )
 
 // seedStorm is the packet-storm result measured at commit 3e4855e (the
@@ -57,8 +69,36 @@ type sweepResult struct {
 	GOMAXPROCS          int     `json:"gomaxprocs"`
 }
 
+// mcastPoint is one multicast-storm measurement: a full single run (cluster
+// build + group install + msgs multicasts) at one (nodes, shards) point.
+// VirtualNs is the run's final virtual clock — byte-identical across shard
+// counts by the PDES determinism contract, so matching values confirm the
+// serial and sharded timings measured the same computation.
+type mcastPoint struct {
+	Nodes     int     `json:"nodes"`
+	Shards    int     `json:"shards"`
+	Msgs      int     `json:"msgs"`
+	SizeBytes int     `json:"size_bytes"`
+	SecPerRun float64 `json:"sec_per_run"`
+	VirtualNs int64   `json:"virtual_ns"`
+}
+
+// mcastSection summarizes the intra-run scaling study. Speedup is the
+// serial/4-shard wall ratio at the largest common size; on a single-CPU
+// host the shards time-slice one core, so the ratio reflects coordination
+// overhead, not parallel speedup — NumCPU and GOMAXPROCS record which
+// regime the numbers came from.
+type mcastSection struct {
+	Points     []mcastPoint `json:"points"`
+	Speedup    float64      `json:"speedup_serial_vs_4shard"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Note       string       `json:"note"`
+}
+
 type report struct {
 	GeneratedBy string        `json:"generated_by"`
+	Revision    string        `json:"revision,omitempty"`
 	GoVersion   string        `json:"go_version"`
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
@@ -68,6 +108,7 @@ type report struct {
 	PacketStorm comparison    `json:"packet_storm_vs_seed"`
 	SeedNote    string        `json:"packet_storm_seed_note"`
 	Sweep       sweepResult   `json:"sweep"`
+	Mcast       *mcastSection `json:"multicast_storm,omitempty"`
 }
 
 func run(name string, fn func(*testing.B)) benchResult {
@@ -90,10 +131,91 @@ func compare(legacy, current benchResult) comparison {
 	}
 }
 
+// stormPoint times one full storm run at (nodes, shards), best of two so a
+// stray GC pause or scheduler hiccup doesn't pollute the committed number.
+func stormPoint(nodes, shards, msgs, size int) mcastPoint {
+	best := time.Duration(0)
+	var virt sim.Time
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		virt = benchkernel.MulticastStormOnce(nodes, shards, msgs, size)
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return mcastPoint{
+		Nodes:     nodes,
+		Shards:    shards,
+		Msgs:      msgs,
+		SizeBytes: size,
+		SecPerRun: best.Seconds(),
+		VirtualNs: int64(virt),
+	}
+}
+
+// check re-measures the Schedule kernel and gates it against the committed
+// baseline, exiting nonzero on regression beyond tol.
+func check(path string, tol float64) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var want *benchResult
+	for i := range base.Benchmarks {
+		if base.Benchmarks[i].Name == "Schedule" {
+			want = &base.Benchmarks[i]
+		}
+	}
+	if want == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no Schedule baseline\n", path)
+		os.Exit(1)
+	}
+	// Best of three: CI machines are noisy and the gate must not flake on
+	// a one-off scheduler stall.
+	got := run("Schedule", benchkernel.Schedule)
+	for i := 0; i < 2; i++ {
+		if r := run("Schedule", benchkernel.Schedule); r.NsPerOp < got.NsPerOp {
+			got = r
+		}
+	}
+	limit := want.NsPerOp * (1 + tol)
+	fmt.Printf("Schedule: %.1f ns/op, %d allocs/op (baseline %.1f ns/op, limit %.1f)\n",
+		got.NsPerOp, got.AllocsPerOp, want.NsPerOp, limit)
+	if got.AllocsPerOp > want.AllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchjson: Schedule allocates %d/op, baseline %d/op\n",
+			got.AllocsPerOp, want.AllocsPerOp)
+		os.Exit(1)
+	}
+	if got.NsPerOp > limit {
+		fmt.Fprintf(os.Stderr, "benchjson: Schedule regressed %.0f%% (%.1f -> %.1f ns/op, tolerance %.0f%%)\n",
+			100*(got.NsPerOp/want.NsPerOp-1), want.NsPerOp, got.NsPerOp, 100*tol)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file (- for stdout)")
+	rev := flag.String("rev", "", "revision stamp recorded in the output (e.g. git short hash); the sim never reads clock identity itself")
 	skipSweep := flag.Bool("skip-sweep", false, "skip the (slow) sweep serial/parallel comparison")
+	skipStorm := flag.Bool("skip-storm", false, "skip the (slow) multicast-storm serial/sharded comparison")
+	stormNodes := flag.Int("storm-nodes", 512, "multicast-storm system size")
+	stormMsgs := flag.Int("storm-msgs", 20, "multicast-storm messages per run")
+	stormSize := flag.Int("storm-size", 1024, "multicast-storm payload bytes")
+	bigNodes := flag.Int("storm-big", 2048, "largest single sharded storm point (0 to skip)")
+	checkFile := flag.String("check", "", "gate mode: compare Schedule against this baseline and exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression in -check mode")
 	flag.Parse()
+
+	if *checkFile != "" {
+		check(*checkFile, *tolerance)
+		return
+	}
 
 	schedule := run("Schedule", benchkernel.Schedule)
 	legacySchedule := run("LegacySchedule", benchkernel.LegacySchedule)
@@ -103,6 +225,7 @@ func main() {
 
 	rep := report{
 		GeneratedBy: "cmd/benchjson",
+		Revision:    *rev,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -128,6 +251,40 @@ func main() {
 			NumCPU:              runtime.NumCPU(),
 			GOMAXPROCS:          runtime.GOMAXPROCS(0),
 		}
+	}
+
+	if !*skipStorm {
+		sec := &mcastSection{
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note: "sec_per_run is one full run: cluster build + group install + msgs " +
+				"multicasts; matching virtual_ns across shard counts certifies identical " +
+				"computations. speedup needs >= 4 free cores to show parallel gain; on " +
+				"fewer cores it records conservative-sync overhead instead.",
+		}
+		var serialSec, shardSec float64
+		for _, shards := range []int{1, 2, 4} {
+			p := stormPoint(*stormNodes, shards, *stormMsgs, *stormSize)
+			sec.Points = append(sec.Points, p)
+			fmt.Printf("multicast storm %d nodes / %d shards: %.2fs (virtual %s)\n",
+				p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+			switch shards {
+			case 1:
+				serialSec = p.SecPerRun
+			case 4:
+				shardSec = p.SecPerRun
+			}
+		}
+		if shardSec > 0 {
+			sec.Speedup = serialSec / shardSec
+		}
+		if *bigNodes > 0 {
+			p := stormPoint(*bigNodes, 4, *stormMsgs/2+1, *stormSize)
+			sec.Points = append(sec.Points, p)
+			fmt.Printf("multicast storm %d nodes / %d shards: %.2fs (virtual %s)\n",
+				p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+		}
+		rep.Mcast = sec
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -3,15 +3,26 @@
 // NIC-based vs host-based multicast latency to the last destination, for
 // systems from one crossbar up through multi-stage Clos networks of
 // 16-port switches.
+//
+// Two axes of parallelism compose here. -parallel fans independent sweep
+// points across workers (inter-run); -shards splits every single run
+// across engines with the conservative PDES mode (intra-run). The product
+// workers x shards is capped at GOMAXPROCS so the two never oversubscribe
+// the machine. -matrix instead times one multicast storm per (nodes,
+// shards) cell and prints the wall-clock speedup table — the scaling
+// study for the parallel engine itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/benchkernel"
 	"repro/internal/harness"
 )
 
@@ -21,6 +32,9 @@ func main() {
 	nodesFlag := flag.String("nodes", "8,16,32,64,128", "comma-separated system sizes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
+	shards := flag.Int("shards", 0, "engines per simulation run (0 or 1 = serial engine)")
+	matrix := flag.Bool("matrix", false, "print the shards x nodes multicast-storm speedup matrix and exit")
+	msgs := flag.Int("msgs", 10, "multicasts per storm run in -matrix mode")
 	flag.Parse()
 
 	var nodeCounts []int
@@ -33,11 +47,58 @@ func main() {
 		nodeCounts = append(nodeCounts, n)
 	}
 
+	if *matrix {
+		speedupMatrix(nodeCounts, *msgs, *size)
+		return
+	}
+
 	o := harness.DefaultOptions()
 	o.Iters = *iters
 	o.Seed = *seed
 	o.Workers = *parallel
+	o.Shards = *shards
 	fmt.Printf("Scalability: time until the last of N hosts holds a %d-byte broadcast\n", *size)
 	harness.WriteScale(os.Stdout, "-- NIC-based (NB) vs host-based (HB) --",
 		o.ScaleSweep(nodeCounts, *size))
+}
+
+// speedupMatrix times one full multicast storm (cluster build + group
+// install + msgs broadcasts) per (nodes, shards) cell. Speedups are
+// relative to the 1-shard column; they exceed 1.0 only when the shards
+// have real cores to run on, so the GOMAXPROCS context prints with the
+// table.
+func speedupMatrix(nodeCounts []int, msgs, size int) {
+	shardCounts := []int{1, 2, 4, 8}
+	fmt.Printf("Multicast-storm wall seconds per run (speedup vs serial), %d msgs x %d bytes, GOMAXPROCS=%d\n",
+		msgs, size, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s", "nodes")
+	for _, s := range shardCounts {
+		fmt.Printf("  %14s", fmt.Sprintf("%d-shard", s))
+	}
+	fmt.Println()
+	for _, n := range nodeCounts {
+		fmt.Printf("%8d", n)
+		serial := 0.0
+		for _, s := range shardCounts {
+			if s > n {
+				fmt.Printf("  %14s", "-")
+				continue
+			}
+			best := 0.0
+			for i := 0; i < 2; i++ {
+				start := time.Now()
+				benchkernel.MulticastStormOnce(n, s, msgs, size)
+				if d := time.Since(start).Seconds(); best == 0 || d < best {
+					best = d
+				}
+			}
+			if s == 1 {
+				serial = best
+				fmt.Printf("  %14s", fmt.Sprintf("%.3fs", best))
+			} else {
+				fmt.Printf("  %14s", fmt.Sprintf("%.3fs (%.2fx)", best, serial/best))
+			}
+		}
+		fmt.Println()
+	}
 }

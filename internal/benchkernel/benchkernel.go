@@ -8,10 +8,12 @@ package benchkernel
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/harness"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/sim/legacy"
+	"repro/internal/tree"
 )
 
 // window is the number of outstanding events the scheduling kernels keep
@@ -126,6 +128,63 @@ func PacketStorm(b *testing.B) {
 	}
 	if delivered == 0 {
 		b.Fatal("no packets delivered")
+	}
+}
+
+// Multicast storm — the intra-run scaling workload the conservative PDES
+// mode targets: one NIC-based broadcast group spanning every node, root
+// pumping pipelined multicasts through it.
+const (
+	mcastGroup = 7
+	mcastPort  = 1
+)
+
+// MulticastStormOnce builds a cluster (partitioned across `shards` engines
+// when shards > 1), installs a binomial broadcast group over all nodes, and
+// drives msgs pipelined root multicasts of size bytes. It returns the final
+// virtual clock, which the PDES determinism contract makes identical across
+// shard counts — callers use that as a cheap cross-check that serial and
+// sharded timings measured the same computation.
+func MulticastStormOnce(nodes, shards, msgs, size int) sim.Time {
+	c := cluster.New(nodes, cluster.WithShards(shards), cluster.WithSeed(1))
+	ports := c.OpenPorts(mcastPort)
+	ready := c.InstallGroup(mcastGroup, tree.Binomial(0, c.Members()), mcastPort, mcastPort)
+	for i := 1; i < nodes; i++ {
+		port := ports[i]
+		c.SpawnOn(myrinet.NodeID(i), "recv", func(p *sim.Proc) {
+			port.ProvideN(msgs+2, size+256)
+			for got := 0; got < msgs; got++ {
+				port.Recv(p)
+			}
+		})
+	}
+	// Phase 1: run to quiescence so the install-completion flags are behind
+	// the sharded barrier before being read.
+	c.Run()
+	if !ready() {
+		panic("benchkernel: group install incomplete after quiescence")
+	}
+	payload := make([]byte, size)
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
+		ext := c.Nodes[0].Ext
+		for i := 0; i < msgs; i++ {
+			ext.McastSync(p, ports[0], mcastGroup, payload)
+		}
+	})
+	c.Run()
+	end := c.Now()
+	c.Kill()
+	return end
+}
+
+// MulticastStorm returns a benchmark body whose iteration is one full
+// storm run (cluster build + group install + msgs multicasts).
+func MulticastStorm(nodes, shards, msgs, size int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MulticastStormOnce(nodes, shards, msgs, size)
+		}
 	}
 }
 

@@ -42,6 +42,12 @@ type Config struct {
 	// a private registry-backed snapshot diff, so this is optional — but a
 	// shared registry is unsynchronized, so it forces serial campaigns.
 	Metrics *metrics.Registry
+
+	// Shards runs each scenario's clusters on a conservative parallel
+	// engine (0 or 1 = serial). Only stateless fault rules — unconditional
+	// drop windows, every-packet reordering, NIC pauses — are compatible;
+	// a stochastic scenario panics with ErrShardsStateful at install time.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +233,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 	ccfg := cluster.DefaultConfig(cfg.Nodes)
 	ccfg.Seed = cfg.Seed
 	ccfg.Metrics = reg
+	ccfg.Shards = cfg.Shards
 	ccfg.GM.EnableNacks = sc.Nacks
 	ccfg.GM.AdaptiveRTO = sc.Adaptive
 	c := cluster.NewFromConfig(ccfg)
@@ -254,7 +261,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 			continue
 		}
 		n := n
-		c.Eng.Spawn("chaos-recv", func(p *sim.Proc) {
+		c.SpawnOn(n, "chaos-recv", func(p *sim.Proc) {
 			ports[n].ProvideN(cfg.Msgs, cfg.Size)
 			for i := 0; i < cfg.Msgs; i++ {
 				ev := ports[n].Recv(p)
@@ -270,7 +277,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 			finish[n] = p.Now()
 		})
 	}
-	c.Eng.Spawn("chaos-root", func(p *sim.Proc) {
+	c.SpawnOn(tr.Root, "chaos-root", func(p *sim.Proc) {
 		ext := c.Nodes[0].Ext
 		for i := 0; i < cfg.Msgs; i++ {
 			ext.Mcast(p, ports[0], Group, msgs[i])
@@ -282,7 +289,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 	})
 
 	before := reg.Snapshot()
-	c.Eng.RunUntil(cfg.Deadline)
+	c.RunUntil(cfg.Deadline)
 
 	var out outcome
 	for _, t := range finish {
@@ -309,7 +316,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 		out.rules = inj.RuleHits()
 	}
 
-	c.Eng.Kill()
+	c.Kill()
 	return out
 }
 
@@ -319,11 +326,11 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 // armed retransmit timer past quiescence means a leaked send record).
 func checkQuiescence(c *cluster.Cluster, cfg Config) []string {
 	var v []string
-	if n := c.Eng.LiveProcs(); n != 0 {
+	if n := c.LiveProcs(); n != 0 {
 		v = append(v, fmt.Sprintf(
 			"did not recover by deadline %v: %d processes still blocked", cfg.Deadline, n))
 	}
-	if n := c.Eng.Pending(); n != 0 {
+	if n := c.Pending(); n != 0 {
 		v = append(v, fmt.Sprintf(
 			"%d events still scheduled after quiescence (leaked timer or unfinished recovery)", n))
 	}

@@ -15,11 +15,22 @@
 package chaos
 
 import (
+	"errors"
+	"sync/atomic"
+
 	"repro/internal/gm"
 	"repro/internal/lanai"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
+
+// ErrShardsStateful is the sentinel a rule-install panics with when the
+// fabric is sharded and the rule keeps cross-traversal state (stochastic
+// drops, Gilbert-Elliott, every-nth duplication or reordering): hook
+// callbacks run on whichever shard owns the link, so a shared RNG or
+// counter would be both racy and nondeterministic. Pure time-window rules
+// (unconditional drops, every-packet reordering) remain available.
+var ErrShardsStateful = errors.New("chaos: stateful fault rules require a serial (unsharded) cluster")
 
 // Match selects the packets/link traversals a rule applies to.
 type Match func(p *myrinet.Packet, l *myrinet.Link) bool
@@ -94,7 +105,7 @@ type dropRule struct {
 	match Match
 	prob  float64
 	step  func() bool
-	hits  uint64
+	hits  atomic.Uint64
 }
 
 // dupRule duplicates every nth matched packet inside its window.
@@ -104,7 +115,7 @@ type dupRule struct {
 	match Match
 	every int
 	seen  int
-	hits  uint64
+	hits  atomic.Uint64
 }
 
 // delayRule holds back every nth matched packet by delay — bounded
@@ -116,7 +127,7 @@ type delayRule struct {
 	every int
 	delay sim.Time
 	seen  int
-	hits  uint64
+	hits  atomic.Uint64
 }
 
 // Injector owns a fabric's fault-injection hooks. Create one per cluster
@@ -153,6 +164,9 @@ func (in *Injector) DropWindow(name string, from, until sim.Time, match Match) {
 // DropProb drops matched traversals with the given probability inside
 // [from, until) (until 0 = forever).
 func (in *Injector) DropProb(name string, from, until sim.Time, prob float64, match Match) {
+	if prob < 1 && in.net.Shards() > 1 {
+		panic(ErrShardsStateful)
+	}
 	in.drops = append(in.drops, &dropRule{
 		name: name, win: window{from, until}, match: match, prob: prob,
 	})
@@ -164,6 +178,9 @@ func (in *Injector) DropProb(name string, from, until sim.Time, prob float64, ma
 // pBadGood. One state machine covers all matched links, which correlates
 // losses across a burst the way a real interference event does.
 func (in *Injector) GilbertElliott(name string, pGoodBad, pBadGood, lossGood, lossBad float64, match Match) {
+	if in.net.Shards() > 1 {
+		panic(ErrShardsStateful)
+	}
 	bad := false
 	step := func() bool {
 		if bad {
@@ -186,6 +203,11 @@ func (in *Injector) GilbertElliott(name string, pGoodBad, pBadGood, lossGood, lo
 // Duplicate delivers a second copy of every nth matched packet inside
 // [from, until).
 func (in *Injector) Duplicate(name string, from, until sim.Time, every int, match Match) {
+	if in.net.Shards() > 1 {
+		// Even every=1 duplication is off-limits sharded: the fabric's
+		// duplicate-delivery closure cannot cross a shard boundary.
+		panic(ErrShardsStateful)
+	}
 	if every < 1 {
 		every = 1
 	}
@@ -197,6 +219,9 @@ func (in *Injector) Duplicate(name string, from, until sim.Time, every int, matc
 // Reorder holds every nth matched packet back by delay inside [from,
 // until), letting later packets overtake it — bounded reordering.
 func (in *Injector) Reorder(name string, from, until sim.Time, every int, delay sim.Time, match Match) {
+	if every > 1 && in.net.Shards() > 1 {
+		panic(ErrShardsStateful)
+	}
 	if every < 1 {
 		every = 1
 	}
@@ -206,10 +231,13 @@ func (in *Injector) Reorder(name string, from, until sim.Time, every int, delay 
 }
 
 // PauseNIC schedules a firmware reload on hw: the NIC goes deaf at from
-// and recovers at until.
+// and recovers at until. The events go to the NIC's own engine under its
+// node's key domain, so the reload lands identically on serial and sharded
+// clusters.
 func (in *Injector) PauseNIC(hw *lanai.NIC, from, until sim.Time) {
-	in.eng.At(from, hw.Pause)
-	in.eng.At(until, hw.Resume)
+	dom := in.net.HostDomain(hw.ID)
+	hw.Eng.AtDomain(dom, from, hw.Pause)
+	hw.Eng.AtDomain(dom, until, hw.Resume)
 }
 
 // RuleHits reports per-rule activation counts in rule-installation order,
@@ -217,13 +245,13 @@ func (in *Injector) PauseNIC(hw *lanai.NIC, from, until sim.Time) {
 func (in *Injector) RuleHits() []RuleHit {
 	var out []RuleHit
 	for _, r := range in.drops {
-		out = append(out, RuleHit{Name: r.name, Kind: "drop", Hits: r.hits})
+		out = append(out, RuleHit{Name: r.name, Kind: "drop", Hits: r.hits.Load()})
 	}
 	for _, r := range in.dups {
-		out = append(out, RuleHit{Name: r.name, Kind: "dup", Hits: r.hits})
+		out = append(out, RuleHit{Name: r.name, Kind: "dup", Hits: r.hits.Load()})
 	}
 	for _, r := range in.delays {
-		out = append(out, RuleHit{Name: r.name, Kind: "delay", Hits: r.hits})
+		out = append(out, RuleHit{Name: r.name, Kind: "delay", Hits: r.hits.Load()})
 	}
 	return out
 }
@@ -238,8 +266,11 @@ type RuleHit struct {
 // drop implements myrinet.DropFn over the installed rules. Stochastic
 // rules consume randomness only when their window and match apply, so
 // adding an inert rule never shifts another rule's stream.
+// Hooks read the clock of the shard that owns the link (LinkNow): within a
+// synchronization window the shards' clocks legitimately differ, and the
+// traversal's own shard is the only one whose time is meaningful here.
 func (in *Injector) drop(p *myrinet.Packet, l *myrinet.Link) bool {
-	now := in.eng.Now()
+	now := in.net.LinkNow(l)
 	for _, r := range in.drops {
 		if !r.win.contains(now) || !r.match(p, l) {
 			continue
@@ -254,7 +285,7 @@ func (in *Injector) drop(p *myrinet.Packet, l *myrinet.Link) bool {
 			lost = in.rng.Bernoulli(r.prob)
 		}
 		if lost {
-			r.hits++
+			r.hits.Add(1)
 			return true
 		}
 	}
@@ -263,14 +294,14 @@ func (in *Injector) drop(p *myrinet.Packet, l *myrinet.Link) bool {
 
 // dup implements myrinet.DupFn over the installed rules.
 func (in *Injector) dup(p *myrinet.Packet, l *myrinet.Link) bool {
-	now := in.eng.Now()
+	now := in.net.LinkNow(l)
 	for _, r := range in.dups {
 		if !r.win.contains(now) || !r.match(p, l) {
 			continue
 		}
 		r.seen++
 		if r.seen%r.every == 0 {
-			r.hits++
+			r.hits.Add(1)
 			return true
 		}
 	}
@@ -280,15 +311,21 @@ func (in *Injector) dup(p *myrinet.Packet, l *myrinet.Link) bool {
 // delay implements myrinet.DelayFn over the installed rules; concurrent
 // rules add up.
 func (in *Injector) delay(p *myrinet.Packet, l *myrinet.Link) sim.Time {
-	now := in.eng.Now()
+	now := in.net.LinkNow(l)
 	var total sim.Time
 	for _, r := range in.delays {
 		if !r.win.contains(now) || !r.match(p, l) {
 			continue
 		}
+		if r.every == 1 {
+			// Stateless fast path — the form permitted on sharded fabrics.
+			r.hits.Add(1)
+			total += r.delay
+			continue
+		}
 		r.seen++
 		if r.seen%r.every == 0 {
-			r.hits++
+			r.hits.Add(1)
 			total += r.delay
 		}
 	}

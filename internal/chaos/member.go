@@ -42,6 +42,11 @@ type MemberConfig struct {
 	// The checks always use a private snapshot diff; a shared registry is
 	// unsynchronized and forces serial campaigns.
 	Metrics *metrics.Registry
+
+	// Shards runs each scenario's clusters on a conservative parallel
+	// engine (0 or 1 = serial); stateless fault rules only, as with
+	// Config.Shards.
+	Shards int
 }
 
 func (c MemberConfig) withDefaults() MemberConfig {
@@ -236,6 +241,7 @@ func memberRunOnce(sc MemberScenario, cfg MemberConfig, faulted bool) memberOutc
 	ccfg := cluster.DefaultConfig(cfg.Nodes)
 	ccfg.Seed = cfg.Seed
 	ccfg.Metrics = reg
+	ccfg.Shards = cfg.Shards
 	ccfg.GM.EnableNacks = sc.Nacks
 	ccfg.GM.AdaptiveRTO = sc.Adaptive
 	c := cluster.NewFromConfig(ccfg)
@@ -302,7 +308,7 @@ func memberRunOnce(sc MemberScenario, cfg MemberConfig, faulted bool) memberOutc
 		out.rules = inj.RuleHits()
 	}
 
-	c.Eng.Kill()
+	c.Kill()
 	return out
 }
 

@@ -6,6 +6,9 @@
 package cluster
 
 import (
+	"errors"
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/gm"
 	"repro/internal/lanai"
@@ -45,6 +48,15 @@ type Config struct {
 	// instruments.
 	Metrics *metrics.Registry
 
+	// Shards partitions the fabric over this many engines for conservative
+	// parallel execution (0 or 1 means the classic serial engine; the count
+	// is clamped to the node count). Sharded output is byte-identical to
+	// serial for the same seed. Sharding is incompatible with stochastic
+	// loss and tracing, whose shared state would make cross-shard order
+	// observable — build panics with ErrShardsWithLossRate /
+	// ErrShardsWithTrace.
+	Shards int
+
 	// noExt skips installing the multicast extension (WithoutExtension).
 	noExt bool
 }
@@ -81,12 +93,32 @@ type Node struct {
 
 // Cluster is an assembled simulated testbed.
 type Cluster struct {
-	Cfg   *Config
+	Cfg *Config
+	// Eng is the serial engine — nil when the cluster is sharded, so code
+	// that has not been taught about shards fails loudly instead of
+	// silently desynchronizing one shard. Use Run/RunUntil/SpawnOn/Now and
+	// friends, which dispatch to either mode.
 	Eng   *sim.Engine
 	Net   *myrinet.Network
 	RNG   *sim.RNG
 	Nodes []*Node
+
+	engines []*sim.Engine
+	plan    myrinet.Plan
+	sh      *sim.Sharded // nil when serial
+
+	prevWindows uint64 // metrics fold bookkeeping
+	prevCross   uint64
+	prevEvents  []uint64
+	prevWait    []int64
 }
+
+// Sentinel errors for configurations sharding cannot honor; build panics
+// with values satisfying errors.Is against these.
+var (
+	ErrShardsWithLossRate = errors.New("cluster: stochastic loss requires the serial engine (shared RNG draw order)")
+	ErrShardsWithTrace    = errors.New("cluster: tracing requires the serial engine (shared trace recorder)")
+)
 
 // New builds a cluster of n nodes: engine, fabric (single crossbar up to
 // 16 nodes, a Clos of 16-port crossbars beyond — the testbed's default
@@ -120,28 +152,194 @@ func NewPlain(cfg *Config) *Cluster {
 
 // build assembles the cluster described by cfg, wiring the metrics
 // registry (if any) through every layer before firmware is attached.
+// Sharded and serial builds follow the identical code path — same fabric,
+// same domain registration, same construction order — so event tiebreak
+// keys (and therefore timelines) agree bit for bit across shard counts.
 func build(cfg *Config) *Cluster {
-	eng := sim.NewEngine()
-	net := myrinet.AutoTopology(eng, cfg.Nodes, cfg.Link)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes // the shards-exceed-nodes edge case degenerates
+	}
+	if shards > 1 {
+		if cfg.LossRate > 0 {
+			panic(ErrShardsWithLossRate)
+		}
+		if cfg.Trace != nil {
+			panic(ErrShardsWithTrace)
+		}
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	net := myrinet.AutoTopology(engines[0], cfg.Nodes, cfg.Link)
+	plan := net.Partition(shards)
+	net.ApplyPlan(plan, engines[:plan.Shards])
 	rng := sim.NewRNG(cfg.Seed)
 	net.SetRNG(rng)
 	if err := net.SetLossRate(cfg.LossRate); err != nil {
 		panic(err) // errors.Is-testable sentinel (ErrBadLossRate)
 	}
 	net.SetMetrics(cfg.Metrics)
-	c := &Cluster{Cfg: cfg, Eng: eng, Net: net, RNG: rng}
+	c := &Cluster{Cfg: cfg, Net: net, RNG: rng, engines: engines, plan: plan}
+	if plan.Shards == 1 {
+		c.Eng = engines[0]
+	} else {
+		c.sh = sim.NewSharded(engines, plan.Lookahead, net.DrainCross)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
-		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), cfg.NIC)
-		hw.SetMetrics(cfg.Metrics)
-		nic := gm.NewNIC(hw, cfg.GM)
-		nic.Trace = cfg.Trace
-		node := &Node{ID: myrinet.NodeID(i), HW: hw, NIC: nic}
-		if !cfg.noExt {
-			node.Ext = core.InstallWithConfig(nic, cfg.Mcast)
-		}
+		id := myrinet.NodeID(i)
+		eng := engines[plan.HostShard[i]]
+		var node *Node
+		// Construction runs under the host's domain so any keys it draws
+		// are attributed to the node, not the ambient domain — ambient
+		// sequences live per engine and would diverge across shard counts.
+		eng.WithDomain(net.HostDomain(id), func() {
+			hw := lanai.New(eng, net.Iface(id), cfg.NIC)
+			hw.SetMetrics(cfg.Metrics)
+			nic := gm.NewNIC(hw, cfg.GM)
+			nic.Trace = cfg.Trace
+			node = &Node{ID: id, HW: hw, NIC: nic}
+			if !cfg.noExt {
+				node.Ext = core.InstallWithConfig(nic, cfg.Mcast)
+			}
+		})
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c
+}
+
+// Shards reports how many engines the cluster runs on.
+func (c *Cluster) Shards() int { return c.plan.Shards }
+
+// Sharded exposes the shard coordinator (nil when serial) — benchmarks use
+// it for window/barrier statistics.
+func (c *Cluster) Sharded() *sim.Sharded { return c.sh }
+
+// EngineOf reports the engine that owns a node's events.
+func (c *Cluster) EngineOf(id myrinet.NodeID) *sim.Engine {
+	return c.engines[c.plan.HostShard[id]]
+}
+
+// Engines exposes the per-shard engines.
+func (c *Cluster) Engines() []*sim.Engine { return c.engines }
+
+// WithNode runs fn attributed to the node: on the node's engine, under the
+// node's event domain. Every ambient (outside-any-event) operation that
+// schedules work on a node — installing groups, opening ports, spawning
+// host processes — must go through it (or SpawnOn) so tiebreak keys stay
+// shard-stable.
+func (c *Cluster) WithNode(id myrinet.NodeID, fn func()) {
+	c.EngineOf(id).WithDomain(c.Net.HostDomain(id), fn)
+}
+
+// SpawnOn starts a simulated host process on a node, on the node's engine
+// and under its domain. It is the sharded-safe replacement for
+// c.Eng.Spawn; spawn only between runs (at a barrier), never from a
+// process on another shard.
+func (c *Cluster) SpawnOn(id myrinet.NodeID, name string, fn func(p *sim.Proc)) *sim.Proc {
+	var p *sim.Proc
+	eng := c.EngineOf(id)
+	eng.WithDomain(c.Net.HostDomain(id), func() {
+		p = eng.Spawn(name, fn)
+	})
+	return p
+}
+
+// Run fires events until the whole cluster is quiescent, serial or
+// sharded; afterwards every shard's clock sits at the same time a serial
+// run would end at.
+func (c *Cluster) Run() {
+	if c.sh != nil {
+		c.sh.Run()
+		c.foldShardMetrics()
+		return
+	}
+	c.Eng.Run()
+}
+
+// RunUntil fires every event with timestamp <= t and advances all clocks
+// to t.
+func (c *Cluster) RunUntil(t sim.Time) {
+	if c.sh != nil {
+		c.sh.RunUntil(t)
+		c.foldShardMetrics()
+		return
+	}
+	c.Eng.RunUntil(t)
+}
+
+// Now reports the cluster's virtual time (all shard clocks agree between
+// runs).
+func (c *Cluster) Now() sim.Time {
+	if c.sh != nil {
+		return c.sh.Now()
+	}
+	return c.Eng.Now()
+}
+
+// Kill unwinds all live processes across every shard.
+func (c *Cluster) Kill() {
+	if c.sh != nil {
+		c.sh.Kill()
+		return
+	}
+	c.Eng.Kill()
+}
+
+// LiveProcs totals unfinished processes across shards.
+func (c *Cluster) LiveProcs() int {
+	if c.sh != nil {
+		return c.sh.LiveProcs()
+	}
+	return c.Eng.LiveProcs()
+}
+
+// Pending totals scheduled, not-yet-fired events across shards.
+func (c *Cluster) Pending() int {
+	if c.sh != nil {
+		return c.sh.Pending()
+	}
+	return c.Eng.Pending()
+}
+
+// EventsFired totals fired events across shards.
+func (c *Cluster) EventsFired() uint64 {
+	if c.sh != nil {
+		return c.sh.EventsFired()
+	}
+	return c.Eng.EventsFired()
+}
+
+// foldShardMetrics publishes the coordinator's deterministic accounting —
+// per-shard fired events, window and cross-shard event counts — into the
+// metrics registry after each run. Wall-clock barrier waits are folded
+// only when wall statistics were explicitly enabled (benchmarks), keeping
+// default metrics output deterministic.
+func (c *Cluster) foldShardMetrics() {
+	reg := c.Cfg.Metrics
+	if c.sh == nil || !reg.Enabled() {
+		return
+	}
+	st := c.sh.Stats()
+	reg.Counter("sim", metrics.NodeFabric, "windows").Add(st.Windows - c.prevWindows)
+	reg.Counter("sim", metrics.NodeFabric, "cross_events").Add(st.CrossEvents - c.prevCross)
+	c.prevWindows, c.prevCross = st.Windows, st.CrossEvents
+	if c.prevEvents == nil {
+		c.prevEvents = make([]uint64, st.Shards)
+		c.prevWait = make([]int64, st.Shards)
+	}
+	for s := 0; s < st.Shards; s++ {
+		reg.Counter("sim", s, "events_fired").Add(st.Events[s] - c.prevEvents[s])
+		c.prevEvents[s] = st.Events[s]
+		if len(st.WaitNs) == st.Shards {
+			reg.Histogram("sim", s, "barrier_wait_ns").Observe(st.WaitNs[s] - c.prevWait[s])
+			c.prevWait[s] = st.WaitNs[s]
+		}
+	}
 }
 
 // Registry reports the metrics registry the cluster was built with (nil
@@ -153,21 +351,27 @@ func (c *Cluster) Registry() *metrics.Registry { return c.Cfg.Metrics }
 func (c *Cluster) OpenPorts(id gm.PortID) []*gm.Port {
 	ports := make([]*gm.Port, len(c.Nodes))
 	for i, n := range c.Nodes {
-		ports[i] = n.NIC.OpenPort(id)
+		i, n := i, n
+		c.WithNode(n.ID, func() { ports[i] = n.NIC.OpenPort(id) })
 	}
 	return ports
 }
 
 // InstallGroup preposts a group's tree into the NIC group table of every
 // member. Installation is asynchronous firmware work; the returned ready
-// function reports completion (poll it from a process, or run the engine).
+// function reports completion. The completion count is written from every
+// member's shard, so on a sharded cluster poll ready only from outside the
+// run (typically: InstallGroup, then Run to quiescence, then check).
 func (c *Cluster) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID) (ready func() bool) {
-	total := tr.Size()
-	done := 0
+	total := int64(tr.Size())
+	done := new(atomic.Int64)
 	for _, n := range tr.Nodes() {
-		c.Nodes[n].Ext.InstallGroup(id, tr, port, rootPort, func() { done++ })
+		n := n
+		c.WithNode(n, func() {
+			c.Nodes[n].Ext.InstallGroup(id, tr, port, rootPort, func() { done.Add(1) })
+		})
 	}
-	return func() bool { return done == total }
+	return func() bool { return done.Load() == total }
 }
 
 // Members returns node IDs [0, n) — the usual full-system group.

@@ -41,6 +41,15 @@ func WithoutMetrics() Option {
 	return func(c *Config) { c.Metrics = metrics.Disabled() }
 }
 
+// WithShards partitions the cluster over n engines for conservative
+// parallel execution. Output is byte-identical to the serial engine for
+// the same seed; n is clamped to the node count, and n <= 1 selects the
+// classic serial engine. Incompatible with WithLossRate and WithTrace
+// (build panics with a sentinel error).
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
 // WithSeed sets the simulation RNG seed.
 func WithSeed(seed int64) Option {
 	return func(c *Config) { c.Seed = seed }

@@ -1,0 +1,176 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// fireRec is one fired event as the equivalence probe sees it.
+type fireRec struct {
+	when sim.Time
+	key  uint64
+}
+
+// hookAll records every fired event on every engine of c. Records are
+// per-engine (each engine's hook appends only its own slice, so sharded
+// runs record race-free); merge() flattens and sorts them by (when, key) —
+// the canonical timeline order both serial and sharded runs must agree on.
+type hookAll struct {
+	perEngine [][]fireRec
+}
+
+func hookCluster(c *cluster.Cluster) *hookAll {
+	h := &hookAll{perEngine: make([][]fireRec, len(c.Engines()))}
+	for i, e := range c.Engines() {
+		i := i
+		e.SetFireHook(func(when sim.Time, key uint64) {
+			h.perEngine[i] = append(h.perEngine[i], fireRec{when, key})
+		})
+	}
+	return h
+}
+
+func (h *hookAll) merge() []fireRec {
+	var all []fireRec
+	for _, recs := range h.perEngine {
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].when != all[j].when {
+			return all[i].when < all[j].when
+		}
+		return all[i].key < all[j].key
+	})
+	return all
+}
+
+// gmShardRun drives a NIC-based multicast workload — install a binomial
+// tree, then five pipelined multicasts from the root — on a cluster with
+// the given shard count, returning the merged event timeline, each node's
+// delivery times, and the final clock.
+func gmShardRun(t *testing.T, nodes, shards int, msgs int) ([]fireRec, [][]sim.Time, sim.Time) {
+	t.Helper()
+	c := cluster.New(nodes, cluster.WithShards(shards), cluster.WithSeed(11))
+	h := hookCluster(c)
+	ports := c.OpenPorts(1)
+	ready := c.InstallGroup(7, tree.Binomial(0, c.Members()), 1, 1)
+
+	deliveries := make([][]sim.Time, nodes)
+	for i := 1; i < nodes; i++ {
+		i := i
+		port := ports[i]
+		c.SpawnOn(myrinet.NodeID(i), fmt.Sprintf("recv%d", i), func(p *sim.Proc) {
+			port.ProvideN(msgs+2, 1<<12)
+			for got := 0; got < msgs; got++ {
+				port.Recv(p)
+				deliveries[i] = append(deliveries[i], p.Now())
+			}
+		})
+	}
+
+	// Phase 1: firmware installs the group on every member; receivers post
+	// their tokens and park. Run to quiescence — the sharded barrier after
+	// which cross-shard completion flags are safe to read.
+	c.Run()
+	if !ready() {
+		t.Fatalf("group install incomplete after quiescence (shards=%d)", shards)
+	}
+
+	// Phase 2: root multicasts.
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
+		ext := c.Nodes[0].Ext
+		for i := 0; i < msgs; i++ {
+			ext.McastSync(p, ports[0], 7, make([]byte, 2000))
+		}
+	})
+	c.Run()
+	end := c.Now()
+	c.Kill()
+	return h.merge(), deliveries, end
+}
+
+// TestShardedGMEquivalence is the acceptance bar for the conservative PDES
+// mode: for identical seeds, the sharded engine's full event timeline —
+// every (timestamp, tiebreak key) pair — and every delivery time must be
+// byte-identical to the serial engine's, across shard counts, on a
+// multi-switch fabric where real cross-shard traffic occurs.
+func TestShardedGMEquivalence(t *testing.T) {
+	const nodes, msgs = 32, 5
+	serialTL, serialDel, serialEnd := gmShardRun(t, nodes, 1, msgs)
+	if len(serialTL) == 0 {
+		t.Fatal("serial run fired no events; equivalence check is vacuous")
+	}
+	for _, shards := range []int{2, 4} {
+		tl, del, end := gmShardRun(t, nodes, shards, msgs)
+		if end != serialEnd {
+			t.Errorf("shards=%d: final clock %v != serial %v", shards, end, serialEnd)
+		}
+		if len(tl) != len(serialTL) {
+			t.Fatalf("shards=%d: %d events fired, serial fired %d", shards, len(tl), len(serialTL))
+		}
+		for i := range tl {
+			if tl[i] != serialTL[i] {
+				t.Fatalf("shards=%d: timeline diverges at event %d: got (%v, %#x), serial (%v, %#x)",
+					shards, i, tl[i].when, tl[i].key, serialTL[i].when, serialTL[i].key)
+			}
+		}
+		for n := range del {
+			if len(del[n]) != len(serialDel[n]) {
+				t.Fatalf("shards=%d: node %d got %d deliveries, serial %d", shards, n, len(del[n]), len(serialDel[n]))
+			}
+			for i := range del[n] {
+				if del[n][i] != serialDel[n][i] {
+					t.Errorf("shards=%d: node %d delivery %d at %v, serial %v", shards, n, i, del[n][i], serialDel[n][i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardsExceedNodes pins the edge case: asking for more shards than
+// nodes clamps to one shard per node and still reproduces the serial
+// timeline.
+func TestShardsExceedNodes(t *testing.T) {
+	const nodes, msgs = 4, 3
+	serialTL, _, serialEnd := gmShardRun(t, nodes, 1, msgs)
+	tl, _, end := gmShardRun(t, nodes, 16, msgs)
+	if end != serialEnd {
+		t.Errorf("final clock %v != serial %v", end, serialEnd)
+	}
+	if len(tl) != len(serialTL) {
+		t.Fatalf("%d events fired, serial fired %d", len(tl), len(serialTL))
+	}
+	for i := range tl {
+		if tl[i] != serialTL[i] {
+			t.Fatalf("timeline diverges at event %d", i)
+		}
+	}
+}
+
+// TestShardOptionValidation pins the sentinel panics for configurations
+// sharding cannot honor.
+func TestShardOptionValidation(t *testing.T) {
+	mustPanic := func(name string, want error, build func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			err, ok := r.(error)
+			if !ok || err != want {
+				t.Errorf("%s: panicked with %v, want %v", name, r, want)
+			}
+		}()
+		build()
+	}
+	mustPanic("loss", cluster.ErrShardsWithLossRate, func() {
+		cluster.New(8, cluster.WithShards(2), cluster.WithLossRate(0.01))
+	})
+}

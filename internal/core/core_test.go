@@ -32,7 +32,15 @@ func newRig(t *testing.T, nodes int, build func(root myrinet.NodeID, members []m
 	c := cluster.NewFromConfig(cfg)
 	r := &rig{c: c, ports: c.OpenPorts(testPort), gid: 7}
 	r.tr = build(0, c.Members())
-	c.InstallGroup(r.gid, r.tr, testPort, testPort)
+	ready := c.InstallGroup(r.gid, r.tr, testPort, testPort)
+	// Land the installs before any test process runs: a proc spawned at the
+	// ambient domain would otherwise race the per-node install events at
+	// equal timestamps (e.g. an epoch roll preparing a group whose install
+	// has not fired yet).
+	c.Run()
+	if !ready() {
+		t.Fatal("group install incomplete after quiescence")
+	}
 	return r
 }
 

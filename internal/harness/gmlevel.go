@@ -27,7 +27,7 @@ func (o Options) MultisendNB(ndest, size int) float64 {
 	total := o.Warmup + o.Iters
 	for d := 1; d <= ndest; d++ {
 		d := d
-		c.Eng.Spawn("dest", func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(d), "dest", func(p *sim.Proc) {
 			ports[d].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ports[d].Recv(p)
@@ -36,7 +36,7 @@ func (o Options) MultisendNB(ndest, size int) float64 {
 	}
 	var avg float64
 	msg := payload(size)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		ext := c.Nodes[0].Ext
 		for i := 0; i < o.Warmup; i++ {
 			ext.McastSync(p, ports[0], gmGroup, msg)
@@ -60,7 +60,7 @@ func (o Options) MultisendHB(ndest, size int) float64 {
 	total := o.Warmup + o.Iters
 	for d := 1; d <= ndest; d++ {
 		d := d
-		c.Eng.Spawn("dest", func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(d), "dest", func(p *sim.Proc) {
 			ports[d].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ports[d].Recv(p)
@@ -69,7 +69,7 @@ func (o Options) MultisendHB(ndest, size int) float64 {
 	}
 	var avg float64
 	msg := payload(size)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		iter := func() {
 			for d := 1; d <= ndest; d++ {
 				ports[0].Send(p, myrinet.NodeID(d), benchPort, msg)
@@ -115,7 +115,7 @@ func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) flo
 			continue
 		}
 		n := n
-		c.Eng.Spawn("dest", func(p *sim.Proc) {
+		c.SpawnOn(n, "dest", func(p *sim.Proc) {
 			ports[n].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ports[n].Recv(p)
@@ -127,7 +127,7 @@ func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) flo
 	}
 	var avg float64
 	msg := payload(size)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		ext := c.Nodes[0].Ext
 		ports[0].ProvideN(total, 4)
 		iter := func() {
@@ -160,7 +160,7 @@ func (o Options) multicastHBOnce(nodes, size int, designated myrinet.NodeID) flo
 		}
 		n := n
 		children := tr.Children(n)
-		c.Eng.Spawn("node", func(p *sim.Proc) {
+		c.SpawnOn(n, "node", func(p *sim.Proc) {
 			ports[n].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ev := ports[n].Recv(p)
@@ -176,7 +176,7 @@ func (o Options) multicastHBOnce(nodes, size int, designated myrinet.NodeID) flo
 	var avg float64
 	msg := payload(size)
 	children := tr.Children(0)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		ports[0].ProvideN(total, 4)
 		iter := func() {
 			for _, ch := range children {
@@ -247,7 +247,7 @@ func (o Options) UnicastOneWay(size int, withExtension bool) float64 {
 	ports := c.OpenPorts(benchPort)
 	total := o.Warmup + o.Iters
 	var avg float64
-	c.Eng.Spawn("echo", func(p *sim.Proc) {
+	c.SpawnOn(1, "echo", func(p *sim.Proc) {
 		ports[1].ProvideN(total, size)
 		for i := 0; i < total; i++ {
 			ports[1].Recv(p)
@@ -255,7 +255,7 @@ func (o Options) UnicastOneWay(size int, withExtension bool) float64 {
 		}
 	})
 	msg := payload(size)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		ports[0].ProvideN(total, 4)
 		iter := func() {
 			ports[0].Send(p, 1, benchPort, msg)
@@ -304,7 +304,7 @@ func (o Options) NICBarrier(nodes int) float64 {
 	var avg float64
 	for i := 0; i < nodes; i++ {
 		i := i
-		c.Eng.Spawn("p", func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(i), "p", func(p *sim.Proc) {
 			for r := 0; r < total; r++ {
 				c.Nodes[i].Ext.Barrier(p, ports[i], gmGroup)
 			}
@@ -330,7 +330,7 @@ func (o Options) HostBarrier(nodes int) float64 {
 	var avg float64
 	for i := 0; i < nodes; i++ {
 		i := i
-		c.Eng.Spawn("p", func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(i), "p", func(p *sim.Proc) {
 			ports[i].ProvideN(total*rounds, 16)
 			for r := 0; r < total; r++ {
 				for k := 1; k < nodes; k <<= 1 {
@@ -382,14 +382,14 @@ func (o Options) UnicastBandwidth(size int) float64 {
 	ports := c.OpenPorts(benchPort)
 	total := o.Warmup + o.Iters
 	var mbps float64
-	c.Eng.Spawn("recv", func(p *sim.Proc) {
+	c.SpawnOn(1, "recv", func(p *sim.Proc) {
 		ports[1].ProvideN(total, size)
 		for i := 0; i < total; i++ {
 			ports[1].Recv(p)
 		}
 	})
 	msg := payload(size)
-	c.Eng.Spawn("send", func(p *sim.Proc) {
+	c.SpawnOn(0, "send", func(p *sim.Proc) {
 		for i := 0; i < o.Warmup; i++ {
 			ports[0].SendSync(p, 1, benchPort, msg)
 		}
@@ -417,25 +417,26 @@ func (o Options) MulticastAggregateBandwidth(nodes, size int) float64 {
 	tr := o.nbTree(cfg, 0, c.Members(), size)
 	c.InstallGroup(gmGroup, tr, benchPort, benchPort)
 	total := o.Warmup + o.Iters
-	var last sim.Time
+	// Per-node finish times: receivers run on different engines when the
+	// cluster is sharded, so a shared max would be a data race. The max is
+	// folded after the run barrier instead.
+	finished := make([]sim.Time, nodes)
 	for _, n := range tr.Nodes() {
 		if n == 0 {
 			continue
 		}
 		n := n
-		c.Eng.Spawn("recv", func(p *sim.Proc) {
+		c.SpawnOn(n, "recv", func(p *sim.Proc) {
 			ports[n].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ports[n].Recv(p)
 			}
-			if p.Now() > last {
-				last = p.Now()
-			}
+			finished[n] = p.Now()
 		})
 	}
 	var t0 sim.Time
 	msg := payload(size)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		ext := c.Nodes[0].Ext
 		for i := 0; i < o.Warmup; i++ {
 			ext.McastSync(p, ports[0], gmGroup, msg)
@@ -449,5 +450,11 @@ func (o Options) MulticastAggregateBandwidth(nodes, size int) float64 {
 		}
 	})
 	runToCompletion(c)
+	var last sim.Time
+	for _, t := range finished {
+		if t > last {
+			last = t
+		}
+	}
 	return float64(size*o.Iters*(nodes-1)) / (last - t0).Micros()
 }

@@ -41,6 +41,12 @@ type Options struct {
 	// way — each point is an independent experiment. A Mut closure must
 	// tolerate concurrent calls when Workers != 1.
 	Workers int
+	// Shards runs every cluster the harness builds on a conservative
+	// parallel engine with that many shards (0 or 1 = classic serial).
+	// Results are byte-identical to serial; only wall-clock time changes.
+	// Sweeps cap their worker fan-out so Workers x Shards stays within
+	// GOMAXPROCS rather than oversubscribing the machine twice.
+	Shards int
 }
 
 // nbTree resolves the NIC-based multicast tree for a run.
@@ -60,6 +66,7 @@ func (o Options) config(nodes int) *cluster.Config {
 	cfg := cluster.DefaultConfig(nodes)
 	cfg.Seed = o.Seed
 	cfg.Metrics = o.Metrics
+	cfg.Shards = o.Shards
 	if o.Mut != nil {
 		o.Mut(cfg)
 	}
@@ -97,12 +104,14 @@ func MessageSizes(max int) []int {
 
 // runToCompletion drives a measurement cluster until quiet and verifies
 // every process finished — a stalled process means a protocol bug, which
-// must fail loudly rather than report garbage latencies.
+// must fail loudly rather than report garbage latencies. Cluster.Run
+// dispatches to the serial engine or the sharded coordinator, so every
+// harness experiment runs unchanged in either mode.
 func runToCompletion(c *cluster.Cluster) {
-	c.Eng.Run()
-	if n := c.Eng.LiveProcs(); n != 0 {
-		c.Eng.Kill()
+	c.Run()
+	if n := c.LiveProcs(); n != 0 {
+		c.Kill()
 		panic(fmt.Sprintf("harness: measurement stalled with %d live processes", n))
 	}
-	c.Eng.Kill()
+	c.Kill()
 }

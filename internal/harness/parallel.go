@@ -20,7 +20,11 @@ import (
 
 // workerCount resolves how many goroutines a sweep over n points may use:
 // Options.Workers when positive, else GOMAXPROCS, clamped to n, and forced
-// to 1 whenever a shared metrics registry is wired.
+// to 1 whenever a shared metrics registry is wired. When each point itself
+// runs sharded (Options.Shards > 1), every point already occupies Shards
+// OS threads, so the fan-out is further capped to keep workers x Shards
+// within GOMAXPROCS: intra-run and inter-run parallelism share one CPU
+// budget instead of multiplying into oversubscription.
 func (o Options) workerCount(n int) int {
 	if o.Metrics != nil {
 		return 1
@@ -28,6 +32,11 @@ func (o Options) workerCount(n int) int {
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards > 1 {
+		if cap := runtime.GOMAXPROCS(0) / o.Shards; w > cap {
+			w = cap
+		}
 	}
 	if w > n {
 		w = n

@@ -45,17 +45,22 @@ func (o Options) lastDelivery(nodes, size int, nb bool) float64 {
 	}
 	total := o.Warmup + o.Iters
 	starts := make([]sim.Time, total)
-	worst := make([]sim.Time, total)
 	nodesList := tr.Nodes()
 	designated := nodesList[len(nodesList)-1]
 
+	// Per-node arrival rows: destinations run on different engines when the
+	// cluster is sharded, so the per-iteration max is folded after the run
+	// barrier rather than updated from concurrent processes.
+	arrivals := make([][]sim.Time, nodes)
 	for _, n := range tr.Nodes() {
 		if n == 0 {
 			continue
 		}
 		n := n
 		children := tr.Children(n)
-		c.Eng.Spawn("dest", func(p *sim.Proc) {
+		row := make([]sim.Time, total)
+		arrivals[n] = row
+		c.SpawnOn(n, "dest", func(p *sim.Proc) {
 			ports[n].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ev := ports[n].Recv(p)
@@ -64,9 +69,7 @@ func (o Options) lastDelivery(nodes, size int, nb bool) float64 {
 						ports[n].Send(p, ch, benchPort, ev.Data)
 					}
 				}
-				if p.Now() > worst[i] {
-					worst[i] = p.Now()
-				}
+				row[i] = p.Now()
 				if n == designated {
 					ports[n].Send(p, 0, benchPort, ack1)
 				}
@@ -74,7 +77,7 @@ func (o Options) lastDelivery(nodes, size int, nb bool) float64 {
 		})
 	}
 	msg := payload(size)
-	c.Eng.Spawn("root", func(p *sim.Proc) {
+	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		ports[0].ProvideN(total, 4)
 		for i := 0; i < total; i++ {
 			starts[i] = p.Now()
@@ -92,7 +95,13 @@ func (o Options) lastDelivery(nodes, size int, nb bool) float64 {
 
 	sum := 0.0
 	for i := o.Warmup; i < total; i++ {
-		sum += (worst[i] - starts[i]).Micros()
+		var worst sim.Time
+		for _, row := range arrivals {
+			if row != nil && row[i] > worst {
+				worst = row[i]
+			}
+		}
+		sum += (worst - starts[i]).Micros()
 	}
 	return sum / float64(o.Iters)
 }

@@ -25,14 +25,9 @@ func (s *System) agentLoop(p *sim.Proc, n myrinet.NodeID) {
 	a := &agent{s: s, n: n}
 	port := s.ctrl[n]
 	port.ProvideN(4, s.ctrlBufCap())
-	if n == s.root {
-		// Do not start transitions while the initial epoch-0 installs are
-		// still in the firmware queue: a prepare overtaking an install
-		// would stage a join onto a node about to install the same group.
-		for s.installsLeft > 0 {
-			p.Sleep(sim.Microsecond)
-		}
-	}
+	// The initial epoch-0 installs finished before any agent spawned (RunOn
+	// runs the cluster to quiescence between installing and spawning), so a
+	// prepare can never overtake an install of the same group.
 	for {
 		ev := port.Recv(p)
 		port.Provide(s.ctrlBufCap())

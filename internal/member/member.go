@@ -3,6 +3,7 @@ package member
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/gm"
@@ -71,7 +72,10 @@ type System struct {
 	co  *coord
 	res *Result
 
-	installsLeft int
+	// installsLeft counts pending epoch-0 installs; the callbacks fire on
+	// different shards' engines concurrently, hence the atomic. Read only
+	// after a run barrier.
+	installsLeft atomic.Int64
 	finalized    bool
 	finalWait    *sim.Waiter
 
@@ -106,14 +110,18 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 		panic("member: plan has no initial members or no sends")
 	}
 	n := len(c.Nodes)
+	root := myrinet.NodeID(plan.Root)
 	s := &System{
-		c:         c,
-		cfg:       cfg,
-		plan:      plan,
-		root:      myrinet.NodeID(plan.Root),
-		data:      data,
-		ctrl:      ctrl,
-		finalWait: sim.NewWaiter(c.Eng),
+		c:    c,
+		cfg:  cfg,
+		plan: plan,
+		root: root,
+		data: data,
+		ctrl: ctrl,
+		// finalWait is only ever touched from root-node processes (the
+		// coordinator wakes it, the sender waits on it), so it lives on the
+		// root's engine — on a sharded cluster that is the root's shard.
+		finalWait: sim.NewWaiter(c.EngineOf(root)),
 	}
 	reg := metrics.Ensure(c.Cfg.Metrics)
 	s.mTransitions = reg.Counter("member", int(s.root), "transitions")
@@ -149,36 +157,49 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 
 	s.co = newCoord(s, initial, tr)
 
-	// Install the initial epoch-0 view on the root and every initial
-	// member. The sender waits for all installs before posting traffic.
+	// Phase 1: install the initial epoch-0 view on the root and every
+	// initial member, then run to quiescence so every entry is live before
+	// any process starts. The quiescent barrier is also what makes reading
+	// installsLeft safe on a sharded cluster: the install callbacks fire on
+	// the members' engines, and only the barrier orders those writes before
+	// this goroutine's read.
 	for _, m := range initial {
-		s.installsLeft++
-		c.Nodes[m].Ext.InstallGroupEpoch(cfg.Group, tr, cfg.DataPort, cfg.DataPort, 0, func() {
-			s.installsLeft--
+		m := m
+		s.installsLeft.Add(1)
+		c.WithNode(m, func() {
+			c.Nodes[m].Ext.InstallGroupEpoch(cfg.Group, tr, cfg.DataPort, cfg.DataPort, 0, func() {
+				s.installsLeft.Add(-1)
+			})
 		})
 	}
+	c.Run()
+	if left := s.installsLeft.Load(); left != 0 {
+		panic(fmt.Sprintf("member: %d epoch-0 installs still pending after quiescence", left))
+	}
 
+	// Phase 2: spawn every process on its own node's engine and run to the
+	// deadline.
 	for id := 0; id < n; id++ {
 		id := myrinet.NodeID(id)
-		c.Eng.Spawn(fmt.Sprintf("member-agent-%d", id), func(p *sim.Proc) {
+		c.SpawnOn(id, fmt.Sprintf("member-agent-%d", id), func(p *sim.Proc) {
 			s.agentLoop(p, id)
 		})
 	}
 	for id := 1; id < n; id++ {
 		id := myrinet.NodeID(id)
-		c.Eng.Spawn(fmt.Sprintf("member-recv-%d", id), func(p *sim.Proc) {
+		c.SpawnOn(id, fmt.Sprintf("member-recv-%d", id), func(p *sim.Proc) {
 			s.recvLoop(p, id)
 		})
 	}
 	for i, ev := range plan.Events {
 		i, ev := i, ev
-		c.Eng.Spawn(fmt.Sprintf("member-req-%d", i), func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(ev.Node), fmt.Sprintf("member-req-%d", i), func(p *sim.Proc) {
 			s.requestProc(p, ev)
 		})
 	}
-	c.Eng.Spawn("member-send", func(p *sim.Proc) { s.senderLoop(p) })
+	c.SpawnOn(s.root, "member-send", func(p *sim.Proc) { s.senderLoop(p) })
 
-	c.Eng.RunUntil(c.Eng.Now() + cfg.Deadline)
+	c.RunUntil(c.Now() + cfg.Deadline)
 	return s.res
 }
 
@@ -237,7 +258,7 @@ func (s *System) sendCtrl(p *sim.Proc, from, to myrinet.NodeID, m ctrlMsg) {
 // the calling proc until it fires.
 func (s *System) await(p *sim.Proc, post func(done func())) {
 	ok := false
-	w := sim.NewWaiter(s.c.Eng)
+	w := sim.NewWaiter(p.Engine())
 	post(func() {
 		ok = true
 		w.WakeAll()
@@ -268,9 +289,6 @@ func (s *System) requestProc(p *sim.Proc, ev workload.ChurnEvent) {
 // to the full cluster, multicasts the sentinel every receiver exits on,
 // waits for all completions, and requests shutdown.
 func (s *System) senderLoop(p *sim.Proc) {
-	for s.installsLeft > 0 {
-		p.Sleep(sim.Microsecond)
-	}
 	ext := s.c.Nodes[s.root].Ext
 	port := s.data[s.root]
 	for i, m := range s.plan.Sends {

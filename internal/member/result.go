@@ -3,6 +3,7 @@ package member
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/myrinet"
 	"repro/internal/sim"
@@ -54,10 +55,16 @@ type Result struct {
 	// Finish is when the sender saw every completion; zero if the run
 	// hit the deadline first.
 	Finish sim.Time
+
+	// failMu guards Violations during the run: on a sharded cluster the
+	// per-node receive loops report from different engines concurrently.
+	failMu sync.Mutex
 }
 
 func (r *Result) fail(format string, args ...any) {
+	r.failMu.Lock()
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	r.failMu.Unlock()
 }
 
 // Verify checks the membership invariant — every payload multicast in

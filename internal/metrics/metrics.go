@@ -13,14 +13,21 @@
 // enabling metrics cannot change any simulated timestamp — a property the
 // determinism tests pin down.
 //
-// The simulation is single-threaded in effect (one event callback or
-// process runs at a time), so instruments are deliberately unsynchronized.
+// Instruments are lock-free atomics: a sharded run (cluster.WithShards)
+// updates one registry from several engine goroutines concurrently, and
+// because every operation is commutative (sums, monotone high-water marks,
+// bucket counts), final values stay deterministic no matter how shard
+// execution interleaves. Registry lookups take a mutex — instruments are
+// created lazily, sometimes mid-run.
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Key identifies one instrument: the component (layer) that owns it, the
@@ -47,6 +54,7 @@ func (k Key) String() string {
 // one with New (enabled) or Disabled (all instruments are no-ops).
 type Registry struct {
 	disabled bool
+	mu       sync.Mutex
 	counters map[Key]*Counter
 	gauges   map[Key]*Gauge
 	hists    map[Key]*Histogram
@@ -85,11 +93,13 @@ func (r *Registry) Counter(component string, node int, name string) *Counter {
 		return nil
 	}
 	k := Key{component, node, name}
+	r.mu.Lock()
 	c, ok := r.counters[k]
 	if !ok {
 		c = &Counter{}
 		r.counters[k] = c
 	}
+	r.mu.Unlock()
 	return c
 }
 
@@ -100,11 +110,13 @@ func (r *Registry) Gauge(component string, node int, name string) *Gauge {
 		return nil
 	}
 	k := Key{component, node, name}
+	r.mu.Lock()
 	g, ok := r.gauges[k]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[k] = g
 	}
+	r.mu.Unlock()
 	return g
 }
 
@@ -115,11 +127,13 @@ func (r *Registry) Histogram(component string, node int, name string) *Histogram
 		return nil
 	}
 	k := Key{component, node, name}
+	r.mu.Lock()
 	h, ok := r.hists[k]
 	if !ok {
-		h = &Histogram{}
+		h = newHistogram()
 		r.hists[k] = h
 	}
+	r.mu.Unlock()
 	return h
 }
 
@@ -145,19 +159,19 @@ func sortedKeys[V any](m map[Key]V) []Key {
 
 // Counter is a monotonically increasing count. All methods are no-ops on
 // a nil receiver.
-type Counter struct{ v uint64 }
+type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -166,7 +180,7 @@ func (c *Counter) Add(n uint64) {
 // every call site.
 func (c *Counter) AddInt(n int64) {
 	if c != nil && n > 0 {
-		c.v += uint64(n)
+		c.v.Add(uint64(n))
 	}
 }
 
@@ -175,21 +189,26 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge is an instantaneous level with a high-water mark. All methods are
-// no-ops on a nil receiver.
-type Gauge struct{ v, high int64 }
+// no-ops on a nil receiver. Gauges track entity-local levels (one shard
+// writes, so Add has no lost-update problem in practice); the high-water
+// mark is a CAS loop so even a shared gauge's High stays monotone.
+type Gauge struct{ v, high atomic.Int64 }
 
 // Set replaces the level.
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.v = v
-	if v > g.high {
-		g.high = v
+	g.v.Store(v)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return
+		}
 	}
 }
 
@@ -198,7 +217,7 @@ func (g *Gauge) Add(d int64) {
 	if g == nil {
 		return
 	}
-	g.Set(g.v + d)
+	g.Set(g.v.Add(d))
 }
 
 // Value reports the current level (0 on nil).
@@ -206,7 +225,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // High reports the high-water mark (0 on nil).
@@ -214,7 +233,7 @@ func (g *Gauge) High() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.high
+	return g.high.Load()
 }
 
 // HistBuckets is the number of fixed log2 histogram buckets: bucket 0
@@ -227,11 +246,24 @@ const HistBuckets = 65
 // tell a 5 µs token wait from a 500 µs retransmission timeout. All
 // methods are no-ops on a nil receiver.
 type Histogram struct {
-	count   uint64
-	sum     int64
-	min     int64
-	max     int64
-	buckets [HistBuckets]uint64
+	count atomic.Uint64
+	sum   atomic.Int64
+	// min and max hold the extremes offset by nothing, with hasObs
+	// flagging whether any observation arrived (so 0 needn't be a
+	// sentinel); all three advance by CAS, keeping the final values
+	// deterministic under concurrent observers.
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// newHistogram seeds the CAS extremes so the first Observe needs no
+// special case (the registry is the only constructor).
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
 }
 
 // BucketOf reports the bucket index an observation lands in.
@@ -256,15 +288,21 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	if h.count == 0 || v < h.min {
-		h.min = v
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
 	}
-	if h.count == 0 || v > h.max {
-		h.max = v
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
-	h.buckets[BucketOf(v)]++
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[BucketOf(v)].Add(1)
 }
 
 // Count reports how many observations were folded in (0 on nil).
@@ -272,7 +310,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum reports the sum of all observations (0 on nil).
@@ -280,37 +318,45 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // Min and Max report the extreme observations (0 on nil or empty).
 func (h *Histogram) Min() int64 {
-	if h == nil {
+	if h == nil || h.count.Load() == 0 {
 		return 0
 	}
-	return h.min
+	return h.min.Load()
 }
 
 func (h *Histogram) Max() int64 {
-	if h == nil {
+	if h == nil || h.count.Load() == 0 {
 		return 0
 	}
-	return h.max
+	return h.max.Load()
 }
 
 // Mean reports the arithmetic mean observation (0 on nil or empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
-	return float64(h.sum) / float64(h.count)
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
 }
 
 // Quantile estimates the q-th quantile (0..1) from the log2 buckets,
 // returning the lower bound of the bucket holding that rank — a
 // deliberately conservative estimate with log2 resolution.
 func (h *Histogram) Quantile(q float64) int64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -319,9 +365,10 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(h.count-1))
+	rank := uint64(q * float64(count-1))
 	var seen uint64
-	for i, n := range h.buckets {
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
 		seen += n
 		if n > 0 && seen > rank {
 			return BucketLow(i)

@@ -51,12 +51,16 @@ type Snapshot struct {
 }
 
 // Snapshot copies the registry's current instrument values. A nil or
-// disabled registry yields an empty snapshot.
+// disabled registry yields an empty snapshot. Snapshot between runs, not
+// while shard goroutines are mid-window — a mid-run snapshot is race-free
+// but may catch an arbitrary interleaving.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if !r.Enabled() {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, k := range sortedKeys(r.counters) {
 		s.Counters = append(s.Counters, CounterVal{Key: k, Value: r.counters[k].Value()})
 	}
@@ -66,9 +70,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, k := range sortedKeys(r.hists) {
 		h := r.hists[k]
-		hv := HistVal{Key: k, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		for i, n := range h.buckets {
-			if n > 0 {
+		hv := HistVal{Key: k, Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max()}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
 				if hv.Buckets == nil {
 					hv.Buckets = make(map[int]uint64)
 				}

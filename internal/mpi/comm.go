@@ -202,7 +202,7 @@ func (c *Comm) Free() {
 			// rides the firmware quiesce path, deleting the entry the
 			// moment the last send record retires.
 			done := false
-			w := sim.NewWaiter(r.w.C.Eng)
+			w := sim.NewWaiter(r.proc.Engine())
 			ext.RemoveGroup(bg.gid, func() {
 				done = true
 				w.WakeAll()

@@ -55,11 +55,15 @@ func NewWorld(c *cluster.Cluster, useNB bool) *World {
 		r := &Rank{
 			w:           w,
 			id:          i,
-			port:        c.Nodes[i].NIC.OpenPort(mpiPort),
 			bcastGroups: make(map[bcastKey]*bcastGroup),
 			splitEpochs: make(map[uint32]int),
 		}
-		r.port.ProvideN(eagerTokens, EagerMax+envelopeBytes)
+		// Port setup schedules host->NIC events; attribute them to the
+		// rank's node so their tiebreak keys are shard-stable.
+		c.WithNode(myrinet.NodeID(i), func() {
+			r.port = c.Nodes[i].NIC.OpenPort(mpiPort)
+			r.port.ProvideN(eagerTokens, EagerMax+envelopeBytes)
+		})
 		w.ranks = append(w.ranks, r)
 	}
 	return w
@@ -72,20 +76,22 @@ func (w *World) Size() int { return len(w.ranks) }
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 
 // Run spawns prog as one simulated process per rank and drives the
-// simulation until the job goes quiet. The engine is left intact for
+// simulation until the job goes quiet. The engines are left intact for
 // inspection; Kill releases any still-parked processes.
 func (w *World) Run(prog func(r *Rank)) {
 	w.Spawn(prog)
-	w.C.Eng.Run()
-	w.C.Eng.Kill()
+	w.C.Run()
+	w.C.Kill()
 }
 
 // Spawn launches prog on every rank without running the engine — callers
-// that orchestrate several phases drive the engine themselves.
+// that orchestrate several phases drive the engine themselves. Each rank
+// runs on its node's engine, so MPI jobs execute unchanged on a sharded
+// cluster.
 func (w *World) Spawn(prog func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
-		w.C.Eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		w.C.SpawnOn(myrinet.NodeID(r.id), fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			r.proc = p
 			prog(r)
 		})

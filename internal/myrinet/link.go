@@ -30,13 +30,17 @@ func (lp LinkParams) SerializationTime(size int) sim.Time {
 }
 
 // vertex is a point in the fabric graph: either a host attachment or a
-// crossbar switch.
+// crossbar switch. Every vertex is an event domain (sim tiebreak-key
+// namespace, domain = idx+1) and belongs to exactly one shard — the engine
+// that fires every event happening "at" the vertex.
 type vertex struct {
 	idx    int
 	host   bool
 	hostID NodeID
 	label  string
 	out    []*Link
+	domain uint32
+	shard  int
 }
 
 // Link is a directed physical channel between two vertices. Each link is a

@@ -2,6 +2,7 @@ package myrinet
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -9,6 +10,13 @@ import (
 
 // Network is an assembled fabric: host interfaces, switches, links, and a
 // routing function. Build one with NewSingleSwitch or NewClos.
+//
+// A fabric always runs partitioned into shards — one by default, several
+// after ApplyPlan — with every vertex's events firing on its shard's
+// engine. All mutable per-packet state (transit pools, route caches,
+// cross-shard outboxes) lives in per-shard slots touched only by that
+// shard's goroutine, so a multi-shard run needs no locks: the coordinator's
+// window barrier is the only synchronization.
 type Network struct {
 	eng    *sim.Engine
 	params LinkParams
@@ -16,14 +24,17 @@ type Network struct {
 	verts  []*vertex
 	links  []*Link
 
-	routeFn    func(src, dst NodeID) []*Link
-	routeCache map[[2]NodeID][]*Link
+	routeFn func(src, dst NodeID) []*Link
 
-	// transitFree recycles per-packet traversal state so the hot path —
-	// one event per link hop plus the final delivery — schedules nothing
-	// but a pre-bound callback: no closure, no event, and no traversal
-	// state is allocated per hop in steady state.
-	transitFree []*transit
+	shards    int
+	lookahead sim.Time
+	sh        []shardState
+
+	// drainBuf and drainSort are the barrier-time scratch for merging
+	// cross-shard mailboxes; reused so steady-state draining allocates
+	// nothing per packet.
+	drainBuf  []crossMsg
+	drainSort crossSorter
 
 	// LossRate is the per-link probability that a packet is corrupted and
 	// discarded (models nonzero bit-error rates). Requires SetRNG.
@@ -117,15 +128,22 @@ func (n *Network) Links() []*Link { return n.links }
 // Route returns the link path from src to dst, caching computed routes.
 // Routes are deterministic for a given topology.
 func (n *Network) Route(src, dst NodeID) []*Link {
+	return n.routeShard(&n.sh[0], src, dst)
+}
+
+// routeShard is Route against one shard's private cache. Each shard caches
+// the routes it forwards for, so the hot path never shares a map across
+// goroutines; the underlying []*Link values are shared read-only.
+func (n *Network) routeShard(sh *shardState, src, dst NodeID) []*Link {
 	key := [2]NodeID{src, dst}
-	if r, ok := n.routeCache[key]; ok {
+	if r, ok := sh.routeCache[key]; ok {
 		return r
 	}
 	r := n.routeFn(src, dst)
 	if r == nil {
 		panic(fmt.Sprintf("myrinet: no route %v -> %v", src, dst))
 	}
-	n.routeCache[key] = r
+	sh.routeCache[key] = r
 	return r
 }
 
@@ -145,21 +163,26 @@ func (ifc *Iface) Inject(p *Packet) {
 		panic("myrinet: packet with nonpositive size")
 	}
 	n.mInjected.Inc()
-	tr := n.newTransit()
+	srcV := ifc.up.from
+	sh := &n.sh[srcV.shard]
+	tr := sh.newTransit(n)
 	tr.p = p
-	tr.route = n.Route(p.Src, p.Dst)
+	tr.route = n.routeShard(sh, p.Src, p.Dst)
 	tr.i = 0
-	tr.headAt = n.eng.Now()
+	tr.headAt = sh.eng.Now()
 	tr.delivering = false
-	n.eng.At(tr.headAt, tr.step)
+	sh.eng.AtDomain(srcV.domain, tr.headAt, tr.step)
 }
 
 // transit is the traversal state of one packet in flight: which hop it is
 // on and when its head arrives there. Exactly one event is outstanding per
 // transit at any instant, so the state advances in place and the same
-// pre-bound step callback serves every hop.
+// pre-bound step callback serves every hop. A transit never migrates: when
+// the packet's next hop belongs to another shard, the record is released
+// here and the destination shard re-materializes one from its own pool.
 type transit struct {
 	net        *Network
+	sh         *shardState
 	p          *Packet
 	route      []*Link
 	i          int
@@ -170,23 +193,23 @@ type transit struct {
 
 // newTransit recycles a traversal record or creates one (binding its step
 // callback exactly once).
-func (n *Network) newTransit() *transit {
-	if k := len(n.transitFree); k > 0 {
-		tr := n.transitFree[k-1]
-		n.transitFree[k-1] = nil
-		n.transitFree = n.transitFree[:k-1]
+func (sh *shardState) newTransit(n *Network) *transit {
+	if k := len(sh.transitFree); k > 0 {
+		tr := sh.transitFree[k-1]
+		sh.transitFree[k-1] = nil
+		sh.transitFree = sh.transitFree[:k-1]
 		return tr
 	}
-	tr := &transit{net: n}
+	tr := &transit{net: n, sh: sh}
 	tr.step = tr.run
 	return tr
 }
 
-// release drops the packet references and returns tr to the pool.
-func (n *Network) release(tr *transit) {
+// release drops the packet references and returns tr to its shard's pool.
+func (tr *transit) release() {
 	tr.p = nil
 	tr.route = nil
-	n.transitFree = append(n.transitFree, tr)
+	tr.sh.transitFree = append(tr.sh.transitFree, tr)
 }
 
 // run advances the packet onto route[i] (virtual cut-through: the head
@@ -199,7 +222,7 @@ func (tr *transit) run() {
 		// Final hop: the destination NIC needs the whole packet (its
 		// receive DMA is store-and-forward), so this fires at tail arrival.
 		p := tr.p
-		n.release(tr)
+		tr.release()
 		n.mDelivered.Inc()
 		n.deliver(p)
 		return
@@ -216,20 +239,25 @@ func (tr *transit) run() {
 	if tr.i == 0 && p.TxDone != nil {
 		// The source NIC's transmit engine finishes with the packet
 		// buffer when the tail clears the injection link.
-		n.eng.At(start+ser, p.TxDone)
+		tr.sh.eng.At(start+ser, p.TxDone)
 	}
 	if n.dropped(p, l) {
 		l.Drops++
 		l.mDrops.Inc()
 		n.mDropped.Inc()
-		n.release(tr)
+		tr.release()
 		return
 	}
 	headOut := start + l.params.Latency
 	if tr.i+1 < len(tr.route) {
-		tr.i++
-		tr.headAt = headOut
-		n.eng.At(headOut, tr.step)
+		next := tr.route[tr.i+1].from
+		if next.shard == tr.sh.id {
+			tr.i++
+			tr.headAt = headOut
+			tr.sh.eng.AtDomain(next.domain, headOut, tr.step)
+		} else {
+			tr.post(next, headOut, crossHop, int32(tr.i+1))
+		}
 		return
 	}
 	tailIn := headOut + ser
@@ -238,17 +266,85 @@ func (tr *transit) run() {
 			tailIn += d
 		}
 	}
+	dstV := n.hosts[p.Dst].up.from
 	if n.DupFn != nil && n.DupFn(p, l) {
 		// A duplicate copy trails the original by one serialization time,
 		// as if a retransmitting switch stage emitted the packet twice.
-		n.eng.At(tailIn+ser, func() {
+		// Duplication keeps per-packet state in the injector, so sharded
+		// runs reject it up front (cluster validation); the boundary check
+		// here is the backstop.
+		if dstV.shard != tr.sh.id {
+			panic("myrinet: duplicate injection across shard boundary unsupported")
+		}
+		tr.sh.eng.AtDomain(dstV.domain, tailIn+ser, func() {
 			n.mDuplicated.Inc()
 			n.mDelivered.Inc()
 			n.deliver(p)
 		})
 	}
-	tr.delivering = true
-	n.eng.At(tailIn, tr.step)
+	if dstV.shard == tr.sh.id {
+		tr.delivering = true
+		tr.sh.eng.AtDomain(dstV.domain, tailIn, tr.step)
+	} else {
+		tr.post(dstV, tailIn, crossDeliver, 0)
+	}
+}
+
+// post queues the packet's next event for another shard and retires this
+// transit. The tiebreak key is drawn here, on the source engine, from the
+// same domain sequence a serial run would use — that key is what makes the
+// destination's replay land in exactly the serial position.
+func (tr *transit) post(v *vertex, when sim.Time, kind uint8, hop int32) {
+	sh := tr.sh
+	key := sh.eng.AllocKey(v.domain)
+	sh.out[v.shard] = append(sh.out[v.shard], crossMsg{
+		when: when, key: key, owner: v.domain, kind: kind, hop: hop, p: tr.p,
+	})
+	tr.release()
+}
+
+// DrainCross delivers every queued cross-shard message into its destination
+// engine, in (when, key) order per destination, and reports how many were
+// delivered. The shard coordinator calls it at window barriers, when no
+// shard goroutine is running; outside sharded runs there is nothing to
+// drain.
+func (n *Network) DrainCross() int {
+	total := 0
+	for d := range n.sh {
+		buf := n.drainBuf[:0]
+		for s := range n.sh {
+			box := n.sh[s].out[d]
+			if len(box) == 0 {
+				continue
+			}
+			buf = append(buf, box...)
+			n.sh[s].out[d] = box[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		n.drainSort.msgs = buf
+		sort.Sort(&n.drainSort)
+		dst := &n.sh[d]
+		for i := range buf {
+			m := &buf[i]
+			tr := dst.newTransit(n)
+			tr.p = m.p
+			if m.kind == crossHop {
+				tr.route = n.routeShard(dst, m.p.Src, m.p.Dst)
+				tr.i = int(m.hop)
+				tr.headAt = m.when
+				tr.delivering = false
+			} else {
+				tr.route = nil
+				tr.delivering = true
+			}
+			dst.eng.AtKey(m.when, m.key, m.owner, tr.step)
+		}
+		total += len(buf)
+		n.drainBuf = buf[:0]
+	}
+	return total
 }
 
 // deliver hands a fully-arrived packet to the destination NIC.
@@ -275,18 +371,67 @@ func (n *Network) dropped(p *Packet, l *Link) bool {
 	return false
 }
 
+// shardState is the per-shard slice of the fabric's mutable state. Only the
+// owning shard's goroutine touches it while the simulation runs; the
+// coordinator drains out at window barriers, when no shard is running.
+type shardState struct {
+	id          int
+	eng         *sim.Engine
+	transitFree []*transit
+	routeCache  map[[2]NodeID][]*Link
+	out         [][]crossMsg // outboxes, indexed by destination shard
+}
+
+// crossMsg is one packet event crossing a shard boundary: a wormhole hop
+// landing on a vertex owned by another engine, or a final store-and-forward
+// delivery to a host on another shard. The key was drawn on the source
+// engine at the moment a serial run would have scheduled the event, so
+// replaying the message with AtKey reproduces the serial timeline exactly.
+type crossMsg struct {
+	when  sim.Time
+	key   uint64
+	owner uint32
+	kind  uint8 // crossHop or crossDeliver
+	hop   int32 // route index to resume at (crossHop)
+	p     *Packet
+}
+
+const (
+	crossHop = uint8(iota)
+	crossDeliver
+)
+
+// crossSorter orders drained messages by (when, key) — the engine's own
+// ordering — via a pre-boxed sort.Interface so draining allocates nothing.
+type crossSorter struct{ msgs []crossMsg }
+
+func (s *crossSorter) Len() int      { return len(s.msgs) }
+func (s *crossSorter) Swap(i, j int) { s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i] }
+func (s *crossSorter) Less(i, j int) bool {
+	a, b := &s.msgs[i], &s.msgs[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.key < b.key
+}
+
 // newNetwork allocates the shell; topology builders fill it in.
 func newNetwork(eng *sim.Engine, params LinkParams) *Network {
-	return &Network{
-		eng:        eng,
-		params:     params,
-		routeCache: make(map[[2]NodeID][]*Link),
+	n := &Network{
+		eng:    eng,
+		params: params,
+		shards: 1,
 	}
+	n.sh = []shardState{{eng: eng, routeCache: make(map[[2]NodeID][]*Link)}}
+	return n
 }
 
 func (n *Network) addVertex(label string) *vertex {
-	v := &vertex{idx: len(n.verts), label: label}
+	v := &vertex{idx: len(n.verts), label: label, domain: uint32(len(n.verts) + 1)}
 	n.verts = append(n.verts, v)
+	// Every vertex is a tiebreak-key domain, registered up front so serial
+	// and sharded runs draw identical keys.
+	n.eng.GrowDomains(len(n.verts))
 	return v
 }
 

@@ -1,0 +1,184 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Plan is a deterministic assignment of fabric vertices to shards, plus the
+// conservative-synchronization lookahead the assignment admits: the minimum
+// latency of any link whose endpoints land in different shards. Every event
+// of a vertex fires on its shard's engine, so a packet handoff across a cut
+// link is the only cross-shard interaction — and it cannot take effect
+// sooner than Lookahead after it is sent, which is exactly the window width
+// a conservative parallel run may execute without synchronizing.
+type Plan struct {
+	Shards int
+	// Lookahead is the minimum cut-link latency (the fabric's uniform link
+	// latency in practice, since every link shares LinkParams).
+	Lookahead sim.Time
+	// VertexShard maps vertex index -> shard; HostShard maps host NodeID ->
+	// shard (a convenience view of the same assignment).
+	VertexShard []int
+	HostShard   []int
+	// CutLinks counts directed links crossing shards — the quantity the
+	// partitioning heuristic minimizes.
+	CutLinks int
+}
+
+// Partition assigns the fabric's vertices to the given number of shards
+// with a deterministic min-cut-flavored heuristic:
+//
+//   - Hosts are split into contiguous balanced blocks (shard =
+//     host*shards/hosts). Topology builders lay hosts out so that
+//     consecutive IDs share a leaf switch (and, in the fat tree, a pod), so
+//     contiguous blocks keep the short host<->leaf links interior.
+//   - Each switch then joins the shard it has the most links to, counting
+//     only already-assigned neighbors, processed in BFS-from-hosts order so
+//     leaves commit before spines. Ties rotate by vertex index, spreading
+//     equally-pulled spine switches across shards instead of piling them
+//     onto shard 0.
+//
+// The request is clamped to [1, hosts]: more shards than hosts would leave
+// empty engines (the shard-count-exceeds-nodes edge case degenerates to one
+// host per shard).
+func (n *Network) Partition(shards int) Plan {
+	if shards < 1 {
+		shards = 1
+	}
+	if h := len(n.hosts); shards > h {
+		shards = h
+	}
+	plan := Plan{
+		Shards:      shards,
+		VertexShard: make([]int, len(n.verts)),
+		HostShard:   make([]int, len(n.hosts)),
+	}
+	assigned := make([]bool, len(n.verts))
+	var frontier []*vertex
+	for i := range n.hosts {
+		s := i * shards / len(n.hosts)
+		plan.HostShard[i] = s
+		hv := n.hosts[i].up.from
+		plan.VertexShard[hv.idx] = s
+		assigned[hv.idx] = true
+		frontier = append(frontier, hv)
+	}
+
+	// BFS from the hosts so each switch is placed after the neighbors that
+	// anchor it; weight[s] counts links into already-assigned members of s.
+	weight := make([]int, shards)
+	for len(frontier) > 0 {
+		var next []*vertex
+		for _, v := range frontier {
+			for _, l := range v.out {
+				w := l.to
+				if assigned[w.idx] {
+					continue
+				}
+				for s := range weight {
+					weight[s] = 0
+				}
+				for _, wl := range w.out {
+					if assigned[wl.to.idx] {
+						weight[plan.VertexShard[wl.to.idx]]++
+					}
+				}
+				best := 0
+				var ties []int
+				for s, cnt := range weight {
+					if cnt > best {
+						best = cnt
+						ties = ties[:0]
+					}
+					if cnt == best {
+						ties = append(ties, s)
+					}
+				}
+				plan.VertexShard[w.idx] = ties[w.idx%len(ties)]
+				assigned[w.idx] = true
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	// Disconnected leftovers (none in the standard topologies) go to 0.
+
+	for _, l := range n.links {
+		if plan.VertexShard[l.from.idx] != plan.VertexShard[l.to.idx] {
+			plan.CutLinks++
+			if plan.Lookahead == 0 || l.params.Latency < plan.Lookahead {
+				plan.Lookahead = l.params.Latency
+			}
+		}
+	}
+	if plan.Lookahead == 0 {
+		// No cut links (single shard): any positive window works; one link
+		// latency keeps window sizing uniform with the multi-shard case.
+		plan.Lookahead = n.params.Latency
+	}
+	return plan
+}
+
+// ApplyPlan binds the fabric to one engine per shard: every link facility
+// moves to the engine firing its reservations (the shard of the link's
+// source vertex), and per-shard transit pools, route caches, and cross-
+// shard mailboxes replace the single-engine ones. engines[0] must be the
+// engine the network was built on; ApplyPlan must run before any traffic.
+// Each engine is grown to the fabric's domain space so tiebreak keys agree
+// with a serial run no matter where an event fires.
+func (n *Network) ApplyPlan(plan Plan, engines []*sim.Engine) {
+	if len(engines) != plan.Shards {
+		panic(fmt.Sprintf("myrinet: plan wants %d shards, got %d engines", plan.Shards, len(engines)))
+	}
+	if engines[0] != n.eng {
+		panic("myrinet: ApplyPlan engines[0] must be the construction engine")
+	}
+	if len(plan.VertexShard) != len(n.verts) {
+		panic("myrinet: plan does not match this fabric")
+	}
+	for _, v := range n.verts {
+		v.shard = plan.VertexShard[v.idx]
+	}
+	for _, e := range engines {
+		e.GrowDomains(len(n.verts))
+	}
+	for _, l := range n.links {
+		if s := l.from.shard; s != 0 {
+			l.fac.Rebind(engines[s])
+		}
+	}
+	n.shards = plan.Shards
+	n.lookahead = plan.Lookahead
+	n.sh = make([]shardState, plan.Shards)
+	for s := range n.sh {
+		n.sh[s].id = s
+		n.sh[s].eng = engines[s]
+		n.sh[s].routeCache = make(map[[2]NodeID][]*Link)
+		n.sh[s].out = make([][]crossMsg, plan.Shards)
+	}
+}
+
+// HostDomain reports the tiebreak-key domain of a host's fabric vertex —
+// the domain every event "on" that node (NIC firmware, host processes)
+// should be owned by, so keys stay shard-stable.
+func (n *Network) HostDomain(id NodeID) uint32 { return n.hosts[id].up.from.domain }
+
+// HostShard reports the shard a host's vertex is assigned to (0 before any
+// ApplyPlan).
+func (n *Network) HostShard(id NodeID) int { return n.hosts[id].up.from.shard }
+
+// Shards reports how many shards the fabric is partitioned into (1 before
+// ApplyPlan).
+func (n *Network) Shards() int { return n.shards }
+
+// LinkNow reports the virtual time at the given link — the clock of the
+// engine that fires the link's traversal events. Fault-injection hooks
+// (DropFn and friends) run inside those events and must read this clock,
+// not some other shard's: within a synchronization window the shards'
+// clocks legitimately differ.
+func (n *Network) LinkNow(l *Link) sim.Time { return n.sh[l.from.shard].eng.Now() }
+
+// Lookahead reports the partition's synchronization window width.
+func (n *Network) Lookahead() sim.Time { return n.lookahead }

@@ -88,7 +88,10 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 // AutoTopology picks the smallest standard fabric that carries the host
 // count: one crossbar up to 16 hosts (the paper's testbed), a two-level
 // Clos up to 128, and a three-level fat tree beyond — matching "Myrinet
-// network uses its default hardware topology, Clos network".
+// network uses its default hardware topology, Clos network". A k-port fat
+// tree tops out at k³/4 hosts (1024 for the Myrinet-2000 Xbar16), so past
+// that the radix doubles until the pod count fits — the way large Myrinet
+// installations scale by moving to wider crossbar line cards.
 func AutoTopology(eng *sim.Engine, hosts int, params LinkParams) *Network {
 	switch {
 	case hosts <= 16:
@@ -96,6 +99,10 @@ func AutoTopology(eng *sim.Engine, hosts int, params LinkParams) *Network {
 	case hosts <= 128:
 		return NewClos(eng, hosts, 16, params)
 	default:
-		return NewFatTree(eng, hosts, 16, params)
+		ports := 16
+		for hosts > ports*ports*ports/4 {
+			ports *= 2
+		}
+		return NewFatTree(eng, hosts, ports, params)
 	}
 }

@@ -11,10 +11,11 @@ import "fmt"
 // like) must use the generation-checked Timer instead of a raw *Event.
 type Event struct {
 	when  Time
-	seq   uint64 // assignment order; breaks same-timestamp ties FIFO
+	seq   uint64 // (domain, local sequence) key; breaks same-timestamp ties
 	fn    func()
 	index int32  // position in the heap; -1 once fired or cancelled
 	gen   uint32 // bumped on every recycle; Timer handles validate against it
+	owner uint32 // domain restored as the current domain when the event fires
 }
 
 // When reports the virtual time at which the event is scheduled to fire.
@@ -39,8 +40,20 @@ const arenaChunk = 128
 type Engine struct {
 	now   Time
 	heap  []*Event
-	seq   uint64
 	fired uint64
+
+	// Tiebreak keys are (domain, per-domain sequence) pairs packed into a
+	// uint64: domain in the top domainBits, sequence below. Domain 0 is the
+	// ambient domain; an engine with no domains registered degenerates to
+	// the classic global-sequence FIFO ordering (domSeq[0] is then the old
+	// seq counter, and keys compare exactly as sequence numbers did).
+	//
+	// Domains make tiebreak order shard-stable: an event's key depends only
+	// on the logical schedule order within its source domain, never on how
+	// domains are distributed over engines, which is what lets a sharded
+	// run reproduce the serial engine's timeline bit for bit.
+	domSeq []uint64
+	curDom uint32 // domain of the currently-executing event, 0 when idle
 
 	chunks []*[arenaChunk]Event
 	used   int      // slots handed out of the newest chunk
@@ -48,11 +61,72 @@ type Engine struct {
 
 	procs   map[*Proc]struct{}
 	current *Proc // process currently executing, if any
+
+	// fireHook, when set, observes every fired event's (when, key) — the
+	// timeline probe the engine-equivalence tests diff.
+	fireHook func(Time, uint64)
 }
+
+// domainBits is the width of the domain field in an event key; the low
+// 64-domainBits bits carry the per-domain sequence (2^48 events per domain
+// before overflow — unreachable in practice).
+const domainBits = 16
+
+// MaxDomains is the largest domain count an engine supports.
+const MaxDomains = 1<<domainBits - 1
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	return &Engine{procs: make(map[*Proc]struct{}), domSeq: make([]uint64, 1)}
+}
+
+// GrowDomains ensures domains 0..n are registered. Domains are key
+// namespaces for same-timestamp tiebreaks; callers that never grow beyond
+// the ambient domain 0 get the legacy global-FIFO ordering.
+func (e *Engine) GrowDomains(n int) {
+	if n > MaxDomains {
+		panic(fmt.Sprintf("sim: domain %d exceeds MaxDomains %d", n, MaxDomains))
+	}
+	for len(e.domSeq) <= n {
+		e.domSeq = append(e.domSeq, 0)
+	}
+}
+
+// CurrentDomain reports the domain of the currently-executing event (0 when
+// none, or when the event was scheduled from ambient context).
+func (e *Engine) CurrentDomain() uint32 { return e.curDom }
+
+// WithDomain runs fn with the current domain forced to d, so events fn
+// schedules draw keys from (and are owned by) d. It is how setup code —
+// which runs outside any event — attributes its scheduling to the entity it
+// is wiring, keeping keys identical no matter how entities are later
+// distributed over engines.
+func (e *Engine) WithDomain(d uint32, fn func()) {
+	prev := e.curDom
+	e.curDom = d
+	fn()
+	e.curDom = prev
+}
+
+// nextKey draws the next tiebreak key from src's sequence.
+func (e *Engine) nextKey(src uint32) uint64 {
+	k := uint64(src)<<(64-domainBits) | e.domSeq[src]
+	e.domSeq[src]++
+	return k
+}
+
+// AllocKey draws a tiebreak key exactly as AtDomain(owner, ...) would,
+// without scheduling anything: from the current domain when one is
+// executing, else from owner. Shard coordinators use it to assign a
+// cross-engine event its key on the source engine — the key the serial
+// engine would have assigned — before handing the event to the destination
+// engine via AtKey.
+func (e *Engine) AllocKey(owner uint32) uint64 {
+	src := e.curDom
+	if src == 0 {
+		src = owner
+	}
+	return e.nextKey(src)
 }
 
 // Now reports the current virtual time.
@@ -182,15 +256,42 @@ func (e *Engine) heapFix(i int) {
 }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
-// it would silently corrupt causality.
+// it would silently corrupt causality. The event is owned by the current
+// domain (0 outside any event), so work an entity schedules stays
+// attributed to that entity.
 func (e *Engine) At(t Time, fn func()) *Event {
+	return e.AtDomain(e.curDom, t, fn)
+}
+
+// AtDomain schedules fn at t owned by domain owner: when the event fires,
+// owner becomes the current domain. The tiebreak key is drawn from the
+// current domain when one is executing (the scheduling entity), falling
+// back to owner for ambient (setup-time) scheduling — either way the key is
+// independent of how domains are assigned to engines.
+func (e *Engine) AtDomain(owner uint32, t Time, fn func()) *Event {
+	src := e.curDom
+	if src == 0 {
+		src = owner
+	}
+	return e.atKey(t, e.nextKey(src), owner, fn)
+}
+
+// AtKey schedules fn at t with a caller-supplied key and owner. It is the
+// cross-engine handoff primitive: the source engine assigns the key via
+// AllocKey, the destination engine queues the event here, and the combined
+// timeline sorts exactly as if one engine had scheduled it.
+func (e *Engine) AtKey(t Time, key uint64, owner uint32, fn func()) *Event {
+	return e.atKey(t, key, owner, fn)
+}
+
+func (e *Engine) atKey(t Time, key uint64, owner uint32, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
 	ev.when = t
-	ev.seq = e.seq
-	e.seq++
+	ev.seq = key
+	ev.owner = owner
 	ev.fn = fn
 	e.heapPush(ev)
 	return ev
@@ -225,9 +326,12 @@ func (e *Engine) Reschedule(ev *Event, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, e.now))
 	}
+	src := e.curDom
+	if src == 0 {
+		src = ev.owner
+	}
 	ev.when = t
-	ev.seq = e.seq
-	e.seq++
+	ev.seq = e.nextKey(src)
 	e.heapFix(int(ev.index))
 }
 
@@ -243,9 +347,43 @@ func (e *Engine) Step() bool {
 	e.now = ev.when
 	e.fired++
 	fn := ev.fn
+	owner := ev.owner
+	if e.fireHook != nil {
+		e.fireHook(ev.when, ev.seq)
+	}
 	e.recycle(ev)
+	prev := e.curDom
+	e.curDom = owner
 	fn()
+	e.curDom = prev
 	return true
+}
+
+// SetFireHook installs (or, with nil, removes) a callback observing every
+// fired event's timestamp and tiebreak key, in fire order — the probe the
+// engine-equivalence tests use to diff full timelines across serial,
+// legacy, and sharded runs.
+func (e *Engine) SetFireHook(fn func(when Time, key uint64)) { e.fireHook = fn }
+
+// NextEventTime reports the timestamp of the earliest pending event; ok is
+// false when the queue is empty. Shard coordinators use it to pick the next
+// synchronization window.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].when, true
+}
+
+// RunBefore fires every event with timestamp strictly before end, leaving
+// the clock at the last fired event (it does not advance the clock to end).
+// It is the inner loop of a conservative synchronization window [T, end):
+// the lookahead guarantee is that no other shard can schedule work here
+// before end, so everything below end is safe to fire.
+func (e *Engine) RunBefore(end Time) {
+	for len(e.heap) > 0 && e.heap[0].when < end {
+		e.Step()
+	}
 }
 
 // Run fires events until none remain. Parked processes do not keep Run

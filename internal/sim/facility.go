@@ -22,6 +22,17 @@ func NewFacility(e *Engine, name string) *Facility {
 // Name reports the facility's diagnostic name.
 func (f *Facility) Name() string { return f.name }
 
+// Rebind moves the facility onto another engine. Shard partitioning uses it
+// to hand each boundary resource to the one engine whose events reserve it;
+// rebinding a facility with reservations in flight would corrupt its
+// accounting, so it must happen before the simulation runs.
+func (f *Facility) Rebind(e *Engine) {
+	if f.freeAt != 0 || f.requests != 0 {
+		panic("sim: Rebind of a facility already in use")
+	}
+	f.eng = e
+}
+
 // Reserve books the facility for a service time of d, returning the time
 // service starts (>= now). The facility is busy until start+d.
 func (f *Facility) Reserve(d Time) (start Time) {

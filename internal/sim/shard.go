@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sharded runs several engines under conservative parallel discrete-event
+// synchronization. The model partitions the simulated system into shards —
+// each engine owns a disjoint set of entities and every event touching an
+// entity is scheduled on its owner's engine — and advances all engines in
+// lockstep windows [T, T+lookahead), where T is the global minimum pending
+// timestamp and lookahead is the minimum latency of any cross-shard
+// interaction. Within a window the shards are causally independent (no
+// cross-shard effect can land before T+lookahead), so each engine fires its
+// window on its own goroutine; cross-shard events queue in mailboxes owned
+// by the caller and are delivered by the drain callback at the barrier
+// between windows.
+//
+// Determinism: events carry (time, domain-keyed sequence) keys assigned at
+// their logical scheduling point (AllocKey on the source engine for
+// cross-shard handoffs), so the union of all shards' timelines is exactly
+// the serial engine's timeline — bit-identical, not merely equivalent.
+type Sharded struct {
+	engines   []*Engine
+	lookahead Time
+	// drain delivers every queued cross-shard event into its destination
+	// engine (via AtKey) and reports how many it delivered. It runs at
+	// window barriers only, when no engine goroutine is active.
+	drain func() int
+
+	windows     uint64
+	crossEvents uint64
+
+	// Wall-clock accounting, populated only when EnableWallStats was
+	// called: per-shard busy time inside windows, and the coordinator's
+	// total elapsed window time (per-shard wait = wall - busy).
+	wallStats bool
+	busyNs    []int64
+	wallNs    int64
+}
+
+// NewSharded assembles a coordinator over the given engines. lookahead must
+// be positive: it is the width of the synchronization window, and a
+// non-positive width means the partition has a zero-latency cross-shard
+// interaction, which conservative synchronization cannot run in parallel.
+// drain may be nil when the caller guarantees no cross-shard events exist
+// (single shard).
+func NewSharded(engines []*Engine, lookahead Time, drain func() int) *Sharded {
+	if len(engines) == 0 {
+		panic("sim: NewSharded with no engines")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewSharded with non-positive lookahead %v", lookahead))
+	}
+	if drain == nil {
+		drain = func() int { return 0 }
+	}
+	return &Sharded{
+		engines:   engines,
+		lookahead: lookahead,
+		drain:     drain,
+		busyNs:    make([]int64, len(engines)),
+	}
+}
+
+// Engines exposes the per-shard engines (index = shard).
+func (s *Sharded) Engines() []*Engine { return s.engines }
+
+// Lookahead reports the synchronization window width.
+func (s *Sharded) Lookahead() Time { return s.lookahead }
+
+// EnableWallStats turns on wall-clock busy/wait accounting (it costs two
+// time.Now calls per shard per window, so benchmarks opt in explicitly).
+func (s *Sharded) EnableWallStats() { s.wallStats = true }
+
+// Run fires events until the whole system is quiescent — every engine's
+// queue empty and every mailbox drained — then aligns all clocks to the
+// global maximum, exactly where a serial engine's clock would rest after
+// Run.
+func (s *Sharded) Run() {
+	s.runWindows(0, false)
+	target := Time(0)
+	for _, e := range s.engines {
+		if e.now > target {
+			target = e.now
+		}
+	}
+	for _, e := range s.engines {
+		e.RunUntil(target)
+	}
+}
+
+// RunUntil fires every event with timestamp <= t, then aligns all clocks
+// to t — the sharded equivalent of Engine.RunUntil.
+func (s *Sharded) RunUntil(t Time) {
+	s.runWindows(t, true)
+	for _, e := range s.engines {
+		e.RunUntil(t)
+	}
+}
+
+// runWindows advances all shards window by window; with bounded set it
+// stops once no pending event is <= limit.
+func (s *Sharded) runWindows(limit Time, bounded bool) {
+	n := len(s.engines)
+	if n == 1 {
+		// Degenerate partition: no parallelism and no cross-shard events,
+		// but keep the same drain/window structure for uniformity.
+		e := s.engines[0]
+		for {
+			s.crossEvents += uint64(s.drain())
+			t, ok := e.NextEventTime()
+			if !ok || (bounded && t > limit) {
+				return
+			}
+			end := t + s.lookahead
+			if bounded && end > limit+1 {
+				end = limit + 1
+			}
+			e.RunBefore(end)
+			s.windows++
+		}
+	}
+
+	work := make([]chan Time, n)
+	for i := range work {
+		work[i] = make(chan Time)
+	}
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i, e := range s.engines {
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			for end := range work[i] {
+				if s.wallStats {
+					t0 := time.Now()
+					e.RunBefore(end)
+					s.busyNs[i] += time.Since(t0).Nanoseconds()
+				} else {
+					e.RunBefore(end)
+				}
+				done <- i
+			}
+		}(i, e)
+	}
+
+	for {
+		s.crossEvents += uint64(s.drain())
+		t, ok := s.minNext()
+		if !ok || (bounded && t > limit) {
+			break
+		}
+		end := t + s.lookahead
+		if bounded && end > limit+1 {
+			// Clamp so events at exactly limit still fire but nothing
+			// beyond it does; Time is integral, so limit+1 is the
+			// smallest exclusive bound that includes limit.
+			end = limit + 1
+		}
+		var t0 time.Time
+		if s.wallStats {
+			t0 = time.Now()
+		}
+		for i := range work {
+			work[i] <- end
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		if s.wallStats {
+			s.wallNs += time.Since(t0).Nanoseconds()
+		}
+		s.windows++
+	}
+
+	for i := range work {
+		close(work[i])
+	}
+	wg.Wait()
+}
+
+// minNext reports the earliest pending timestamp across all engines.
+func (s *Sharded) minNext() (Time, bool) {
+	var min Time
+	ok := false
+	for _, e := range s.engines {
+		if t, has := e.NextEventTime(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// Now reports the common clock. Outside windows all engines agree (Run and
+// RunUntil align them); it panics if called while they disagree, which
+// would mean a driver is reading time mid-window from outside the
+// simulation.
+func (s *Sharded) Now() Time {
+	t := s.engines[0].now
+	for _, e := range s.engines[1:] {
+		if e.now != t {
+			panic("sim: Sharded.Now with unaligned shard clocks")
+		}
+	}
+	return t
+}
+
+// Kill unwinds the live processes of every shard.
+func (s *Sharded) Kill() {
+	for _, e := range s.engines {
+		e.Kill()
+	}
+}
+
+// LiveProcs totals unfinished processes across shards.
+func (s *Sharded) LiveProcs() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.LiveProcs()
+	}
+	return n
+}
+
+// Pending totals scheduled, not-yet-fired events across shards.
+func (s *Sharded) Pending() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// EventsFired totals fired events across shards.
+func (s *Sharded) EventsFired() uint64 {
+	n := uint64(0)
+	for _, e := range s.engines {
+		n += e.EventsFired()
+	}
+	return n
+}
+
+// ShardStats summarizes one coordinator's execution.
+type ShardStats struct {
+	Shards      int      // number of shards
+	LookaheadNs int64    // window width
+	Windows     uint64   // synchronization windows executed
+	CrossEvents uint64   // events delivered across shard boundaries
+	Events      []uint64 // per-shard fired-event counts
+	// BusyNs and WaitNs are wall-clock (non-deterministic) and populated
+	// only after EnableWallStats: per-shard time spent executing windows,
+	// and per-shard idle time at barriers (window wall time minus busy).
+	BusyNs []int64
+	WaitNs []int64
+	WallNs int64 // total wall time inside windows
+}
+
+// Stats snapshots the coordinator's accounting. Call it between runs, not
+// mid-window.
+func (s *Sharded) Stats() ShardStats {
+	st := ShardStats{
+		Shards:      len(s.engines),
+		LookaheadNs: int64(s.lookahead),
+		Windows:     s.windows,
+		CrossEvents: s.crossEvents,
+		WallNs:      s.wallNs,
+	}
+	for i, e := range s.engines {
+		st.Events = append(st.Events, e.fired)
+		if s.wallStats {
+			st.BusyNs = append(st.BusyNs, s.busyNs[i])
+			wait := s.wallNs - s.busyNs[i]
+			if wait < 0 {
+				wait = 0
+			}
+			st.WaitNs = append(st.WaitNs, wait)
+		}
+	}
+	return st
+}

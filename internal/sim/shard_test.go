@@ -1,0 +1,190 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestShardedRunAlignsClocks checks the coordinator's base contract: after
+// Run, every engine's clock sits at the global maximum event time, so a
+// serial run (one engine doing all the work) and a sharded run end at the
+// same Now.
+func TestShardedRunAlignsClocks(t *testing.T) {
+	a, b := sim.NewEngine(), sim.NewEngine()
+	var fired []int
+	a.At(10, func() { fired = append(fired, 1) })
+	a.At(30, func() { fired = append(fired, 2) })
+	b.At(20, func() { fired = append(fired, 3) })
+	sh := sim.NewSharded([]*sim.Engine{a, b}, 5, nil)
+	sh.Run()
+	if a.Now() != b.Now() {
+		t.Fatalf("clocks diverge after Run: a=%v b=%v", a.Now(), b.Now())
+	}
+	if got := sh.Now(); got != 30 {
+		t.Fatalf("Now() = %v, want 30", got)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+}
+
+// TestShardedRunUntil checks bounded runs: events beyond the bound stay
+// pending, clocks align exactly at the bound.
+func TestShardedRunUntil(t *testing.T) {
+	a, b := sim.NewEngine(), sim.NewEngine()
+	ran := 0
+	a.At(10, func() { ran++ })
+	b.At(100, func() { ran++ })
+	sh := sim.NewSharded([]*sim.Engine{a, b}, 7, nil)
+	sh.RunUntil(50)
+	if ran != 1 {
+		t.Fatalf("ran %d events before t=50, want 1", ran)
+	}
+	if sh.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", sh.Now())
+	}
+	if sh.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", sh.Pending())
+	}
+	sh.Run()
+	if ran != 2 || sh.Now() != 100 {
+		t.Fatalf("after Run: ran=%d now=%v, want 2 events at t=100", ran, sh.Now())
+	}
+}
+
+// TestShardedCrossEngineHandoff exercises the AllocKey/AtKey handoff the
+// fabric uses: an event on engine a posts work to engine b one lookahead
+// later via a mailbox drained at window barriers.
+func TestShardedCrossEngineHandoff(t *testing.T) {
+	const lookahead = sim.Time(10)
+	a, b := sim.NewEngine(), sim.NewEngine()
+	for _, e := range []*sim.Engine{a, b} {
+		e.GrowDomains(2)
+	}
+	type msg struct {
+		when  sim.Time
+		key   uint64
+		owner uint32
+	}
+	var box []msg
+	var got []sim.Time
+	// Chain: a fires at t, posts to b at t+lookahead; b records. Repeat a
+	// few generations to cross several windows.
+	var post func(t sim.Time, depth int)
+	post = func(t sim.Time, depth int) {
+		a.AtDomain(1, t, func() {
+			box = append(box, msg{when: a.Now() + lookahead, key: a.AllocKey(2), owner: 2})
+			if depth > 0 {
+				post(a.Now()+lookahead, depth-1)
+			}
+		})
+	}
+	post(0, 3)
+	drain := func() int {
+		n := len(box)
+		for _, m := range box {
+			m := m
+			b.AtKey(m.when, m.key, m.owner, func() { got = append(got, b.Now()) })
+		}
+		box = box[:0]
+		return n
+	}
+	sh := sim.NewSharded([]*sim.Engine{a, b}, lookahead, drain)
+	sh.Run()
+	if len(got) != 4 {
+		t.Fatalf("b received %d messages, want 4", len(got))
+	}
+	for i, at := range got {
+		if want := sim.Time((i + 1) * int(lookahead)); at != want {
+			t.Fatalf("message %d delivered at %v, want %v", i, at, want)
+		}
+	}
+	st := sh.Stats()
+	if st.Shards != 2 || st.CrossEvents != 4 || st.Windows == 0 {
+		t.Fatalf("stats = %+v, want 2 shards, 4 cross events, >0 windows", st)
+	}
+	var perShard uint64
+	for _, n := range st.Events {
+		perShard += n
+	}
+	if perShard != sh.EventsFired() {
+		t.Fatalf("stats events sum %d != EventsFired %d", perShard, sh.EventsFired())
+	}
+}
+
+// TestShardedDeterministicTimeline runs the same two-engine program twice
+// and demands identical fire sequences — the kernel-level determinism the
+// cluster equivalence tests rely on.
+func TestShardedDeterministicTimeline(t *testing.T) {
+	type rec struct {
+		when sim.Time
+		key  uint64
+	}
+	run := func() [][]rec {
+		a, b := sim.NewEngine(), sim.NewEngine()
+		engines := []*sim.Engine{a, b}
+		out := make([][]rec, 2)
+		for i, e := range engines {
+			i := i
+			e.GrowDomains(4)
+			e.SetFireHook(func(when sim.Time, key uint64) {
+				out[i] = append(out[i], rec{when, key})
+			})
+		}
+		for d := uint32(1); d <= 4; d++ {
+			d := d
+			e := engines[d%2]
+			e.AtDomain(d, sim.Time(d), func() {
+				e.AtDomain(d, e.Now()+3, func() {})
+			})
+		}
+		sim.NewSharded(engines, 2, nil).Run()
+		return out
+	}
+	x, y := run(), run()
+	for s := range x {
+		if len(x[s]) != len(y[s]) {
+			t.Fatalf("shard %d fired %d vs %d events across runs", s, len(x[s]), len(y[s]))
+		}
+		for i := range x[s] {
+			if x[s][i] != y[s][i] {
+				t.Fatalf("shard %d event %d differs across runs: %+v vs %+v", s, i, x[s][i], y[s][i])
+			}
+		}
+	}
+}
+
+// TestShardedSingleEngineDegenerate pins the n=1 fast path: no goroutines,
+// same semantics.
+func TestShardedSingleEngineDegenerate(t *testing.T) {
+	e := sim.NewEngine()
+	ran := false
+	e.At(42, func() { ran = true })
+	sh := sim.NewSharded([]*sim.Engine{e}, 3, nil)
+	sh.Run()
+	if !ran || e.Now() != 42 {
+		t.Fatalf("degenerate run: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+// TestShardedValidation pins constructor contracts.
+func TestShardedValidation(t *testing.T) {
+	e := sim.NewEngine()
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero lookahead", func() { sim.NewSharded([]*sim.Engine{e}, 0, nil) }},
+		{"no engines", func() { sim.NewSharded(nil, 5, nil) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+package workload_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/member"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Engine-equivalence property test: every registered workload pattern,
+// run at several seeds, must produce the exact same event timeline —
+// every (timestamp, tiebreak key) pair fired by any engine — under four
+// execution modes:
+//
+//	legacy  — Config.Shards left zero, the path every pre-existing caller
+//	          takes (pins that sharding support didn't change defaults)
+//	serial  — an explicit WithShards(1)
+//	2-shard — conservative parallel, two engines
+//	4-shard — conservative parallel, four engines
+//
+// Reports/results are compared too: the timeline proves the engines agree,
+// the report proves the workload-visible numbers do.
+
+type tlRec struct {
+	when sim.Time
+	key  uint64
+}
+
+// recordTimelines attaches a fire hook to every engine and returns a
+// closure producing the merged (when, key)-sorted timeline.
+func recordTimelines(c *cluster.Cluster) func() []tlRec {
+	per := make([][]tlRec, len(c.Engines()))
+	for i, e := range c.Engines() {
+		i := i
+		e.SetFireHook(func(when sim.Time, key uint64) {
+			per[i] = append(per[i], tlRec{when, key})
+		})
+	}
+	return func() []tlRec {
+		var all []tlRec
+		for _, recs := range per {
+			all = append(all, recs...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].when != all[j].when {
+				return all[i].when < all[j].when
+			}
+			return all[i].key < all[j].key
+		})
+		return all
+	}
+}
+
+// modes lists the execution modes under test as Config.Shards values.
+var modes = []struct {
+	name   string
+	shards int
+}{
+	{"legacy", 0},
+	{"serial", 1},
+	{"2-shard", 2},
+	{"4-shard", 4},
+}
+
+func diffTimelines(t *testing.T, label string, want, got []tlRec) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: fired %d events, baseline fired %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: timeline diverges at event %d: got (%v, %#x), want (%v, %#x)",
+				label, i, got[i].when, got[i].key, want[i].when, want[i].key)
+		}
+	}
+}
+
+func TestEngineEquivalenceAcrossPatterns(t *testing.T) {
+	const nodes = 16
+	p2p := []workload.Pattern{workload.Uniform, workload.Permutation, workload.Hotspot, workload.Neighbor}
+	for _, pat := range p2p {
+		pat := pat
+		t.Run(string(pat), func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				var baseTL []tlRec
+				var baseRep workload.Report
+				for mi, m := range modes {
+					cfg := cluster.DefaultConfig(nodes)
+					cfg.Seed = seed
+					cfg.Shards = m.shards
+					var tl func() []tlRec
+					rep, err := workload.RunWith(cfg, workload.Spec{
+						Pattern:  pat,
+						Messages: 60,
+						MeanSize: 2048,
+						MeanGap:  5 * sim.Microsecond,
+					}, func(c *cluster.Cluster) { tl = recordTimelines(c) })
+					if err != nil {
+						t.Fatalf("seed %d %s: %v", seed, m.name, err)
+					}
+					if mi == 0 {
+						baseTL, baseRep = tl(), rep
+						if len(baseTL) == 0 {
+							t.Fatalf("seed %d: baseline fired no events", seed)
+						}
+						continue
+					}
+					diffTimelines(t, fmt.Sprintf("seed %d %s", seed, m.name), baseTL, tl())
+					if rep != baseRep {
+						t.Errorf("seed %d %s: report %+v != baseline %+v", seed, m.name, rep, baseRep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceChurn covers the remaining registered pattern:
+// Churn rides the membership subsystem (group schedule, two-phase epoch
+// rolls) rather than the point-to-point runner, and its Result carries
+// the full delivery and epoch ground truth — all of it must match.
+func TestEngineEquivalenceChurn(t *testing.T) {
+	const nodes = 12
+	for _, seed := range []int64{1, 2, 3} {
+		var baseTL []tlRec
+		var base *member.Result
+		for mi, m := range modes {
+			plan, err := workload.GenerateChurn(workload.ChurnSpec{
+				Nodes:        nodes,
+				Transitions:  4,
+				Msgs:         10,
+				MeanSize:     1024,
+				MeanGap:      15 * sim.Microsecond,
+				MeanChurnGap: 60 * sim.Microsecond,
+			}, sim.NewRNG(seed))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			c := cluster.New(nodes, cluster.WithSeed(seed), cluster.WithShards(m.shards))
+			tl := recordTimelines(c)
+			res := member.Run(c, member.Config{}, plan)
+			if vs := res.Verify(); len(vs) != 0 {
+				t.Fatalf("seed %d %s: churn run violated invariants: %v", seed, m.name, vs)
+			}
+			if mi == 0 {
+				baseTL, base = tl(), res
+				continue
+			}
+			diffTimelines(t, fmt.Sprintf("seed %d %s", seed, m.name), baseTL, tl())
+			if res.Finish != base.Finish {
+				t.Errorf("seed %d %s: finish %v != baseline %v", seed, m.name, res.Finish, base.Finish)
+			}
+			if !reflect.DeepEqual(res.Epochs, base.Epochs) {
+				t.Errorf("seed %d %s: epoch ground truth diverged", seed, m.name)
+			}
+			if !reflect.DeepEqual(res.Deliveries, base.Deliveries) {
+				t.Errorf("seed %d %s: delivery sequences diverged", seed, m.name)
+			}
+			if !reflect.DeepEqual(res.SendEpoch, base.SendEpoch) {
+				t.Errorf("seed %d %s: send-epoch stamps diverged", seed, m.name)
+			}
+		}
+	}
+}

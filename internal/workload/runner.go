@@ -28,20 +28,33 @@ type Report struct {
 // layered on by the caller before invoking Run via the returned cluster —
 // here we keep it to point-to-point traffic.
 func Run(cfg *cluster.Config, spec Spec) (Report, error) {
+	return RunWith(cfg, spec, nil)
+}
+
+// RunWith is Run with a callback invoked after the cluster is built and
+// before any process spawns or event fires — engine-equivalence tests
+// attach fire hooks here; nil behaves exactly like Run.
+func RunWith(cfg *cluster.Config, spec Spec, attach func(*cluster.Cluster)) (Report, error) {
 	spec.Nodes = cfg.Nodes
 	c := cluster.NewFromConfig(cfg)
+	if attach != nil {
+		attach(c)
+	}
 	msgs, err := Generate(spec, c.RNG)
 	if err != nil {
 		return Report{}, err
 	}
 	ports := c.OpenPorts(1)
 
-	// Count per-destination expectations and pre-post tokens.
+	// Count per-destination expectations and pre-post tokens. Sinks run on
+	// their own node's engine, so each destination accumulates latencies in
+	// its own slice (a shared append would race on a sharded cluster) and
+	// the slices fold in node order after the run.
 	tot := Summarize(msgs)
-	latencies := make([]sim.Time, 0, len(msgs))
+	perDst := make([][]sim.Time, cfg.Nodes)
 	for d, n := range tot.PerDst {
 		d, n := d, n
-		c.Eng.Spawn("sink", func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(d), "sink", func(p *sim.Proc) {
 			ports[d].ProvideN(n, 64*1024)
 			for i := 0; i < n; i++ {
 				ev := ports[d].Recv(p)
@@ -51,7 +64,7 @@ func Run(cfg *cluster.Config, spec Spec) (Report, error) {
 					for b := 7; b >= 0; b-- {
 						t0 = t0<<8 | sim.Time(ev.Data[b])
 					}
-					latencies = append(latencies, p.Now()-t0)
+					perDst[d] = append(perDst[d], p.Now()-t0)
 				}
 			}
 		})
@@ -63,7 +76,7 @@ func Run(cfg *cluster.Config, spec Spec) (Report, error) {
 	}
 	for s, list := range perSrc {
 		s, list := s, list
-		c.Eng.Spawn("src", func(p *sim.Proc) {
+		c.SpawnOn(myrinet.NodeID(s), "src", func(p *sim.Proc) {
 			for _, m := range list {
 				if m.At > p.Now() {
 					p.Sleep(m.At - p.Now())
@@ -84,30 +97,35 @@ func Run(cfg *cluster.Config, spec Spec) (Report, error) {
 			}
 		})
 	}
-	c.Eng.Run()
-	if live := c.Eng.LiveProcs(); live != 0 {
-		c.Eng.Kill()
+	c.Run()
+	if live := c.LiveProcs(); live != 0 {
+		c.Kill()
 		return Report{}, fmt.Errorf("workload: stalled with %d live processes", live)
 	}
-	c.Eng.Kill()
+	c.Kill()
 
+	end := c.Now()
 	rep := Report{
 		Messages: tot.Messages,
 		Bytes:    tot.Bytes,
-		Elapsed:  c.Eng.Now(),
+		Elapsed:  end,
 	}
-	if c.Eng.Now() > 0 {
-		rep.ThroughMB = float64(tot.Bytes) / c.Eng.Now().Micros()
+	if end > 0 {
+		rep.ThroughMB = float64(tot.Bytes) / end.Micros()
 	}
 	var sum, worst sim.Time
-	for _, l := range latencies {
-		sum += l
-		if l > worst {
-			worst = l
+	count := 0
+	for _, ls := range perDst {
+		for _, l := range ls {
+			sum += l
+			count++
+			if l > worst {
+				worst = l
+			}
 		}
 	}
-	if len(latencies) > 0 {
-		rep.MeanLatencyUs = sum.Micros() / float64(len(latencies))
+	if count > 0 {
+		rep.MeanLatencyUs = sum.Micros() / float64(count)
 		rep.MaxLatencyUs = worst.Micros()
 	}
 	for _, n := range c.Nodes {
