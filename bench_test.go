@@ -19,8 +19,8 @@ import (
 	"repro/internal/benchkernel"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/harness"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -187,7 +187,7 @@ func BenchmarkAblation_TreeShape(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt = o.MulticastNB(16, size)
 				o2 := o
-				o2.NBTree = func(cfg *cluster.Config, root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree {
+				o2.NBTree = func(cfg *cluster.Config, root fabric.NodeID, members []fabric.NodeID, size int) *tree.Tree {
 					return tree.Binomial(root, members)
 				}
 				bin = o2.MulticastNB(16, size)

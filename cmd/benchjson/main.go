@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"repro/internal/benchkernel"
+	"repro/internal/fabric"
+	"repro/internal/harness"
 	"repro/internal/sim"
 )
 
@@ -75,6 +77,7 @@ type sweepResult struct {
 // counts by the PDES determinism contract, so matching values confirm the
 // serial and sharded timings measured the same computation.
 type mcastPoint struct {
+	Fabric    string  `json:"fabric"`
 	Nodes     int     `json:"nodes"`
 	Shards    int     `json:"shards"`
 	Msgs      int     `json:"msgs"`
@@ -131,19 +134,21 @@ func compare(legacy, current benchResult) comparison {
 	}
 }
 
-// stormPoint times one full storm run at (nodes, shards), best of two so a
-// stray GC pause or scheduler hiccup doesn't pollute the committed number.
-func stormPoint(nodes, shards, msgs, size int) mcastPoint {
+// stormPoint times one full storm run at (fabric, nodes, shards), best of
+// two so a stray GC pause or scheduler hiccup doesn't pollute the committed
+// number.
+func stormPoint(fc fabric.Config, nodes, shards, msgs, size int) mcastPoint {
 	best := time.Duration(0)
 	var virt sim.Time
 	for i := 0; i < 2; i++ {
 		start := time.Now()
-		virt = benchkernel.MulticastStormOnce(nodes, shards, msgs, size)
+		virt = benchkernel.MulticastStormOn(fc, nodes, shards, msgs, size)
 		if d := time.Since(start); best == 0 || d < best {
 			best = d
 		}
 	}
 	return mcastPoint{
+		Fabric:    fc.Kind,
 		Nodes:     nodes,
 		Shards:    shards,
 		Msgs:      msgs,
@@ -208,6 +213,7 @@ func main() {
 	stormMsgs := flag.Int("storm-msgs", 20, "multicast-storm messages per run")
 	stormSize := flag.Int("storm-size", 1024, "multicast-storm payload bytes")
 	bigNodes := flag.Int("storm-big", 2048, "largest single sharded storm point (0 to skip)")
+	fabricName := flag.String("fabric", "myrinet", "interconnect backend for the storm points: "+harness.FabricNames())
 	checkFile := flag.String("check", "", "gate mode: compare Schedule against this baseline and exit nonzero on regression")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression in -check mode")
 	flag.Parse()
@@ -215,6 +221,12 @@ func main() {
 	if *checkFile != "" {
 		check(*checkFile, *tolerance)
 		return
+	}
+
+	fc, err := harness.FabricPreset(*fabricName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
 	}
 
 	schedule := run("Schedule", benchkernel.Schedule)
@@ -264,10 +276,10 @@ func main() {
 		}
 		var serialSec, shardSec float64
 		for _, shards := range []int{1, 2, 4} {
-			p := stormPoint(*stormNodes, shards, *stormMsgs, *stormSize)
+			p := stormPoint(fc, *stormNodes, shards, *stormMsgs, *stormSize)
 			sec.Points = append(sec.Points, p)
-			fmt.Printf("multicast storm %d nodes / %d shards: %.2fs (virtual %s)\n",
-				p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s)\n",
+				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
 			switch shards {
 			case 1:
 				serialSec = p.SecPerRun
@@ -279,10 +291,20 @@ func main() {
 			sec.Speedup = serialSec / shardSec
 		}
 		if *bigNodes > 0 {
-			p := stormPoint(*bigNodes, 4, *stormMsgs/2+1, *stormSize)
+			p := stormPoint(fc, *bigNodes, 4, *stormMsgs/2+1, *stormSize)
 			sec.Points = append(sec.Points, p)
-			fmt.Printf("multicast storm %d nodes / %d shards: %.2fs (virtual %s)\n",
-				p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s)\n",
+				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+		}
+		// Cross-fabric point: the same storm on the Clos backend, so the
+		// committed baseline carries a datacenter-fabric number next to the
+		// Myrinet ones (skipped when the whole sweep already ran on Clos).
+		if fc.Kind != "clos" {
+			cfc, _ := harness.FabricPreset("clos")
+			p := stormPoint(cfc, *stormNodes, 1, *stormMsgs, *stormSize)
+			sec.Points = append(sec.Points, p)
+			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s)\n",
+				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
 		}
 		rep.Mcast = sec
 	}

@@ -32,6 +32,7 @@ func main() {
 	msgs := flag.Int("msgs", 12, "multicast messages per run")
 	size := flag.Int("size", 10000, "message size in bytes")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
 	short := flag.Bool("short", false, "CI smoke mode: 4/8 nodes, 10 messages")
 	list := flag.Bool("list", false, "print the scenario library and exit")
 	parallel := flag.Int("parallel", 0, "max parallel campaign points (0 = all cores, 1 = serial)")
@@ -73,6 +74,12 @@ func main() {
 	o := harness.DefaultOptions()
 	o.Seed = *seed
 	o.Workers = *parallel
+	fc, err := harness.FabricPreset(*fabricName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+		os.Exit(2)
+	}
+	o.Fabric = fc
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}
@@ -82,8 +89,8 @@ func main() {
 	}
 
 	results := o.ChaosSweep(scenarios, nodes, *msgs, *size)
-	title := fmt.Sprintf("chaos campaign: %d scenarios x %d cluster sizes, seed %d",
-		len(scenarios), len(nodes), *seed)
+	title := fmt.Sprintf("chaos campaign: %d scenarios x %d cluster sizes, fabric %s, seed %d",
+		len(scenarios), len(nodes), fc.Kind, *seed)
 	harness.WriteChaosTable(os.Stdout, title, results)
 	rep.Report(os.Stdout, "chaos campaign")
 

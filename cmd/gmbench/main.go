@@ -27,6 +27,7 @@ func main() {
 	warmup := flag.Int("warmup", 20, "warm-up iterations per point")
 	maxSize := flag.Int("maxsize", 16384, "largest message size in the sweep")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
 	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -53,6 +54,12 @@ func main() {
 	o.Warmup = *warmup
 	o.Seed = *seed
 	o.Workers = *parallel
+	fc, err := harness.FabricPreset(*fabricName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gmbench: %v\n", err)
+		os.Exit(2)
+	}
+	o.Fabric = fc
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}

@@ -35,6 +35,7 @@ func main() {
 	msgs := flag.Int("msgs", 16, "multicast payloads per run")
 	size := flag.Int("size", 4096, "mean payload size in bytes")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
 	short := flag.Bool("short", false, "CI smoke mode: 6/8 nodes, 8 transitions, 10 payloads")
 	list := flag.Bool("list", false, "print the scenario library and exit")
 	parallel := flag.Int("parallel", 0, "max parallel campaign points (0 = all cores, 1 = serial)")
@@ -82,6 +83,12 @@ func main() {
 	o := harness.DefaultOptions()
 	o.Seed = *seed
 	o.Workers = *parallel
+	fc, err := harness.FabricPreset(*fabricName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memberbench: %v\n", err)
+		os.Exit(2)
+	}
+	o.Fabric = fc
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}
@@ -91,8 +98,8 @@ func main() {
 	}
 
 	results := o.MemberSweep(scenarios, nodes, transitions, *msgs, *size)
-	title := fmt.Sprintf("membership campaign: %d scenarios x %d cluster sizes x %d churn rates, seed %d",
-		len(scenarios), len(nodes), len(transitions), *seed)
+	title := fmt.Sprintf("membership campaign: %d scenarios x %d cluster sizes x %d churn rates, fabric %s, seed %d",
+		len(scenarios), len(nodes), len(transitions), fc.Kind, *seed)
 	harness.WriteMemberTable(os.Stdout, title, results)
 	rep.Report(os.Stdout, "membership campaign")
 

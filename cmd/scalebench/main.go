@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/benchkernel"
+	"repro/internal/fabric"
 	"repro/internal/harness"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	size := flag.Int("size", 64, "message size in bytes")
 	nodesFlag := flag.String("nodes", "8,16,32,64,128", "comma-separated system sizes")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
 	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "engines per simulation run (0 or 1 = serial engine)")
 	matrix := flag.Bool("matrix", false, "print the shards x nodes multicast-storm speedup matrix and exit")
@@ -47,8 +49,14 @@ func main() {
 		nodeCounts = append(nodeCounts, n)
 	}
 
+	fc, err := harness.FabricPreset(*fabricName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scalebench: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *matrix {
-		speedupMatrix(nodeCounts, *msgs, *size)
+		speedupMatrix(fc, nodeCounts, *msgs, *size)
 		return
 	}
 
@@ -57,6 +65,7 @@ func main() {
 	o.Seed = *seed
 	o.Workers = *parallel
 	o.Shards = *shards
+	o.Fabric = fc
 	fmt.Printf("Scalability: time until the last of N hosts holds a %d-byte broadcast\n", *size)
 	harness.WriteScale(os.Stdout, "-- NIC-based (NB) vs host-based (HB) --",
 		o.ScaleSweep(nodeCounts, *size))
@@ -67,10 +76,10 @@ func main() {
 // relative to the 1-shard column; they exceed 1.0 only when the shards
 // have real cores to run on, so the GOMAXPROCS context prints with the
 // table.
-func speedupMatrix(nodeCounts []int, msgs, size int) {
+func speedupMatrix(fc fabric.Config, nodeCounts []int, msgs, size int) {
 	shardCounts := []int{1, 2, 4, 8}
-	fmt.Printf("Multicast-storm wall seconds per run (speedup vs serial), %d msgs x %d bytes, GOMAXPROCS=%d\n",
-		msgs, size, runtime.GOMAXPROCS(0))
+	fmt.Printf("Multicast-storm wall seconds per run (speedup vs serial), %d msgs x %d bytes, fabric %s, GOMAXPROCS=%d\n",
+		msgs, size, fc.Kind, runtime.GOMAXPROCS(0))
 	fmt.Printf("%8s", "nodes")
 	for _, s := range shardCounts {
 		fmt.Printf("  %14s", fmt.Sprintf("%d-shard", s))
@@ -87,7 +96,7 @@ func speedupMatrix(nodeCounts []int, msgs, size int) {
 			best := 0.0
 			for i := 0; i < 2; i++ {
 				start := time.Now()
-				benchkernel.MulticastStormOnce(n, s, msgs, size)
+				benchkernel.MulticastStormOn(fc, n, s, msgs, size)
 				if d := time.Since(start).Seconds(); best == 0 || d < best {
 					best = d
 				}

@@ -19,7 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/tree"
 	"repro/internal/workload"
@@ -42,18 +42,18 @@ func main() {
 	}
 
 	cfg := cluster.DefaultConfig(*nodes)
-	members := make([]myrinet.NodeID, *nodes)
+	members := make([]fabric.NodeID, *nodes)
 	for i := range members {
-		members[i] = myrinet.NodeID(i)
+		members[i] = fabric.NodeID(i)
 	}
 
-	bin := tree.Binomial(myrinet.NodeID(*root), members)
+	bin := tree.Binomial(fabric.NodeID(*root), members)
 	fmt.Printf("Host-based binomial tree (%d nodes): depth=%d maxFanout=%d leaves=%d\n%s\n",
 		*nodes, bin.Depth(), bin.MaxFanout(), len(bin.Leaves()), bin)
 
 	for _, size := range []int{4, 512, 2048, 4096, 8192, 16384} {
 		pp := cfg.Postal(size)
-		tr := cfg.OptimalTree(myrinet.NodeID(*root), members, size)
+		tr := cfg.OptimalTree(fabric.NodeID(*root), members, size)
 		fmt.Printf("NIC-based tree for %d-byte messages: lambda=%v gap=%v ratio=%.2f depth=%d maxFanout=%d\n%s\n",
 			size, pp.Lambda, pp.Gap, pp.Ratio(), tr.Depth(), tr.MaxFanout(), tr)
 	}
@@ -71,17 +71,17 @@ func churnMode(nodes, transitions, fanout int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	root := myrinet.NodeID(plan.Root)
-	members := map[myrinet.NodeID]bool{root: true}
+	root := fabric.NodeID(plan.Root)
+	members := map[fabric.NodeID]bool{root: true}
 	for _, m := range plan.Initial {
-		members[myrinet.NodeID(m)] = true
+		members[fabric.NodeID(m)] = true
 	}
 
 	tr := tree.Incremental(nil, root, memberList(members), fanout)
 	writeDot(0, "initial", nil, tr)
 	epoch := 1
 	for _, ev := range plan.Events {
-		n := myrinet.NodeID(ev.Node)
+		n := fabric.NodeID(ev.Node)
 		// The coordinator's acceptance rules: no-op joins/leaves, root
 		// departure, and would-empty leaves are rejected without a roll.
 		if ev.Join == members[n] || (!ev.Join && (n == root || len(members) <= 2)) {
@@ -103,8 +103,8 @@ func churnMode(nodes, transitions, fanout int, seed int64) error {
 	return nil
 }
 
-func memberList(members map[myrinet.NodeID]bool) []myrinet.NodeID {
-	list := make([]myrinet.NodeID, 0, len(members))
+func memberList(members map[fabric.NodeID]bool) []fabric.NodeID {
+	list := make([]fabric.NodeID, 0, len(members))
 	for m := range members {
 		list = append(list, m)
 	}

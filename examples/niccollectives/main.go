@@ -13,8 +13,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -76,7 +76,7 @@ func hostBarrier() float64 {
 			ports[i].ProvideN(rounds*steps, 16)
 			for r := 0; r < rounds; r++ {
 				for k := 1; k < nodes; k <<= 1 {
-					ports[i].Send(p, myrinet.NodeID((i+k)%nodes), port, []byte{1})
+					ports[i].Send(p, fabric.NodeID((i+k)%nodes), port, []byte{1})
 					ports[i].Recv(p)
 				}
 			}

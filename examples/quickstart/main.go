@@ -9,8 +9,8 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -76,13 +76,13 @@ func hostBased(message []byte) sim.Time {
 	tr := tree.Binomial(0, c.Members())
 
 	var last sim.Time
-	forward := func(p *sim.Proc, n myrinet.NodeID, data []byte) {
+	forward := func(p *sim.Proc, n fabric.NodeID, data []byte) {
 		for _, child := range tr.Children(n) {
 			ports[n].Send(p, child, port, data)
 		}
 	}
 	for n := 1; n < nodes; n++ {
-		n := myrinet.NodeID(n)
+		n := fabric.NodeID(n)
 		c.Eng.Spawn("node", func(p *sim.Proc) {
 			ports[n].Provide(len(message))
 			ev := ports[n].Recv(p)

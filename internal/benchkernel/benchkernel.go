@@ -9,8 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/harness"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/sim/legacy"
 	"repro/internal/tree"
@@ -102,16 +102,16 @@ const (
 func PacketStorm(b *testing.B) {
 	b.ReportAllocs()
 	eng := sim.NewEngine()
-	net := myrinet.NewSingleSwitch(eng, stormHosts, myrinet.DefaultLinkParams())
+	net := fabric.SingleSwitch(eng, stormHosts, fabric.DefaultLinkParams())
 	delivered := 0
 	for i := 0; i < stormHosts; i++ {
-		net.Iface(myrinet.NodeID(i)).Deliver = func(*myrinet.Packet) { delivered++ }
+		net.Iface(fabric.NodeID(i)).Deliver = func(*fabric.Packet) { delivered++ }
 	}
-	pkts := make([]*myrinet.Packet, stormHosts)
+	pkts := make([]*fabric.Packet, stormHosts)
 	for i := range pkts {
-		pkts[i] = &myrinet.Packet{
-			Src:  myrinet.NodeID(i),
-			Dst:  myrinet.NodeID((i + 1) % stormHosts),
+		pkts[i] = &fabric.Packet{
+			Src:  fabric.NodeID(i),
+			Dst:  fabric.NodeID((i + 1) % stormHosts),
 			Size: stormSize,
 		}
 	}
@@ -146,12 +146,22 @@ const (
 // shard counts — callers use that as a cheap cross-check that serial and
 // sharded timings measured the same computation.
 func MulticastStormOnce(nodes, shards, msgs, size int) sim.Time {
-	c := cluster.New(nodes, cluster.WithShards(shards), cluster.WithSeed(1))
+	return MulticastStormOn(fabric.Config{}, nodes, shards, msgs, size)
+}
+
+// MulticastStormOn is MulticastStormOnce on an explicit fabric backend; the
+// zero Config selects the default Myrinet fabric.
+func MulticastStormOn(fc fabric.Config, nodes, shards, msgs, size int) sim.Time {
+	opts := []cluster.Option{cluster.WithShards(shards), cluster.WithSeed(1)}
+	if fc.Valid() {
+		opts = append(opts, cluster.WithFabric(fc))
+	}
+	c := cluster.New(nodes, opts...)
 	ports := c.OpenPorts(mcastPort)
 	ready := c.InstallGroup(mcastGroup, tree.Binomial(0, c.Members()), mcastPort, mcastPort)
 	for i := 1; i < nodes; i++ {
 		port := ports[i]
-		c.SpawnOn(myrinet.NodeID(i), "recv", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(i), "recv", func(p *sim.Proc) {
 			port.ProvideN(msgs+2, size+256)
 			for got := 0; got < msgs; got++ {
 				port.Recv(p)

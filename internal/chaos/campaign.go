@@ -5,9 +5,9 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -48,6 +48,11 @@ type Config struct {
 	// drop windows, every-packet reordering, NIC pauses — are compatible;
 	// a stochastic scenario panics with ErrShardsStateful at install time.
 	Shards int
+
+	// Fabric selects the interconnect backend the campaign runs over (the
+	// zero value: the classic Myrinet fabric). The invariant set is
+	// fabric-agnostic, so the same scenarios validate every backend.
+	Fabric fabric.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -93,11 +98,26 @@ type Fault struct {
 	Cluster *cluster.Cluster
 	Tree    *tree.Tree
 	Cfg     Config
+
+	// CleanSpan is the fault-free baseline's completion time on this exact
+	// cluster, measured by the run that always precedes fault injection.
+	// Scenarios place their windows relative to it (see At), so the same
+	// script stresses live traffic on a microsecond-scale Clos run and a
+	// millisecond-scale Myrinet one alike.
+	CleanSpan sim.Time
+}
+
+// At maps a fraction of the fault-free run's span to an absolute virtual
+// time: At(0.3) lands 30% into live traffic on any fabric, At(1.5) in the
+// recovery tail. Hard-coded microsecond windows tuned to one fabric's
+// speed miss the whole run on a faster one.
+func (f *Fault) At(frac float64) sim.Time {
+	return sim.Time(float64(f.CleanSpan) * frac)
 }
 
 // InteriorNode returns the first non-root tree node that has children —
 // the forwarding node whose failure hurts an entire subtree.
-func (f *Fault) InteriorNode() myrinet.NodeID {
+func (f *Fault) InteriorNode() fabric.NodeID {
 	for _, n := range f.Tree.Nodes() {
 		if n != f.Tree.Root && len(f.Tree.Children(n)) > 0 {
 			return n
@@ -108,9 +128,17 @@ func (f *Fault) InteriorNode() myrinet.NodeID {
 	return f.LeafNode()
 }
 
+// RootSwitch returns the label of the switch the multicast root attaches
+// to — the fabric-generic spelling of "the crossbar goes dark" ("xbar0"
+// on a single-switch Myrinet fabric, "tor0" or a leaf on a Clos), so
+// switch-outage scenarios bite on every backend.
+func (f *Fault) RootSwitch() string {
+	return f.Cluster.Net.Iface(f.Tree.Root).Uplink().ToLabel()
+}
+
 // LeafNode returns the last tree node without children — deterministic,
 // and never the root.
-func (f *Fault) LeafNode() myrinet.NodeID {
+func (f *Fault) LeafNode() fabric.NodeID {
 	nodes := f.Tree.Nodes()
 	for i := len(nodes) - 1; i >= 0; i-- {
 		if len(f.Tree.Children(nodes[i])) == 0 {
@@ -158,8 +186,8 @@ type Result struct {
 // the full invariant set.
 func RunScenario(sc Scenario, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	clean := runOnce(sc, cfg, false)
-	fault := runOnce(sc, cfg, true)
+	clean := runOnce(sc, cfg, false, 0)
+	fault := runOnce(sc, cfg, true, clean.finish)
 
 	res := Result{
 		Scenario:    sc.Name,
@@ -223,7 +251,7 @@ func Payload(idx, size int) []byte {
 
 // runOnce builds a fresh cluster, streams the multicast workload under the
 // scenario's faults (if faulted), and checks the invariant set.
-func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
+func runOnce(sc Scenario, cfg Config, faulted bool, cleanSpan sim.Time) outcome {
 	// The baseline always uses a private registry; the faulted run uses
 	// the caller's shared one when provided (counter diffs isolate it).
 	reg := cfg.Metrics
@@ -231,6 +259,10 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 		reg = metrics.New()
 	}
 	ccfg := cluster.DefaultConfig(cfg.Nodes)
+	if cfg.Fabric.Valid() {
+		ccfg.Fabric = cfg.Fabric
+		ccfg.Link = cfg.Fabric.Links
+	}
 	ccfg.Seed = cfg.Seed
 	ccfg.Metrics = reg
 	ccfg.Shards = cfg.Shards
@@ -244,7 +276,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool) outcome {
 	var inj *Injector
 	if faulted && sc.Inject != nil {
 		inj = NewInjector(c.Net, scenarioSeed(cfg.Seed, sc.Name))
-		sc.Inject(&Fault{Inj: inj, Cluster: c, Tree: tr, Cfg: cfg})
+		sc.Inject(&Fault{Inj: inj, Cluster: c, Tree: tr, Cfg: cfg, CleanSpan: cleanSpan})
 	}
 
 	msgs := make([][]byte, cfg.Msgs)

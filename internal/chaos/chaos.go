@@ -1,6 +1,6 @@
 // Package chaos is a deterministic, scenario-scripted fault-injection
 // subsystem for the simulated Myrinet/GM stack. It layers named, scheduled
-// fault rules over the fabric's injection hooks (myrinet.DropFn for loss,
+// fault rules over the fabric's injection hooks (fabric.DropFn for loss,
 // plus the DupFn duplication and DelayFn reordering hooks) and the NIC's
 // Pause/Resume firmware-reload hook, then drives measurement campaigns
 // that assert a reliability invariant set after every run: each receiver
@@ -15,12 +15,11 @@
 package chaos
 
 import (
-	"errors"
 	"sync/atomic"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/lanai"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -30,39 +29,42 @@ import (
 // callbacks run on whichever shard owns the link, so a shared RNG or
 // counter would be both racy and nondeterministic. Pure time-window rules
 // (unconditional drops, every-packet reordering) remain available.
-var ErrShardsStateful = errors.New("chaos: stateful fault rules require a serial (unsharded) cluster")
+//
+// Deprecated: alias of fabric.ErrShardsStateful (the constraint belongs to
+// the sharded fabric, not this package); errors.Is works against either.
+var ErrShardsStateful = fabric.ErrShardsStateful
 
 // Match selects the packets/link traversals a rule applies to.
-type Match func(p *myrinet.Packet, l *myrinet.Link) bool
+type Match func(p *fabric.Packet, l *fabric.Link) bool
 
 // MatchAll applies a rule to every traversal.
-func MatchAll(*myrinet.Packet, *myrinet.Link) bool { return true }
+func MatchAll(*fabric.Packet, *fabric.Link) bool { return true }
 
 // MatchNode matches packets sourced by or destined to one node — dropping
 // them isolates the node from the fabric.
-func MatchNode(id myrinet.NodeID) Match {
-	return func(p *myrinet.Packet, _ *myrinet.Link) bool {
+func MatchNode(id fabric.NodeID) Match {
+	return func(p *fabric.Packet, _ *fabric.Link) bool {
 		return p.Src == id || p.Dst == id
 	}
 }
 
 // MatchHostLink matches traversals of the links attaching one host (either
 // direction) — a cable fault rather than a node fault.
-func MatchHostLink(id myrinet.NodeID) Match {
-	return func(_ *myrinet.Packet, l *myrinet.Link) bool { return l.Touches(id) }
+func MatchHostLink(id fabric.NodeID) Match {
+	return func(_ *fabric.Packet, l *fabric.Link) bool { return l.Touches(id) }
 }
 
 // MatchSwitch matches traversals of any link touching the named switch
 // vertex (e.g. "xbar0") — a crossbar failure.
 func MatchSwitch(label string) Match {
-	return func(_ *myrinet.Packet, l *myrinet.Link) bool {
+	return func(_ *fabric.Packet, l *fabric.Link) bool {
 		return l.FromLabel() == label || l.ToLabel() == label
 	}
 }
 
 // MatchData matches data-bearing frames (unicast, directed, multicast),
 // leaving control traffic untouched.
-func MatchData(p *myrinet.Packet, _ *myrinet.Link) bool {
+func MatchData(p *fabric.Packet, _ *fabric.Link) bool {
 	fr, ok := p.Payload.(*gm.Frame)
 	if !ok {
 		return false
@@ -76,7 +78,7 @@ func MatchData(p *myrinet.Packet, _ *myrinet.Link) bool {
 
 // MatchAcks matches acknowledgment and nack frames — losing these
 // exercises the duplicate-detection and re-ack paths.
-func MatchAcks(p *myrinet.Packet, _ *myrinet.Link) bool {
+func MatchAcks(p *fabric.Packet, _ *fabric.Link) bool {
 	fr, ok := p.Payload.(*gm.Frame)
 	if !ok {
 		return false
@@ -133,7 +135,7 @@ type delayRule struct {
 // Injector owns a fabric's fault-injection hooks. Create one per cluster
 // with NewInjector; add rules before (or during) the run.
 type Injector struct {
-	net *myrinet.Network
+	net *fabric.Network
 	eng *sim.Engine
 	rng *sim.RNG
 
@@ -146,7 +148,7 @@ type Injector struct {
 // DelayFn. seed feeds the injector's private randomness (stochastic rules),
 // independent of the cluster's RNG so adding a rule never perturbs
 // unrelated stochastic behaviour.
-func NewInjector(net *myrinet.Network, seed int64) *Injector {
+func NewInjector(net *fabric.Network, seed int64) *Injector {
 	inj := &Injector{net: net, eng: net.Engine(), rng: sim.NewRNG(seed)}
 	net.DropFn = inj.drop
 	net.DupFn = inj.dup
@@ -263,13 +265,13 @@ type RuleHit struct {
 	Hits uint64
 }
 
-// drop implements myrinet.DropFn over the installed rules. Stochastic
+// drop implements fabric.DropFn over the installed rules. Stochastic
 // rules consume randomness only when their window and match apply, so
 // adding an inert rule never shifts another rule's stream.
 // Hooks read the clock of the shard that owns the link (LinkNow): within a
 // synchronization window the shards' clocks legitimately differ, and the
 // traversal's own shard is the only one whose time is meaningful here.
-func (in *Injector) drop(p *myrinet.Packet, l *myrinet.Link) bool {
+func (in *Injector) drop(p *fabric.Packet, l *fabric.Link) bool {
 	now := in.net.LinkNow(l)
 	for _, r := range in.drops {
 		if !r.win.contains(now) || !r.match(p, l) {
@@ -292,8 +294,8 @@ func (in *Injector) drop(p *myrinet.Packet, l *myrinet.Link) bool {
 	return false
 }
 
-// dup implements myrinet.DupFn over the installed rules.
-func (in *Injector) dup(p *myrinet.Packet, l *myrinet.Link) bool {
+// dup implements fabric.DupFn over the installed rules.
+func (in *Injector) dup(p *fabric.Packet, l *fabric.Link) bool {
 	now := in.net.LinkNow(l)
 	for _, r := range in.dups {
 		if !r.win.contains(now) || !r.match(p, l) {
@@ -308,9 +310,9 @@ func (in *Injector) dup(p *myrinet.Packet, l *myrinet.Link) bool {
 	return false
 }
 
-// delay implements myrinet.DelayFn over the installed rules; concurrent
+// delay implements fabric.DelayFn over the installed rules; concurrent
 // rules add up.
-func (in *Injector) delay(p *myrinet.Packet, l *myrinet.Link) sim.Time {
+func (in *Injector) delay(p *fabric.Packet, l *fabric.Link) sim.Time {
 	now := in.net.LinkNow(l)
 	var total sim.Time
 	for _, r := range in.delays {

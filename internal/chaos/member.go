@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/member"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -47,6 +47,10 @@ type MemberConfig struct {
 	// engine (0 or 1 = serial); stateless fault rules only, as with
 	// Config.Shards.
 	Shards int
+
+	// Fabric selects the interconnect backend (zero value: Myrinet), as
+	// with Config.Fabric.
+	Fabric fabric.Config
 }
 
 func (c MemberConfig) withDefaults() MemberConfig {
@@ -93,7 +97,7 @@ type MemberFault struct {
 	Inj     *Injector
 	Cluster *cluster.Cluster
 	Cfg     MemberConfig
-	Root    myrinet.NodeID
+	Root    fabric.NodeID
 }
 
 // MemberLibrary returns the membership scenario set, in fixed order.
@@ -239,6 +243,10 @@ func memberRunOnce(sc MemberScenario, cfg MemberConfig, faulted bool) memberOutc
 		reg = metrics.New()
 	}
 	ccfg := cluster.DefaultConfig(cfg.Nodes)
+	if cfg.Fabric.Valid() {
+		ccfg.Fabric = cfg.Fabric
+		ccfg.Link = cfg.Fabric.Links
+	}
 	ccfg.Seed = cfg.Seed
 	ccfg.Metrics = reg
 	ccfg.Shards = cfg.Shards
@@ -263,7 +271,7 @@ func memberRunOnce(sc MemberScenario, cfg MemberConfig, faulted bool) memberOutc
 	var inj *Injector
 	if faulted && sc.Inject != nil {
 		inj = NewInjector(c.Net, scenarioSeed(cfg.Seed, sc.Name))
-		sc.Inject(&MemberFault{Inj: inj, Cluster: c, Cfg: cfg, Root: myrinet.NodeID(plan.Root)})
+		sc.Inject(&MemberFault{Inj: inj, Cluster: c, Cfg: cfg, Root: fabric.NodeID(plan.Root)})
 	}
 
 	data := c.OpenPorts(MemberDataPort)

@@ -1,11 +1,10 @@
 package chaos
 
-import "repro/internal/sim"
-
-// The scenario library. Fault windows are placed over the first couple of
-// milliseconds because the default campaign workload starts streaming at
-// t=0 and finishes within about a millisecond when nothing goes wrong —
-// every window below overlaps live traffic. All windows close long before
+// The scenario library. Fault windows are fractions of the fault-free
+// baseline's measured span (Fault.At): the workload starts streaming at
+// t=0, so At(0.3)..At(1.5) always brackets live traffic and the early
+// recovery tail, whether a run takes a millisecond on the Myrinet fabric
+// or a fraction of that on a Clos backend. All windows close long before
 // the run deadline, so a correct protocol always has room to recover; a
 // run that still misses the deadline has a recovery bug, not a tight
 // schedule.
@@ -16,26 +15,26 @@ func Library() []Scenario {
 	return []Scenario{
 		{
 			Name: "root-link-outage",
-			Desc: "root's host link dark for 1ms; every packet and ack in transit dies",
+			Desc: "root's host link dark through most of the stream; every packet and ack in transit dies",
 			Inject: func(f *Fault) {
-				f.Inj.DropWindow("root-link", 300*sim.Microsecond, 1300*sim.Microsecond,
+				f.Inj.DropWindow("root-link", f.At(0.3), f.At(1.3),
 					MatchHostLink(f.Tree.Root))
 			},
 		},
 		{
 			Name: "interior-kill",
-			Desc: "interior forwarding node isolated for 1.2ms; its whole subtree starves",
+			Desc: "interior forwarding node isolated through the second half of the stream; its whole subtree starves",
 			Inject: func(f *Fault) {
-				f.Inj.DropWindow("interior-node", 300*sim.Microsecond, 1500*sim.Microsecond,
+				f.Inj.DropWindow("interior-node", f.At(0.3), f.At(1.5),
 					MatchNode(f.InteriorNode()))
 			},
 		},
 		{
 			Name: "switch-outage",
-			Desc: "crossbar xbar0 black for 800µs — a full-fabric blackout on single-switch clusters",
+			Desc: "the root's switch black mid-stream — a full-fabric blackout on single-switch clusters",
 			Inject: func(f *Fault) {
-				f.Inj.DropWindow("xbar0", 400*sim.Microsecond, 1200*sim.Microsecond,
-					MatchSwitch("xbar0"))
+				f.Inj.DropWindow("root-switch", f.At(0.4), f.At(1.2),
+					MatchSwitch(f.RootSwitch()))
 			},
 		},
 		{
@@ -63,32 +62,32 @@ func Library() []Scenario {
 		},
 		{
 			Name:  "reorder",
-			Desc:  "every 5th data packet held back 25µs, overtaken by its successors",
+			Desc:  "every 5th data packet held back, overtaken by its successors",
 			Nacks: true,
 			Inject: func(f *Fault) {
-				f.Inj.Reorder("hold5", 0, 0, 5, 25*sim.Microsecond, MatchData)
+				f.Inj.Reorder("hold5", 0, 0, 5, f.At(0.025), MatchData)
 			},
 		},
 		{
 			Name: "leaf-nic-pause",
-			Desc: "a leaf NIC reloads firmware for 1.2ms, discarding all arrivals",
+			Desc: "a leaf NIC reloads firmware through the second half of the stream, discarding all arrivals",
 			Inject: func(f *Fault) {
 				leaf := f.LeafNode()
-				f.Inj.PauseNIC(f.Cluster.Nodes[leaf].HW, 300*sim.Microsecond, 1500*sim.Microsecond)
+				f.Inj.PauseNIC(f.Cluster.Nodes[leaf].HW, f.At(0.3), f.At(1.5))
 			},
 		},
 		{
 			Name: "root-nic-pause",
-			Desc: "the root NIC goes deaf for 900µs; every ack in flight is discarded",
+			Desc: "the root NIC goes deaf mid-stream; every ack in flight is discarded",
 			Inject: func(f *Fault) {
-				f.Inj.PauseNIC(f.Cluster.Nodes[f.Tree.Root].HW, 300*sim.Microsecond, 1200*sim.Microsecond)
+				f.Inj.PauseNIC(f.Cluster.Nodes[f.Tree.Root].HW, f.At(0.3), f.At(1.2))
 			},
 		},
 		{
 			Name: "ack-loss",
-			Desc: "all acknowledgment and nack frames dropped for 1.2ms; data flows untouched",
+			Desc: "all acknowledgment and nack frames dropped through the stream's tail; data flows untouched",
 			Inject: func(f *Fault) {
-				f.Inj.DropWindow("acks", 300*sim.Microsecond, 1500*sim.Microsecond, MatchAcks)
+				f.Inj.DropWindow("acks", f.At(0.3), f.At(1.5), MatchAcks)
 			},
 		},
 		{
@@ -96,10 +95,10 @@ func Library() []Scenario {
 			Desc:  "interior node isolated while the fabric duplicates and reorders traffic",
 			Nacks: true,
 			Inject: func(f *Fault) {
-				f.Inj.DropWindow("interior-node", 400*sim.Microsecond, 1100*sim.Microsecond,
+				f.Inj.DropWindow("interior-node", f.At(0.4), f.At(1.1),
 					MatchNode(f.InteriorNode()))
 				f.Inj.Duplicate("dup7", 0, 0, 7, MatchAll)
-				f.Inj.Reorder("hold9", 0, 0, 9, 15*sim.Microsecond, MatchData)
+				f.Inj.Reorder("hold9", 0, 0, 9, f.At(0.015), MatchData)
 			},
 		},
 	}

@@ -6,10 +6,10 @@
 package cluster
 
 import (
-	"errors"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/lanai"
 	"repro/internal/metrics"
@@ -22,10 +22,17 @@ import (
 // Config aggregates every tunable of the simulated testbed.
 type Config struct {
 	Nodes int
-	Link  myrinet.LinkParams
+	Link  fabric.LinkParams
 	NIC   lanai.Params
 	GM    gm.Config
 	Mcast core.Config
+
+	// Fabric selects the interconnect backend (myrinet.Default(),
+	// clos.Default(), or a preset with edited fields). The zero value means
+	// the classic Myrinet fabric. Link always holds the effective link
+	// parameters — WithFabric copies the preset's links there, so sweeps
+	// that mutate Link keep working on every backend.
+	Fabric fabric.Config
 
 	// HostMemcpyNsPerByte is the host CPU's copy bandwidth, paid when the
 	// MPI layer copies an eager message from the bounce buffer to its
@@ -85,7 +92,7 @@ func DefaultConfig(n int) *Config {
 
 // Node is one complete cluster member.
 type Node struct {
-	ID  myrinet.NodeID
+	ID  fabric.NodeID
 	HW  *lanai.NIC
 	NIC *gm.NIC
 	Ext *core.Ext
@@ -99,12 +106,13 @@ type Cluster struct {
 	// silently desynchronizing one shard. Use Run/RunUntil/SpawnOn/Now and
 	// friends, which dispatch to either mode.
 	Eng   *sim.Engine
-	Net   *myrinet.Network
+	Net   *fabric.Network
 	RNG   *sim.RNG
 	Nodes []*Node
 
 	engines []*sim.Engine
-	plan    myrinet.Plan
+	fab     fabric.Config // resolved backend (Fabric or the Myrinet default)
+	plan    fabric.Plan
 	sh      *sim.Sharded // nil when serial
 
 	prevWindows uint64 // metrics fold bookkeeping
@@ -115,9 +123,13 @@ type Cluster struct {
 
 // Sentinel errors for configurations sharding cannot honor; build panics
 // with values satisfying errors.Is against these.
+//
+// Deprecated: these are aliases of the fabric package's sentinels (the
+// incompatibility is a property of the sharded fabric, not of this
+// assembly layer); errors.Is works against either name.
 var (
-	ErrShardsWithLossRate = errors.New("cluster: stochastic loss requires the serial engine (shared RNG draw order)")
-	ErrShardsWithTrace    = errors.New("cluster: tracing requires the serial engine (shared trace recorder)")
+	ErrShardsWithLossRate = fabric.ErrShardsWithLossRate
+	ErrShardsWithTrace    = fabric.ErrShardsWithTrace
 )
 
 // New builds a cluster of n nodes: engine, fabric (single crossbar up to
@@ -175,7 +187,16 @@ func build(cfg *Config) *Cluster {
 	for i := range engines {
 		engines[i] = sim.NewEngine()
 	}
-	net := myrinet.AutoTopology(engines[0], cfg.Nodes, cfg.Link)
+	fab := cfg.Fabric
+	if !fab.Valid() {
+		fab = myrinet.Default()
+	}
+	// Config.Link is the single source of truth for link parameters: the
+	// preset seeded it (WithFabric), and any later mutation — a sweep
+	// perturbing latency, a test forcing loss-free links — applies to
+	// whichever backend builds the topology.
+	fab.Links = cfg.Link
+	net := fab.Build(engines[0], cfg.Nodes, fab)
 	plan := net.Partition(shards)
 	net.ApplyPlan(plan, engines[:plan.Shards])
 	rng := sim.NewRNG(cfg.Seed)
@@ -184,14 +205,14 @@ func build(cfg *Config) *Cluster {
 		panic(err) // errors.Is-testable sentinel (ErrBadLossRate)
 	}
 	net.SetMetrics(cfg.Metrics)
-	c := &Cluster{Cfg: cfg, Net: net, RNG: rng, engines: engines, plan: plan}
+	c := &Cluster{Cfg: cfg, Net: net, RNG: rng, engines: engines, fab: fab, plan: plan}
 	if plan.Shards == 1 {
 		c.Eng = engines[0]
 	} else {
 		c.sh = sim.NewSharded(engines, plan.Lookahead, net.DrainCross)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		id := myrinet.NodeID(i)
+		id := fabric.NodeID(i)
 		eng := engines[plan.HostShard[i]]
 		var node *Node
 		// Construction runs under the host's domain so any keys it draws
@@ -215,12 +236,16 @@ func build(cfg *Config) *Cluster {
 // Shards reports how many engines the cluster runs on.
 func (c *Cluster) Shards() int { return c.plan.Shards }
 
+// Fabric reports the resolved backend configuration the cluster was built
+// with (the Myrinet preset when none was selected).
+func (c *Cluster) Fabric() fabric.Config { return c.fab }
+
 // Sharded exposes the shard coordinator (nil when serial) — benchmarks use
 // it for window/barrier statistics.
 func (c *Cluster) Sharded() *sim.Sharded { return c.sh }
 
 // EngineOf reports the engine that owns a node's events.
-func (c *Cluster) EngineOf(id myrinet.NodeID) *sim.Engine {
+func (c *Cluster) EngineOf(id fabric.NodeID) *sim.Engine {
 	return c.engines[c.plan.HostShard[id]]
 }
 
@@ -232,7 +257,7 @@ func (c *Cluster) Engines() []*sim.Engine { return c.engines }
 // schedules work on a node — installing groups, opening ports, spawning
 // host processes — must go through it (or SpawnOn) so tiebreak keys stay
 // shard-stable.
-func (c *Cluster) WithNode(id myrinet.NodeID, fn func()) {
+func (c *Cluster) WithNode(id fabric.NodeID, fn func()) {
 	c.EngineOf(id).WithDomain(c.Net.HostDomain(id), fn)
 }
 
@@ -240,7 +265,7 @@ func (c *Cluster) WithNode(id myrinet.NodeID, fn func()) {
 // and under its domain. It is the sharded-safe replacement for
 // c.Eng.Spawn; spawn only between runs (at a barrier), never from a
 // process on another shard.
-func (c *Cluster) SpawnOn(id myrinet.NodeID, name string, fn func(p *sim.Proc)) *sim.Proc {
+func (c *Cluster) SpawnOn(id fabric.NodeID, name string, fn func(p *sim.Proc)) *sim.Proc {
 	var p *sim.Proc
 	eng := c.EngineOf(id)
 	eng.WithDomain(c.Net.HostDomain(id), func() {
@@ -375,10 +400,10 @@ func (c *Cluster) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.P
 }
 
 // Members returns node IDs [0, n) — the usual full-system group.
-func (c *Cluster) Members() []myrinet.NodeID {
-	out := make([]myrinet.NodeID, len(c.Nodes))
+func (c *Cluster) Members() []fabric.NodeID {
+	out := make([]fabric.NodeID, len(c.Nodes))
 	for i := range out {
-		out[i] = myrinet.NodeID(i)
+		out[i] = fabric.NodeID(i)
 	}
 	return out
 }
@@ -414,13 +439,14 @@ func (cfg *Config) Postal(size int) tree.PostalParams {
 		first = g.MTU
 	}
 
-	hops := sim.Time(2) // single crossbar
-	switch {
-	case cfg.Nodes > 128: // three-level fat tree
-		hops = 6
-	case cfg.Nodes > 16: // two-level Clos
-		hops = 4
+	// Worst-case hop count of whatever topology the selected backend
+	// builds for this node count (the Myrinet ladder when no backend is
+	// chosen: crossbar 2, two-level Clos 4, fat tree 6).
+	diameter := cfg.Fabric.Diameter
+	if diameter == nil {
+		diameter = myrinet.Diameter
 	}
+	hops := sim.Time(diameter(cfg.Nodes))
 	ser := lp.SerializationTime(g.WireSize(first))
 
 	lambda := ser + hops*lp.Latency + g.RecvProcCost + cfg.Mcast.ForwardSetupCost
@@ -437,7 +463,7 @@ func (cfg *Config) Postal(size int) tree.PostalParams {
 // pipelined finish time is smallest. This is the paper's own rationale:
 // "using NIC-based forwarding an intermediate NIC can forward the packets
 // of a message without waiting for the arrival of the complete message".
-func (cfg *Config) OptimalTree(root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree {
+func (cfg *Config) OptimalTree(root fabric.NodeID, members []fabric.NodeID, size int) *tree.Tree {
 	if cfg.GM.Packets(size) == 1 {
 		return tree.Optimal(root, members, cfg.Postal(size))
 	}

@@ -3,8 +3,8 @@ package cluster
 import (
 	"testing"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -15,7 +15,7 @@ func TestNewBuildsFullNodes(t *testing.T) {
 		t.Fatalf("built %d nodes, want 8", len(c.Nodes))
 	}
 	for i, n := range c.Nodes {
-		if n.ID != myrinet.NodeID(i) {
+		if n.ID != fabric.NodeID(i) {
 			t.Fatalf("node %d has ID %v", i, n.ID)
 		}
 		if n.HW == nil || n.NIC == nil || n.Ext == nil {

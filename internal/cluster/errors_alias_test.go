@@ -1,0 +1,67 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// TestSentinelAliases pins the error-consolidation contract: every
+// fabric-generic sentinel lives in the fabric package, and the deprecated
+// re-exports in myrinet, cluster, and chaos are aliases of the same values
+// — so errors.Is matches across package spellings, old callers keep
+// compiling, and wrapped errors unwrap to either name.
+func TestSentinelAliases(t *testing.T) {
+	pairs := []struct {
+		name       string
+		old, canon error
+	}{
+		{"myrinet.ErrLossRateWithoutRNG", myrinet.ErrLossRateWithoutRNG, fabric.ErrLossRateWithoutRNG},
+		{"myrinet.ErrBadLossRate", myrinet.ErrBadLossRate, fabric.ErrBadLossRate},
+		{"cluster.ErrShardsWithLossRate", cluster.ErrShardsWithLossRate, fabric.ErrShardsWithLossRate},
+		{"cluster.ErrShardsWithTrace", cluster.ErrShardsWithTrace, fabric.ErrShardsWithTrace},
+		{"chaos.ErrShardsStateful", chaos.ErrShardsStateful, fabric.ErrShardsStateful},
+	}
+	for _, p := range pairs {
+		if !errors.Is(p.old, p.canon) {
+			t.Errorf("%s does not match its fabric sentinel via errors.Is", p.name)
+		}
+		if !errors.Is(p.canon, p.old) {
+			t.Errorf("%s: fabric sentinel does not match the deprecated alias via errors.Is", p.name)
+		}
+	}
+}
+
+// TestSentinelsReachCallers checks the sentinels still flow out of the
+// code paths that raise them, matchable by errors.Is under either name.
+func TestSentinelsReachCallers(t *testing.T) {
+	eng := sim.NewEngine()
+	net := fabric.SingleSwitch(eng, 2, fabric.DefaultLinkParams())
+	if err := net.SetLossRate(1.5); !errors.Is(err, fabric.ErrBadLossRate) || !errors.Is(err, myrinet.ErrBadLossRate) {
+		t.Errorf("SetLossRate(1.5) = %v, want ErrBadLossRate under both names", err)
+	}
+	if err := net.SetLossRate(0.5); !errors.Is(err, fabric.ErrLossRateWithoutRNG) || !errors.Is(err, myrinet.ErrLossRateWithoutRNG) {
+		t.Errorf("SetLossRate without RNG = %v, want ErrLossRateWithoutRNG under both names", err)
+	}
+
+	panics := func(build func()) (err error) {
+		defer func() {
+			r := recover()
+			e, ok := r.(error)
+			if !ok {
+				t.Fatalf("panicked with non-error %v", r)
+			}
+			err = e
+		}()
+		build()
+		return nil
+	}
+	if err := panics(func() { cluster.New(8, cluster.WithShards(2), cluster.WithLossRate(0.01)) }); !errors.Is(err, fabric.ErrShardsWithLossRate) {
+		t.Errorf("sharded lossy cluster panicked with %v, want fabric.ErrShardsWithLossRate", err)
+	}
+}

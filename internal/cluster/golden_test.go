@@ -1,0 +1,118 @@
+package cluster_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/benchkernel"
+	"repro/internal/cluster"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// goldenRun drives the capture workload the pinned hashes below were
+// recorded with — a traced, optionally lossy multicast stream over a
+// binomial group — and digests the full packet timeline plus the final
+// clock and event count into one comparable string.
+func goldenRun(t *testing.T, nodes int, seed int64, loss float64, msgs int, extra ...cluster.Option) string {
+	t.Helper()
+	tr := trace.NewRecorder()
+	opts := append([]cluster.Option{
+		cluster.WithTrace(tr),
+		cluster.WithSeed(seed),
+		cluster.WithLossRate(loss),
+	}, extra...)
+	c := cluster.New(nodes, opts...)
+	ports := c.OpenPorts(1)
+	ready := c.InstallGroup(7, tree.Binomial(0, c.Members()), 1, 1)
+	c.Eng.Spawn("root", func(p *sim.Proc) {
+		for !ready() {
+			p.Sleep(sim.Micros(1))
+		}
+		ext := c.Nodes[0].Ext
+		for i := 0; i < msgs; i++ {
+			ext.McastSync(p, ports[0], 7, make([]byte, 2000))
+		}
+	})
+	for i := 1; i < nodes; i++ {
+		port := ports[i]
+		c.Eng.Spawn("recv", func(p *sim.Proc) {
+			port.ProvideN(msgs+3, 1<<12)
+			for got := 0; got < msgs; got++ {
+				port.Recv(p)
+			}
+		})
+	}
+	c.Eng.Run()
+	c.Eng.Kill()
+	if tr.Len() == 0 {
+		t.Fatal("capture workload recorded no trace events")
+	}
+	var buf bytes.Buffer
+	tr.WriteTimeline(&buf)
+	return fmt.Sprintf("%x t=%d ev=%d", sha256.Sum256(buf.Bytes()), c.Eng.Now(), c.Eng.EventsFired())
+}
+
+// Timelines captured on main immediately before the fabric extraction, by
+// running goldenRun's exact workload against the monolithic myrinet
+// package. They pin the refactor's central promise: moving the transit
+// engine, partitioner, and topology builders behind the fabric interface
+// changed no Myrinet behavior, to the byte.
+const (
+	golden8  = "a752ca158a2cc6545a80cd18e33e7a361235199328b457dc2c2b8883af991818 t=1243188 ev=549"
+	golden16 = "45b49d6dcb5ae84d34ae0436ceaaa1eeeff84cc3e1c7aba274c8fd3baa8e38d2 t=215328 ev=910"
+)
+
+func TestMyrinetTimelineGoldens(t *testing.T) {
+	if got := goldenRun(t, 8, 7, 0.02, 5); got != golden8 {
+		t.Errorf("8-node lossy timeline diverged from pre-refactor capture:\n got %s\nwant %s", got, golden8)
+	}
+	if got := goldenRun(t, 16, 3, 0, 4); got != golden16 {
+		t.Errorf("16-node clean timeline diverged from pre-refactor capture:\n got %s\nwant %s", got, golden16)
+	}
+}
+
+// TestWithFabricShimEquivalence proves the new fabric-selection API is a
+// pure re-spelling of the legacy defaults: explicitly passing the Myrinet
+// preset reproduces the pinned timelines bit-for-bit, and a link-parameter
+// override lands identically whether it travels through the preset's Links
+// field or the deprecated Config.Link knob.
+func TestWithFabricShimEquivalence(t *testing.T) {
+	if got := goldenRun(t, 8, 7, 0.02, 5, cluster.WithFabric(myrinet.Default())); got != golden8 {
+		t.Errorf("WithFabric(myrinet.Default()) diverged from the default build:\n got %s\nwant %s", got, golden8)
+	}
+
+	slow := myrinet.DefaultLinkParams()
+	slow.Latency *= 3
+	slow.NsPerByte *= 2
+	fc := myrinet.Default()
+	fc.Links = slow
+	viaPreset := goldenRun(t, 8, 7, 0.02, 5, cluster.WithFabric(fc))
+	viaLegacyKnob := goldenRun(t, 8, 7, 0.02, 5,
+		cluster.WithMutate(func(cfg *cluster.Config) { cfg.Link = slow }))
+	if viaPreset != viaLegacyKnob {
+		t.Errorf("link override differs by spelling:\n preset %s\n legacy %s", viaPreset, viaLegacyKnob)
+	}
+	if viaPreset == golden8 {
+		t.Error("tripled link latency left the timeline unchanged; override never applied")
+	}
+}
+
+// TestMulticastStormClockGoldens pins the storm kernel's final virtual
+// clocks across the auto-topology tiers (single crossbar, Clos, fat tree)
+// to the values captured before the refactor.
+func TestMulticastStormClockGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm goldens are slow")
+	}
+	want := map[int]sim.Time{16: 166954, 64: 220606, 256: 274858}
+	for _, n := range []int{16, 64, 256} {
+		if got := benchkernel.MulticastStormOnce(n, 1, 6, 700); got != want[n] {
+			t.Errorf("%d-node storm finished at %d, pre-refactor capture %d", n, got, want[n])
+		}
+	}
+}

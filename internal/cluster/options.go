@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -24,6 +25,20 @@ func WithMutate(f func(*Config)) Option {
 		if f != nil {
 			f(c)
 		}
+	}
+}
+
+// WithFabric selects the interconnect backend from a preset —
+// myrinet.Default(), clos.Default(), or a preset with edited fields. The
+// preset's link parameters become the cluster's Link configuration, so
+// later options or mutations that adjust Link apply on top of the
+// backend's defaults:
+//
+//	cluster.New(256, cluster.WithFabric(clos.Default()))
+func WithFabric(fc fabric.Config) Option {
+	return func(c *Config) {
+		c.Fabric = fc
+		c.Link = fc.Links
 	}
 }
 

@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -65,7 +65,7 @@ func gmShardRun(t *testing.T, nodes, shards int, msgs int) ([]fireRec, [][]sim.T
 	for i := 1; i < nodes; i++ {
 		i := i
 		port := ports[i]
-		c.SpawnOn(myrinet.NodeID(i), fmt.Sprintf("recv%d", i), func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(i), fmt.Sprintf("recv%d", i), func(p *sim.Proc) {
 			port.ProvideN(msgs+2, 1<<12)
 			for got := 0; got < msgs; got++ {
 				port.Recv(p)

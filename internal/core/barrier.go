@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -28,7 +28,7 @@ type barrierKey struct {
 type barrierGroup struct {
 	ext     *Ext
 	id      gm.GroupID
-	members []myrinet.NodeID // sorted by network ID
+	members []fabric.NodeID // sorted by network ID
 	myIdx   int
 	port    gm.PortID
 
@@ -41,15 +41,15 @@ type barrierGroup struct {
 	timers map[barrierKey]*sim.Timer // stop-and-wait; stopped only by acks
 }
 
-func (b *barrierGroup) peerOut(r int) myrinet.NodeID {
+func (b *barrierGroup) peerOut(r int) fabric.NodeID {
 	return b.members[(b.myIdx+(1<<r))%len(b.members)]
 }
 
 // InstallBarrier preposts a barrier group (the member set; no tree) into
 // the NIC. Members must be identical and identically ordered at every
 // node; id shares the multicast group identifier space.
-func (e *Ext) InstallBarrier(id gm.GroupID, members []myrinet.NodeID, port gm.PortID, fn func()) {
-	ms := append([]myrinet.NodeID(nil), members...)
+func (e *Ext) InstallBarrier(id gm.GroupID, members []fabric.NodeID, port gm.PortID, fn func()) {
+	ms := append([]fabric.NodeID(nil), members...)
 	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 	myIdx := -1
 	for i, m := range ms {

@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -150,7 +150,7 @@ func TestNICBarrierFasterThanHostDissemination(t *testing.T) {
 				ports[i].ProvideN(10*4, 16)
 				for r := 0; r < 10; r++ {
 					for k := 1; k < nodes; k <<= 1 {
-						dst := myrinet.NodeID((i + k) % nodes)
+						dst := fabric.NodeID((i + k) % nodes)
 						ports[i].Send(p, dst, 9, []byte{1})
 						ports[i].Recv(p)
 					}
@@ -180,7 +180,7 @@ func TestBarrierValidation(t *testing.T) {
 				t.Error("non-member install did not panic")
 			}
 		}()
-		c.Nodes[0].Ext.InstallBarrier(60, []myrinet.NodeID{1, 2}, 9, nil)
+		c.Nodes[0].Ext.InstallBarrier(60, []fabric.NodeID{1, 2}, 9, nil)
 	}()
 	// Barrier on an uninstalled group panics (inside the firmware event).
 	c.Eng.Spawn("p", func(p *sim.Proc) {

@@ -6,8 +6,8 @@ import (
 	"testing/quick"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -23,7 +23,7 @@ type rig struct {
 	gid   gm.GroupID
 }
 
-func newRig(t *testing.T, nodes int, build func(root myrinet.NodeID, members []myrinet.NodeID) *tree.Tree, mut func(*cluster.Config)) *rig {
+func newRig(t *testing.T, nodes int, build func(root fabric.NodeID, members []fabric.NodeID) *tree.Tree, mut func(*cluster.Config)) *rig {
 	t.Helper()
 	cfg := cluster.DefaultConfig(nodes)
 	if mut != nil {
@@ -60,8 +60,8 @@ func pattern(n int) []byte {
 
 // spawnReceivers starts a receiving process on every non-root member that
 // collects `count` messages into got[node].
-func (r *rig) spawnReceivers(count, bufcap int) *map[myrinet.NodeID][][]byte {
-	got := make(map[myrinet.NodeID][][]byte)
+func (r *rig) spawnReceivers(count, bufcap int) *map[fabric.NodeID][][]byte {
+	got := make(map[fabric.NodeID][][]byte)
 	for _, n := range r.tr.Nodes() {
 		if n == r.tr.Root {
 			continue
@@ -139,7 +139,7 @@ func TestMulticastBinomialForwarding(t *testing.T) {
 
 func TestMulticastOptimalTree(t *testing.T) {
 	cfg := cluster.DefaultConfig(16)
-	build := func(root myrinet.NodeID, members []myrinet.NodeID) *tree.Tree {
+	build := func(root fabric.NodeID, members []fabric.NodeID) *tree.Tree {
 		return cfg.OptimalTree(root, members, 64)
 	}
 	r := newRig(t, 16, build, nil)
@@ -227,7 +227,7 @@ func TestRetransmitOnlyToUnackedChildren(t *testing.T) {
 	// child should be retransmitted to.
 	r := newRig(t, 4, tree.Flat, nil)
 	dropped := false
-	r.c.Net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.c.Net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*gm.Frame)
 		if ok && fr.Kind == gm.KindMcastData && fr.DstNode == 2 && !dropped {
 			dropped = true
@@ -357,7 +357,7 @@ func TestConcurrentBroadcastsNoDeadlock(t *testing.T) {
 	cfg.NIC.RecvBuffers = 2
 	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
-	roots := []myrinet.NodeID{0, 3, 5}
+	roots := []fabric.NodeID{0, 3, 5}
 	for i, root := range roots {
 		tr := tree.Binomial(root, c.Members())
 		c.InstallGroup(gm.GroupID(100+i), tr, testPort, testPort)
@@ -368,7 +368,7 @@ func TestConcurrentBroadcastsNoDeadlock(t *testing.T) {
 		n := n
 		expect := 0
 		for _, root := range roots {
-			if myrinet.NodeID(n) != root {
+			if fabric.NodeID(n) != root {
 				expect++
 			}
 		}
@@ -420,7 +420,7 @@ func TestNonMemberDropsMcast(t *testing.T) {
 	cfg := cluster.DefaultConfig(4)
 	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(testPort)
-	members := []myrinet.NodeID{0, 1, 2}
+	members := []fabric.NodeID{0, 1, 2}
 	tr := tree.Flat(0, members)
 	c.InstallGroup(9, tr, testPort, testPort)
 	for _, n := range []int{1, 2} {

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -40,7 +40,7 @@ func TestErrInvalidTree(t *testing.T) {
 	c := cluster.New(4)
 	// Child 1 under non-root parent 2 violates the ID-sorted invariant;
 	// InstallGroup refuses it synchronously.
-	bad := tree.FromParents(0, map[myrinet.NodeID]myrinet.NodeID{2: 0, 1: 2})
+	bad := tree.FromParents(0, map[fabric.NodeID]fabric.NodeID{2: 0, 1: 2})
 	if err := recoverErr(t, func() {
 		c.Nodes[0].Ext.InstallGroup(9, bad, 1, 1, nil)
 	}); !errors.Is(err, core.ErrInvalidTree) {

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tree"
@@ -37,7 +37,7 @@ type mcastRecord struct {
 	seq     uint32
 	frame   *gm.Frame
 	sentAt  sim.Time
-	pending map[myrinet.NodeID]bool
+	pending map[fabric.NodeID]bool
 	tok     *mcastToken // non-nil at the root
 	// release, when non-nil, frees the pinned NIC receive buffer on
 	// retirement (RetransmitHoldBuffer ablation).
@@ -52,15 +52,15 @@ type mcastRecord struct {
 type group struct {
 	ext      *Ext
 	id       gm.GroupID
-	root     myrinet.NodeID
-	parent   myrinet.NodeID
-	children []myrinet.NodeID
+	root     fabric.NodeID
+	parent   fabric.NodeID
+	children []fabric.NodeID
 	port     gm.PortID // local port receiving this group's messages
 	rootPort gm.PortID // port the root sends from (stable across hops)
 
 	// Sender side (root, or forwarder toward its children).
 	sendSeq uint32
-	acked   map[myrinet.NodeID]uint32
+	acked   map[fabric.NodeID]uint32
 	records []*mcastRecord
 	queue   []*mcastToken // root only: multicast send tokens by group
 	staging int
@@ -128,13 +128,13 @@ func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID)
 		ext:       ext,
 		id:        id,
 		root:      tr.Root,
-		children:  append([]myrinet.NodeID(nil), tr.Children(self)...),
+		children:  append([]fabric.NodeID(nil), tr.Children(self)...),
 		port:      port,
 		rootPort:  rootPort,
 		sendSeq:   0,
 		recvSeq:   1,
 		live:      true,
-		acked:     make(map[myrinet.NodeID]uint32),
+		acked:     make(map[fabric.NodeID]uint32),
 		red:       make(map[uint32]*reduceState),
 		redSeen:   make(map[redDupKey]bool),
 		redTimers: make(map[barrierKey]*sim.Timer),
@@ -357,8 +357,8 @@ func (g *group) recordSent(fr *gm.Frame, t *mcastToken) {
 
 // pendingChildren builds the unacknowledged-children set for a new record,
 // honoring acknowledgments that raced ahead of the transmit callback.
-func (g *group) pendingChildren(seq uint32) map[myrinet.NodeID]bool {
-	pending := make(map[myrinet.NodeID]bool, len(g.children))
+func (g *group) pendingChildren(seq uint32) map[fabric.NodeID]bool {
+	pending := make(map[fabric.NodeID]bool, len(g.children))
 	for _, c := range g.children {
 		if gm.SeqBefore(g.acked[c], seq) {
 			pending[c] = true
@@ -370,7 +370,7 @@ func (g *group) pendingChildren(seq uint32) map[myrinet.NodeID]bool {
 // handleAck processes a cumulative group acknowledgment from one child.
 // Sequence comparisons use serial-number arithmetic so long-lived groups
 // survive the uint32 wrap.
-func (g *group) handleAck(child myrinet.NodeID, ack uint32) {
+func (g *group) handleAck(child fabric.NodeID, ack uint32) {
 	if prev := g.acked[child]; gm.SeqAfter(ack, prev) {
 		g.acked[child] = ack
 	}
@@ -552,7 +552,7 @@ func (g *group) activate(v *pendingView) {
 	g.epoch = v.epoch
 	g.live = true
 	g.sendSeq, g.recvSeq = 0, 1
-	g.acked = make(map[myrinet.NodeID]uint32)
+	g.acked = make(map[fabric.NodeID]uint32)
 	g.backoff = 0
 	g.fastArmed = false
 	g.lastFast = 0

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -22,7 +22,7 @@ func mcastLossyRun(t *testing.T, nacks bool) (sim.Time, uint64) {
 	tr := tree.Chain(0, c.Members())
 	c.InstallGroup(21, tr, testPort, testPort)
 	dropped := false
-	c.Net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	c.Net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*gm.Frame)
 		if ok && fr.Kind == gm.KindMcastData && fr.Seq == 2 && fr.DstNode == 1 && !dropped {
 			dropped = true

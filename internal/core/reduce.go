@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -259,6 +259,6 @@ func decodeVec(b []byte) []int64 {
 
 // redDupKey deduplicates retransmitted child contributions.
 type redDupKey struct {
-	child myrinet.NodeID
+	child fabric.NodeID
 	seq   uint32
 }

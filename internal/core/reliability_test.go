@@ -9,16 +9,16 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/lanai"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
 
 type coreRig struct {
 	eng   *sim.Engine
-	net   *myrinet.Network
+	net   *fabric.Network
 	exts  []*Ext
 	ports []*gm.Port
 }
@@ -26,14 +26,14 @@ type coreRig struct {
 func newCoreRig(t *testing.T, nodes int, mut func(*gm.Config)) *coreRig {
 	t.Helper()
 	eng := sim.NewEngine()
-	net := myrinet.NewSingleSwitch(eng, nodes, myrinet.DefaultLinkParams())
+	net := fabric.SingleSwitch(eng, nodes, fabric.DefaultLinkParams())
 	gcfg := gm.DefaultConfig()
 	if mut != nil {
 		mut(&gcfg)
 	}
 	r := &coreRig{eng: eng, net: net}
 	for i := 0; i < nodes; i++ {
-		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), lanai.DefaultParams())
+		hw := lanai.New(eng, net.Iface(fabric.NodeID(i)), lanai.DefaultParams())
 		nic := gm.NewNIC(hw, gcfg)
 		r.exts = append(r.exts, InstallWithConfig(nic, DefaultConfig()))
 		r.ports = append(r.ports, nic.OpenPort(1))
@@ -60,7 +60,7 @@ func (r *coreRig) installGroup(t *testing.T, tr *tree.Tree) {
 // zero must trigger exactly one per-child go-back round, not one per nack.
 func TestGroupFastRetransmitHoldoffAtTimeZero(t *testing.T) {
 	r := newCoreRig(t, 2, nil)
-	tr := tree.Flat(0, []myrinet.NodeID{0, 1})
+	tr := tree.Flat(0, []fabric.NodeID{0, 1})
 	g := localView(r.exts[0], 1, tr, 1, 1)
 	g.records = append(g.records, &mcastRecord{
 		seq: 1,
@@ -68,7 +68,7 @@ func TestGroupFastRetransmitHoldoffAtTimeZero(t *testing.T) {
 			Kind: gm.KindMcastData, SrcNode: 0, SrcPort: 1, DstPort: 99,
 			Seq: 1, Group: 1,
 		},
-		pending: map[myrinet.NodeID]bool{1: true},
+		pending: map[fabric.NodeID]bool{1: true},
 	})
 	if now := r.eng.Now(); now != 0 {
 		t.Fatalf("test requires virtual time 0, engine at %v", now)
@@ -88,9 +88,9 @@ func TestGroupFastRetransmitHoldoffAtTimeZero(t *testing.T) {
 func TestGroupSequenceWraparoundUnderLoss(t *testing.T) {
 	const nodes = 4
 	r := newCoreRig(t, nodes, nil)
-	members := make([]myrinet.NodeID, nodes)
+	members := make([]fabric.NodeID, nodes)
 	for i := range members {
-		members[i] = myrinet.NodeID(i)
+		members[i] = fabric.NodeID(i)
 	}
 	tr := tree.KAry(0, members, 2) // node 1 is an interior forwarder
 	r.installGroup(t, tr)
@@ -109,7 +109,7 @@ func TestGroupSequenceWraparoundUnderLoss(t *testing.T) {
 	}
 
 	traversals := 0
-	r.net.DropFn = func(p *myrinet.Packet, _ *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, _ *fabric.Link) bool {
 		if fr, ok := p.Payload.(*gm.Frame); ok && fr.Kind == gm.KindMcastData {
 			traversals++
 			return traversals%6 == 0 // deterministic loss straddling the wrap

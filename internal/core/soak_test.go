@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -51,7 +51,7 @@ func TestSoakMixedTraffic(t *testing.T) {
 	portsRed := c.OpenPorts(redPort)
 
 	c.InstallGroup(groupA, tree.Binomial(rootA, c.Members()), mcPortA, mcPortA)
-	treeB := cfg.OptimalTree(myrinet.NodeID(rootB), c.Members(), 2000)
+	treeB := cfg.OptimalTree(fabric.NodeID(rootB), c.Members(), 2000)
 	c.InstallGroup(groupB, treeB, mcPortB, mcPortB)
 	c.InstallGroup(redGroup, tree.Binomial(0, c.Members()), redPort, redPort)
 	for _, n := range c.Nodes {
@@ -124,7 +124,7 @@ func TestSoakMixedTraffic(t *testing.T) {
 		c.Eng.Spawn("ping", func(p *sim.Proc) {
 			portsU[a].ProvideN(rounds, 512)
 			for i := 0; i < rounds; i++ {
-				portsU[a].Send(p, myrinet.NodeID(b), uniPort, []byte{byte(i), byte(a)})
+				portsU[a].Send(p, fabric.NodeID(b), uniPort, []byte{byte(i), byte(a)})
 				ev := portsU[a].Recv(p)
 				if ev.Data[0] == byte(i) {
 					pingOK++
@@ -135,7 +135,7 @@ func TestSoakMixedTraffic(t *testing.T) {
 			portsU[b].ProvideN(rounds, 512)
 			for i := 0; i < rounds; i++ {
 				ev := portsU[b].Recv(p)
-				portsU[b].Send(p, myrinet.NodeID(a), uniPort, ev.Data)
+				portsU[b].Send(p, fabric.NodeID(a), uniPort, ev.Data)
 			}
 		})
 	}

@@ -1,0 +1,59 @@
+package fabric_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLayerBoundary pins the fabric abstraction's layering contract: the
+// protocol layers (NIC firmware, GM library, reliability core, membership,
+// trees, MPI) depend only on repro/internal/fabric, never on a concrete
+// backend. A direct myrinet (or clos) import in any of these packages
+// would quietly re-couple the protocol stack to one interconnect.
+func TestLayerBoundary(t *testing.T) {
+	banned := []string{
+		"repro/internal/myrinet",
+		"repro/internal/clos",
+	}
+	layers := []string{"lanai", "gm", "core", "member", "tree", "mpi"}
+
+	fset := token.NewFileSet()
+	checked := 0
+	for _, pkg := range layers {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			checked++
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import literal %s", path, imp.Path.Value)
+				}
+				for _, b := range banned {
+					if p == b {
+						t.Errorf("%s imports %s; protocol layers must depend on repro/internal/fabric only", path, b)
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no files checked; layer directories moved?")
+	}
+}

@@ -1,0 +1,41 @@
+package fabric
+
+import "repro/internal/sim"
+
+// Config is the single knob surface for choosing and parameterizing a
+// fabric backend. Backends publish presets — myrinet.Default(),
+// clos.Default() — and the cluster layer consumes the preset verbatim:
+//
+//	c := cluster.New(256, cluster.WithFabric(clos.Default()))
+//
+// The zero value means "the default Myrinet fabric" to the cluster layer
+// (which cannot import the backend packages' presets from here without a
+// cycle), so callers only construct Configs through presets or by editing
+// a preset's fields.
+type Config struct {
+	// Kind names the backend ("myrinet", "clos") for reports and tables.
+	Kind string
+
+	// Links are the physical characteristics of every link, including the
+	// PFC pause thresholds (zero: backpressure disabled).
+	Links LinkParams
+
+	// Radix is the switch port count topology builders size stages with
+	// (0: the backend's default — 16 for Myrinet-2000 crossbars, 32 for
+	// the datacenter Clos).
+	Radix int
+
+	// Build constructs the topology for the given host count. The builder
+	// must use cfg.Links and cfg.Radix (not the preset's originals) so
+	// per-run overrides of either take effect.
+	Build func(eng *sim.Engine, hosts int, cfg Config) *Network
+
+	// Diameter estimates the hop count between the two most distant hosts
+	// in the topology Build would produce for the given host count — the
+	// postal-model input the analytic optimal-tree construction uses.
+	Diameter func(hosts int) int
+}
+
+// Valid reports whether the config names a buildable fabric (a zero Config
+// is not; the cluster layer substitutes the Myrinet preset).
+func (c Config) Valid() bool { return c.Build != nil }

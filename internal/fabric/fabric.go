@@ -1,13 +1,22 @@
-// Package myrinet models a Myrinet-2000-style interconnect: point-to-point
-// links into wormhole-routed crossbar switches arranged as a Clos network,
-// with source-routed, virtual-cut-through packet transport.
+// Package fabric is the interconnect abstraction the simulated cluster is
+// assembled on: a graph of hosts and switches joined by directed FIFO
+// links, with virtual-cut-through packet transport, deterministic routing,
+// fault-injection hooks, metrics accounting, and a deterministic
+// partitioner for the conservative parallel engine.
+//
+// The package is topology-agnostic: backends (package myrinet's crossbar
+// Clos, package clos's RDMA-era datacenter fabric) build a Network out of
+// AddSwitch/AddHost/Connect/SetRoute and provide a Config preset; every
+// upper layer — NIC hardware, GM firmware, the multicast extension, the
+// chaos campaigns — speaks only the types defined here, so a new fabric is
+// a new package, not a rewrite.
 //
 // The fabric is payload-agnostic: it moves Packet values between network
 // interfaces, charging per-hop latency and per-link serialization time, and
-// optionally dropping packets (bit errors are rare but nonzero; the paper's
-// reliability machinery exists precisely because the network cannot be
-// assumed reliable). Protocol content lives in the upper layers.
-package myrinet
+// optionally dropping packets (bit errors are rare but nonzero; the
+// reliability machinery above exists precisely because the network cannot
+// be assumed reliable). Protocol content lives in the upper layers.
+package fabric
 
 import "fmt"
 

@@ -1,4 +1,4 @@
-package myrinet
+package fabric
 
 import (
 	"fmt"
@@ -16,6 +16,18 @@ type LinkParams struct {
 	Latency sim.Time
 	// NsPerByte is the serialization cost; 4.0 models 2 Gb/s Myrinet-2000.
 	NsPerByte float64
+
+	// PauseBytes and ResumeBytes enable PFC-style link-level backpressure
+	// when PauseBytes > 0: a sender whose link already has PauseBytes of
+	// traffic reserved-but-undrained parks instead of queueing deeper, and
+	// parked senders wake (in FIFO order) once the backlog drains to
+	// ResumeBytes. The hysteresis models a lossless fabric's PAUSE/resume
+	// thresholds: buffers stay bounded and loss comes only from injected
+	// faults, never congestion. Zero (the Myrinet default) disables the
+	// mechanism entirely — the hot path takes no extra branches or
+	// allocations.
+	PauseBytes  int
+	ResumeBytes int
 }
 
 // DefaultLinkParams returns Myrinet-2000-like link characteristics.
@@ -29,11 +41,12 @@ func (lp LinkParams) SerializationTime(size int) sim.Time {
 	return sim.PerByte(lp.NsPerByte, size)
 }
 
-// vertex is a point in the fabric graph: either a host attachment or a
-// crossbar switch. Every vertex is an event domain (sim tiebreak-key
-// namespace, domain = idx+1) and belongs to exactly one shard — the engine
-// that fires every event happening "at" the vertex.
-type vertex struct {
+// Vertex is a point in the fabric graph: either a host attachment or a
+// switch. Every vertex is an event domain (sim tiebreak-key namespace,
+// domain = idx+1) and belongs to exactly one shard — the engine that fires
+// every event happening "at" the vertex. Topology builders obtain vertices
+// from AddSwitch/AddHost; the fields stay private to the fabric.
+type Vertex struct {
 	idx    int
 	host   bool
 	hostID NodeID
@@ -43,14 +56,30 @@ type vertex struct {
 	shard  int
 }
 
+// Label reports the vertex's diagnostic name ("host3", "xbar0", ...).
+func (v *Vertex) Label() string { return v.label }
+
 // Link is a directed physical channel between two vertices. Each link is a
 // FIFO resource: one packet serializes onto it at a time.
 type Link struct {
-	from, to *vertex
+	from, to *Vertex
 	fac      *sim.Facility
 	params   LinkParams
 	// Drops counts packets lost on this link (fault injection).
 	Drops uint64
+
+	// PFC backpressure state, live only when params.PauseBytes > 0. All of
+	// it is touched exclusively by events on the from-vertex's shard, so
+	// sharded runs need no locks. queued counts bytes reserved on the link
+	// whose drain event has not yet fired; inflight is the FIFO of those
+	// reservation sizes (head index qHead avoids shifting); waiters are the
+	// parked transits in arrival order; drainFn is the pre-bound drain
+	// callback so steady-state flow control allocates nothing per packet.
+	queued   int
+	inflight []int
+	qHead    int
+	waiters  []*transit
+	drainFn  func()
 
 	// Cached metric instruments, set by Network.SetMetrics; nil (no-op)
 	// until then or when metrics are disabled.
@@ -58,6 +87,8 @@ type Link struct {
 	mStallNs   *metrics.Counter
 	mContended *metrics.Counter
 	mDrops     *metrics.Counter
+	mPauses    *metrics.Counter
+	mPauseNs   *metrics.Counter
 }
 
 // String labels the link for diagnostics.
@@ -94,3 +125,7 @@ func (l *Link) Touches(id NodeID) bool {
 
 // BusyTime reports cumulative serialization time spent on the link.
 func (l *Link) BusyTime() sim.Time { return l.fac.BusyTime() }
+
+// QueuedBytes reports the bytes currently reserved-but-undrained on the
+// link under PFC backpressure (always 0 when PauseBytes is unset).
+func (l *Link) QueuedBytes() int { return l.queued }

@@ -1,8 +1,11 @@
-package myrinet
+package fabric
 
 import "repro/internal/metrics"
 
-// Component is the metrics component name for the fabric layer.
+// Component is the metrics component name for the fabric layer. Every
+// backend shares it: the invariant checkers (chaos campaigns, membership
+// scenarios) read injected/delivered/dropped/duplicated under this
+// component regardless of which fabric carried the traffic.
 const Component = "net"
 
 // SetMetrics wires fabric instrumentation into reg. Instruments are cached
@@ -12,7 +15,8 @@ const Component = "net"
 // the deprecated Stats accessor keeps counting. Bytes and drops are attributed to the host
 // endpoint of host-attached links (trunk links fall to the fabric pseudo
 // node); serialization stalls are attributed to the vertex whose output
-// port was busy — the injecting host, or the contended switch.
+// port was busy — the injecting host, or the contended switch. PFC pause
+// counts and pause time follow the stall attribution.
 func (n *Network) SetMetrics(reg *metrics.Registry) {
 	reg = metrics.Ensure(reg)
 	n.mInjected = reg.Counter(Component, metrics.NodeFabric, "injected")
@@ -28,17 +32,23 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 			l.mDrops = reg.Counter(Component, h, "uplink_drops")
 			l.mStallNs = reg.Counter(Component, h, "uplink_stall_ns")
 			l.mContended = reg.Counter(Component, h, "uplink_contended")
+			l.mPauses = reg.Counter(Component, h, "uplink_pfc_pauses")
+			l.mPauseNs = reg.Counter(Component, h, "uplink_pfc_pause_ns")
 		case l.to.host:
 			h := int(l.to.hostID)
 			l.mTxBytes = reg.Counter(Component, h, "downlink_tx_bytes")
 			l.mDrops = reg.Counter(Component, h, "downlink_drops")
 			l.mStallNs = reg.Counter(Component, l.from.idx, "switch_stall_ns")
 			l.mContended = reg.Counter(Component, l.from.idx, "switch_contended")
+			l.mPauses = reg.Counter(Component, l.from.idx, "switch_pfc_pauses")
+			l.mPauseNs = reg.Counter(Component, l.from.idx, "switch_pfc_pause_ns")
 		default:
 			l.mTxBytes = reg.Counter(Component, metrics.NodeFabric, "trunk_tx_bytes")
 			l.mDrops = reg.Counter(Component, metrics.NodeFabric, "trunk_drops")
 			l.mStallNs = reg.Counter(Component, l.from.idx, "switch_stall_ns")
 			l.mContended = reg.Counter(Component, l.from.idx, "switch_contended")
+			l.mPauses = reg.Counter(Component, l.from.idx, "switch_pfc_pauses")
+			l.mPauseNs = reg.Counter(Component, l.from.idx, "switch_pfc_pause_ns")
 		}
 	}
 }

@@ -1,4 +1,4 @@
-package myrinet
+package fabric
 
 import (
 	"fmt"
@@ -9,7 +9,10 @@ import (
 )
 
 // Network is an assembled fabric: host interfaces, switches, links, and a
-// routing function. Build one with NewSingleSwitch or NewClos.
+// routing function. Backends construct one with New plus the
+// AddSwitch/AddHost/Connect/SetRoute builder calls (see package myrinet and
+// package clos); SingleSwitch builds the degenerate one-crossbar testbed
+// directly.
 //
 // A fabric always runs partitioned into shards — one by default, several
 // after ApplyPlan — with every vertex's events firing on its shard's
@@ -21,7 +24,7 @@ type Network struct {
 	eng    *sim.Engine
 	params LinkParams
 	hosts  []*Iface
-	verts  []*vertex
+	verts  []*Vertex
 	links  []*Link
 
 	routeFn func(src, dst NodeID) []*Link
@@ -79,6 +82,9 @@ type Iface struct {
 
 // ID reports the interface's network ID.
 func (ifc *Iface) ID() NodeID { return ifc.id }
+
+// Uplink reports the host's injection link into the fabric.
+func (ifc *Iface) Uplink() *Link { return ifc.up }
 
 // Engine returns the simulation engine driving the network.
 func (n *Network) Engine() *sim.Engine { return n.eng }
@@ -141,7 +147,7 @@ func (n *Network) routeShard(sh *shardState, src, dst NodeID) []*Link {
 	}
 	r := n.routeFn(src, dst)
 	if r == nil {
-		panic(fmt.Sprintf("myrinet: no route %v -> %v", src, dst))
+		panic(fmt.Sprintf("fabric: no route %v -> %v", src, dst))
 	}
 	sh.routeCache[key] = r
 	return r
@@ -157,10 +163,10 @@ func (n *Network) HopCount(src, dst NodeID) int { return len(n.Route(src, dst)) 
 func (ifc *Iface) Inject(p *Packet) {
 	n := ifc.net
 	if p.Src != ifc.id {
-		panic(fmt.Sprintf("myrinet: packet src %v injected at %v", p.Src, ifc.id))
+		panic(fmt.Sprintf("fabric: packet src %v injected at %v", p.Src, ifc.id))
 	}
 	if p.Size <= 0 {
-		panic("myrinet: packet with nonpositive size")
+		panic("fabric: packet with nonpositive size")
 	}
 	n.mInjected.Inc()
 	srcV := ifc.up.from
@@ -176,10 +182,12 @@ func (ifc *Iface) Inject(p *Packet) {
 
 // transit is the traversal state of one packet in flight: which hop it is
 // on and when its head arrives there. Exactly one event is outstanding per
-// transit at any instant, so the state advances in place and the same
-// pre-bound step callback serves every hop. A transit never migrates: when
-// the packet's next hop belongs to another shard, the record is released
-// here and the destination shard re-materializes one from its own pool.
+// transit at any instant — except while parked under PFC backpressure,
+// when the link's drain event owns the wakeup — so the state advances in
+// place and the same pre-bound step callback serves every hop. A transit
+// never migrates: when the packet's next hop belongs to another shard, the
+// record is released here and the destination shard re-materializes one
+// from its own pool.
 type transit struct {
 	net        *Network
 	sh         *shardState
@@ -187,8 +195,9 @@ type transit struct {
 	route      []*Link
 	i          int
 	headAt     sim.Time
-	delivering bool   // final store-and-forward delivery scheduled
-	step       func() // run, bound once when the transit is first created
+	parkedAt   sim.Time // park timestamp under PFC, for pause_ns accounting
+	delivering bool     // final store-and-forward delivery scheduled
+	step       func()   // run, bound once when the transit is first created
 }
 
 // newTransit recycles a traversal record or creates one (binding its step
@@ -228,6 +237,18 @@ func (tr *transit) run() {
 		return
 	}
 	p, l := tr.p, tr.route[tr.i]
+	if l.params.PauseBytes > 0 && (len(l.waiters) > 0 || l.queued >= l.params.PauseBytes) {
+		// PFC pause: the link's backlog is past the pause threshold (or
+		// earlier senders are already parked, whom FIFO fairness must not
+		// let us overtake). Park without an outstanding event; the link's
+		// drain event wakes waiters once the backlog recedes. The backlog
+		// always drains — every queued byte has a drain event scheduled —
+		// so parking cannot deadlock.
+		tr.parkedAt = tr.sh.eng.Now()
+		l.waiters = append(l.waiters, tr)
+		l.mPauses.Inc()
+		return
+	}
 	ser := l.params.SerializationTime(p.Size)
 	start := l.fac.Reserve(ser)
 	if stall := start - tr.headAt; stall > 0 {
@@ -236,6 +257,11 @@ func (tr *transit) run() {
 	}
 	l.mTxBytes.Add(uint64(p.Size))
 	n.mLinkBusyNs.AddInt(int64(ser))
+	if l.params.PauseBytes > 0 {
+		l.queued += p.Size
+		l.inflight = append(l.inflight, p.Size)
+		tr.sh.eng.AtDomain(l.from.domain, start+ser, l.drainFn)
+	}
 	if tr.i == 0 && p.TxDone != nil {
 		// The source NIC's transmit engine finishes with the packet
 		// buffer when the tail clears the injection link.
@@ -274,7 +300,7 @@ func (tr *transit) run() {
 		// runs reject it up front (cluster validation); the boundary check
 		// here is the backstop.
 		if dstV.shard != tr.sh.id {
-			panic("myrinet: duplicate injection across shard boundary unsupported")
+			panic("fabric: duplicate injection across shard boundary unsupported")
 		}
 		tr.sh.eng.AtDomain(dstV.domain, tailIn+ser, func() {
 			n.mDuplicated.Inc()
@@ -290,11 +316,39 @@ func (tr *transit) run() {
 	}
 }
 
+// drain fires one serialization time after each PFC-tracked reservation:
+// the packet's tail has left the link, so its bytes no longer occupy the
+// sender-side buffer. Once the backlog recedes to the resume threshold,
+// parked transits wake in arrival order, inside this event, on the link's
+// own domain — so serial and sharded runs draw identical tiebreak keys.
+func (l *Link) drain() {
+	sz := l.inflight[l.qHead]
+	l.inflight[l.qHead] = 0
+	l.qHead++
+	if l.qHead == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.qHead = 0
+	}
+	l.queued -= sz
+	if l.queued <= l.params.ResumeBytes && len(l.waiters) > 0 {
+		w := l.waiters
+		l.waiters = l.waiters[:0]
+		// Re-parks during the wakeups append into indices already consumed
+		// by this loop (a waiter can only re-park after earlier waiters
+		// refilled the backlog), so iterating the old slice is safe and
+		// FIFO order is preserved.
+		for _, tr := range w {
+			l.mPauseNs.AddInt(int64(tr.sh.eng.Now() - tr.parkedAt))
+			tr.step()
+		}
+	}
+}
+
 // post queues the packet's next event for another shard and retires this
 // transit. The tiebreak key is drawn here, on the source engine, from the
 // same domain sequence a serial run would use — that key is what makes the
 // destination's replay land in exactly the serial position.
-func (tr *transit) post(v *vertex, when sim.Time, kind uint8, hop int32) {
+func (tr *transit) post(v *Vertex, when sim.Time, kind uint8, hop int32) {
 	sh := tr.sh
 	key := sh.eng.AllocKey(v.domain)
 	sh.out[v.shard] = append(sh.out[v.shard], crossMsg{
@@ -351,7 +405,7 @@ func (n *Network) DrainCross() int {
 func (n *Network) deliver(p *Packet) {
 	dst := n.hosts[p.Dst]
 	if dst.Deliver == nil {
-		panic(fmt.Sprintf("myrinet: no receiver attached at %v", p.Dst))
+		panic(fmt.Sprintf("fabric: no receiver attached at %v", p.Dst))
 	}
 	dst.Deliver(p)
 }
@@ -415,8 +469,11 @@ func (s *crossSorter) Less(i, j int) bool {
 	return a.key < b.key
 }
 
-// newNetwork allocates the shell; topology builders fill it in.
-func newNetwork(eng *sim.Engine, params LinkParams) *Network {
+// New allocates the network shell on eng; topology builders fill it in with
+// AddSwitch/AddHost/Connect and install routing with SetRoute (or
+// UseBFSRoute), then call SetMetrics(nil) to arm the accounting
+// instruments.
+func New(eng *sim.Engine, params LinkParams) *Network {
 	n := &Network{
 		eng:    eng,
 		params: params,
@@ -426,8 +483,71 @@ func newNetwork(eng *sim.Engine, params LinkParams) *Network {
 	return n
 }
 
-func (n *Network) addVertex(label string) *vertex {
-	v := &vertex{idx: len(n.verts), label: label, domain: uint32(len(n.verts) + 1)}
+// AddSwitch adds a switching vertex with the given diagnostic label.
+// Vertices must be added in a deterministic order: each one claims the next
+// tiebreak-key domain, and serial/sharded equivalence depends on identical
+// domain assignment.
+func (n *Network) AddSwitch(label string) *Vertex { return n.addVertex(label) }
+
+// AddHost adds host id attached to sw, returning its interface and the
+// up (host->switch) and down (switch->host) links. Hosts must be added in
+// ascending id order with no gaps; the host's vertex is labeled "host<id>".
+func (n *Network) AddHost(id NodeID, sw *Vertex) (ifc *Iface, up, down *Link) {
+	if int(id) != len(n.hosts) {
+		panic(fmt.Sprintf("fabric: AddHost(%v) out of order, want host %d next", id, len(n.hosts)))
+	}
+	hv := n.addVertex(fmt.Sprintf("host%d", id))
+	hv.host = true
+	hv.hostID = id
+	up, down = n.Connect(hv, sw)
+	ifc = &Iface{net: n, id: id, up: up}
+	n.hosts = append(n.hosts, ifc)
+	return ifc, up, down
+}
+
+// Connect adds a pair of directed links between a and b.
+func (n *Network) Connect(a, b *Vertex) (ab, ba *Link) {
+	ab = &Link{from: a, to: b, params: n.params,
+		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", a.label, b.label))}
+	ba = &Link{from: b, to: a, params: n.params,
+		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", b.label, a.label))}
+	if n.params.PauseBytes > 0 {
+		ab.drainFn = ab.drain
+		ba.drainFn = ba.drain
+	}
+	a.out = append(a.out, ab)
+	b.out = append(b.out, ba)
+	n.links = append(n.links, ab, ba)
+	return ab, ba
+}
+
+// SetRoute installs the topology's routing function. The function must be
+// deterministic; the fabric caches its results per (src, dst).
+func (n *Network) SetRoute(fn func(src, dst NodeID) []*Link) { n.routeFn = fn }
+
+// UseBFSRoute installs deterministic shortest-path routing computed by BFS
+// over the fabric graph — sufficient for topologies without path diversity.
+func (n *Network) UseBFSRoute() { n.routeFn = n.bfsRoute }
+
+// SingleSwitch builds a fabric with all hosts on one crossbar — the shape
+// of the paper's 16-node testbed (one Myrinet-2000 Xbar16), and the
+// standard two-node harness for NIC and firmware unit tests.
+func SingleSwitch(eng *sim.Engine, hosts int, params LinkParams) *Network {
+	if hosts < 1 {
+		panic("fabric: need at least one host")
+	}
+	n := New(eng, params)
+	sw := n.AddSwitch("xbar0")
+	for i := 0; i < hosts; i++ {
+		n.AddHost(NodeID(i), sw)
+	}
+	n.UseBFSRoute()
+	n.SetMetrics(nil)
+	return n
+}
+
+func (n *Network) addVertex(label string) *Vertex {
+	v := &Vertex{idx: len(n.verts), label: label, domain: uint32(len(n.verts) + 1)}
 	n.verts = append(n.verts, v)
 	// Every vertex is a tiebreak-key domain, registered up front so serial
 	// and sharded runs draw identical keys.
@@ -435,36 +555,17 @@ func (n *Network) addVertex(label string) *vertex {
 	return v
 }
 
-func (n *Network) addHost(id NodeID) *vertex {
-	v := n.addVertex(fmt.Sprintf("host%d", id))
-	v.host = true
-	v.hostID = id
-	return v
-}
-
-// connect adds a pair of directed links between a and b.
-func (n *Network) connect(a, b *vertex) (ab, ba *Link) {
-	ab = &Link{from: a, to: b, params: n.params,
-		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", a.label, b.label))}
-	ba = &Link{from: b, to: a, params: n.params,
-		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", b.label, a.label))}
-	a.out = append(a.out, ab)
-	b.out = append(b.out, ba)
-	n.links = append(n.links, ab, ba)
-	return ab, ba
-}
-
 // bfsRoute computes the deterministic shortest link path between hosts.
 func (n *Network) bfsRoute(src, dst NodeID) []*Link {
 	from := n.hosts[src].up.from
 	goal := n.hosts[dst].up.from
 	if from == goal {
-		panic("myrinet: route to self")
+		panic("fabric: route to self")
 	}
 	prev := make([]*Link, len(n.verts))
 	seen := make([]bool, len(n.verts))
 	seen[from.idx] = true
-	queue := []*vertex{from}
+	queue := []*Vertex{from}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]

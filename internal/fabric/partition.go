@@ -1,4 +1,4 @@
-package myrinet
+package fabric
 
 import (
 	"fmt"
@@ -43,6 +43,9 @@ type Plan struct {
 // The request is clamped to [1, hosts]: more shards than hosts would leave
 // empty engines (the shard-count-exceeds-nodes edge case degenerates to one
 // host per shard).
+//
+// The heuristic is topology-agnostic: it sees only the vertex/link graph,
+// so any backend built through the fabric builder API shards the same way.
 func (n *Network) Partition(shards int) Plan {
 	if shards < 1 {
 		shards = 1
@@ -56,7 +59,7 @@ func (n *Network) Partition(shards int) Plan {
 		HostShard:   make([]int, len(n.hosts)),
 	}
 	assigned := make([]bool, len(n.verts))
-	var frontier []*vertex
+	var frontier []*Vertex
 	for i := range n.hosts {
 		s := i * shards / len(n.hosts)
 		plan.HostShard[i] = s
@@ -70,7 +73,7 @@ func (n *Network) Partition(shards int) Plan {
 	// anchor it; weight[s] counts links into already-assigned members of s.
 	weight := make([]int, shards)
 	for len(frontier) > 0 {
-		var next []*vertex
+		var next []*Vertex
 		for _, v := range frontier {
 			for _, l := range v.out {
 				w := l.to
@@ -130,13 +133,13 @@ func (n *Network) Partition(shards int) Plan {
 // with a serial run no matter where an event fires.
 func (n *Network) ApplyPlan(plan Plan, engines []*sim.Engine) {
 	if len(engines) != plan.Shards {
-		panic(fmt.Sprintf("myrinet: plan wants %d shards, got %d engines", plan.Shards, len(engines)))
+		panic(fmt.Sprintf("fabric: plan wants %d shards, got %d engines", plan.Shards, len(engines)))
 	}
 	if engines[0] != n.eng {
-		panic("myrinet: ApplyPlan engines[0] must be the construction engine")
+		panic("fabric: ApplyPlan engines[0] must be the construction engine")
 	}
 	if len(plan.VertexShard) != len(n.verts) {
-		panic("myrinet: plan does not match this fabric")
+		panic("fabric: plan does not match this fabric")
 	}
 	for _, v := range n.verts {
 		v.shard = plan.VertexShard[v.idx]

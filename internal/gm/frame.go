@@ -3,7 +3,7 @@ package gm
 import (
 	"fmt"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 )
 
 // Kind discriminates wire frame types.
@@ -72,14 +72,14 @@ func (k Kind) String() string {
 }
 
 // Frame is the protocol header plus payload carried inside a
-// myrinet.Packet. One frame is one wire packet.
+// fabric.Packet. One frame is one wire packet.
 //
 // A Frame is immutable once injected except through Clone — the NIC-based
 // multisend "changes the packet header and queues it for transmission
 // again", which Clone models without aliasing the in-flight copy.
 type Frame struct {
 	Kind             Kind
-	SrcNode, DstNode myrinet.NodeID
+	SrcNode, DstNode fabric.NodeID
 	SrcPort, DstPort PortID
 
 	// Seq is the connection sequence number (per source port → destination
@@ -113,13 +113,13 @@ func (f *Frame) Clone() *Frame {
 }
 
 // packet wraps f for the fabric, computing its wire size.
-func (f *Frame) packet(cfg Config, txDone func()) *myrinet.Packet {
+func (f *Frame) packet(cfg Config, txDone func()) *fabric.Packet {
 	size := cfg.WireSize(len(f.Payload))
 	switch f.Kind {
 	case KindAck, KindMcastAck, KindNack, KindMcastNack, KindBarrier, KindBarrierAck, KindReduceAck:
 		size = cfg.AckBytes
 	}
-	return &myrinet.Packet{
+	return &fabric.Packet{
 		Src:     f.SrcNode,
 		Dst:     f.DstNode,
 		Size:    size,

@@ -4,15 +4,15 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/fabric"
 	"repro/internal/lanai"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
 // rig is a small GM test cluster.
 type rig struct {
 	eng   *sim.Engine
-	net   *myrinet.Network
+	net   *fabric.Network
 	nics  []*NIC
 	ports []*Port
 }
@@ -20,14 +20,14 @@ type rig struct {
 func newRig(t *testing.T, nodes int, mut func(*Config)) *rig {
 	t.Helper()
 	eng := sim.NewEngine()
-	net := myrinet.NewSingleSwitch(eng, nodes, myrinet.DefaultLinkParams())
+	net := fabric.SingleSwitch(eng, nodes, fabric.DefaultLinkParams())
 	cfg := DefaultConfig()
 	if mut != nil {
 		mut(&cfg)
 	}
 	r := &rig{eng: eng, net: net}
 	for i := 0; i < nodes; i++ {
-		hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), lanai.DefaultParams())
+		hw := lanai.New(eng, net.Iface(fabric.NodeID(i)), lanai.DefaultParams())
 		nic := NewNIC(hw, cfg)
 		r.nics = append(r.nics, nic)
 		r.ports = append(r.ports, nic.OpenPort(1))
@@ -148,7 +148,7 @@ func TestRetransmissionRecoversLoss(t *testing.T) {
 	r := newRig(t, 2, nil)
 	// Drop the first three data packets at the wire.
 	drops := 0
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		if fr, ok := p.Payload.(*Frame); ok && fr.Kind == KindData && drops < 3 {
 			drops++
 			return true
@@ -211,7 +211,7 @@ func TestRandomLossManyMessagesAllDelivered(t *testing.T) {
 func TestAckLossTriggersDuplicateHandling(t *testing.T) {
 	r := newRig(t, 2, nil)
 	dropped := false
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		if fr, ok := p.Payload.(*Frame); ok && fr.Kind == KindAck && !dropped {
 			dropped = true
 			return true
@@ -288,7 +288,7 @@ func TestWindowLimitsInflightPackets(t *testing.T) {
 	// DataSent - (acks processed). Instead track via DropFn counting
 	// simultaneous data packets between send and ack.
 	inflight := 0
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		if fr, ok := p.Payload.(*Frame); ok {
 			if fr.Kind == KindData && l.String() == "host0->xbar0" {
 				inflight++
@@ -492,14 +492,14 @@ func TestConfigPackets(t *testing.T) {
 func TestDeterministicReplay(t *testing.T) {
 	run := func() (sim.Time, uint64) {
 		eng := sim.NewEngine()
-		net := myrinet.NewSingleSwitch(eng, 4, myrinet.DefaultLinkParams())
+		net := fabric.SingleSwitch(eng, 4, fabric.DefaultLinkParams())
 		net.SetRNG(sim.NewRNG(7))
 		net.LossRate = 0.02
 		cfg := DefaultConfig()
 		var nics []*NIC
 		var ports []*Port
 		for i := 0; i < 4; i++ {
-			hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), lanai.DefaultParams())
+			hw := lanai.New(eng, net.Iface(fabric.NodeID(i)), lanai.DefaultParams())
 			nic := NewNIC(hw, cfg)
 			nics = append(nics, nic)
 			ports = append(ports, nic.OpenPort(1))
@@ -516,7 +516,7 @@ func TestDeterministicReplay(t *testing.T) {
 		eng.Spawn("send", func(p *sim.Proc) {
 			for j := 0; j < 10; j++ {
 				for i := 1; i < 4; i++ {
-					ports[0].Send(p, myrinet.NodeID(i), 1, pattern(200+j))
+					ports[0].Send(p, fabric.NodeID(i), 1, pattern(200+j))
 				}
 			}
 			for j := 0; j < 30; j++ {

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -14,7 +14,7 @@ func lossyRun(t *testing.T, nacks bool) (sim.Time, Stats, Stats) {
 	t.Helper()
 	r := newRig(t, 2, func(c *Config) { c.EnableNacks = nacks })
 	dropped := false
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*Frame)
 		if ok && fr.Kind == KindData && fr.Seq == 2 && !dropped {
 			dropped = true
@@ -63,7 +63,7 @@ func TestNackHoldoffCollapsesBursts(t *testing.T) {
 	// far fewer fast retransmission rounds than it receives nacks.
 	r := newRig(t, 2, func(c *Config) { c.EnableNacks = true })
 	dropped := false
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*Frame)
 		if ok && fr.Kind == KindData && fr.Seq == 1 && !dropped {
 			dropped = true
@@ -109,7 +109,7 @@ func TestRetransmitBackoffGrows(t *testing.T) {
 	// exponentially rather than fire at a fixed cadence.
 	r := newRig(t, 2, nil)
 	var sends []sim.Time
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*Frame)
 		// Count each transmission once: at the sender's injection link.
 		if ok && fr.Kind == KindData && l.String() == "host0->xbar0" {
@@ -138,7 +138,7 @@ func TestBackoffResetsOnProgress(t *testing.T) {
 	r := newRig(t, 2, nil)
 	var dataSends []sim.Time
 	dropUntil := 3 * sim.Millisecond
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*Frame)
 		if !ok || fr.Kind != KindData {
 			return false

@@ -3,9 +3,9 @@ package gm
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/lanai"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -58,7 +58,7 @@ type NIC struct {
 // connKey identifies a connection endpoint pair. On the send side Node is
 // the remote destination; on the receive side it is the remote source.
 type connKey struct {
-	Node            myrinet.NodeID
+	Node            fabric.NodeID
 	LocalP, RemoteP PortID
 }
 
@@ -79,7 +79,7 @@ func NewNIC(hw *lanai.NIC, cfg Config) *NIC {
 }
 
 // ID reports the NIC's network ID.
-func (n *NIC) ID() myrinet.NodeID { return n.HW.ID }
+func (n *NIC) ID() fabric.NodeID { return n.HW.ID }
 
 // Engine returns the simulation engine.
 func (n *NIC) Engine() *sim.Engine { return n.HW.Eng }
@@ -159,7 +159,7 @@ func (n *NIC) Inject(fr *Frame, txDone func()) {
 }
 
 // rxDispatch is the wire entry point: every arriving packet lands here.
-func (n *NIC) rxDispatch(pkt *myrinet.Packet) {
+func (n *NIC) rxDispatch(pkt *fabric.Packet) {
 	fr, ok := pkt.Payload.(*Frame)
 	if !ok {
 		panic(fmt.Sprintf("gm: non-frame payload %T at %v", pkt.Payload, n.ID()))
@@ -183,7 +183,7 @@ func (n *NIC) rxDispatch(pkt *myrinet.Packet) {
 
 // sendConn returns (creating on demand) the sender-side connection for the
 // (local port, destination node, destination port) triple.
-func (n *NIC) sendConn(localP PortID, dst myrinet.NodeID, dstP PortID) *conn {
+func (n *NIC) sendConn(localP PortID, dst fabric.NodeID, dstP PortID) *conn {
 	k := connKey{Node: dst, LocalP: localP, RemoteP: dstP}
 	c, ok := n.conns[k]
 	if !ok {
@@ -195,7 +195,7 @@ func (n *NIC) sendConn(localP PortID, dst myrinet.NodeID, dstP PortID) *conn {
 
 // recvConn returns (creating on demand) the receiver-side state for a
 // (source node, source port, local port) triple.
-func (n *NIC) recvConn(src myrinet.NodeID, srcP, localP PortID) *rcvr {
+func (n *NIC) recvConn(src fabric.NodeID, srcP, localP PortID) *rcvr {
 	k := connKey{Node: src, LocalP: localP, RemoteP: srcP}
 	r, ok := n.rcvrs[k]
 	if !ok {

@@ -3,7 +3,7 @@ package gm
 import (
 	"fmt"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -11,7 +11,7 @@ import (
 // RecvEvent is delivered to the host when a complete message has arrived.
 // Data is the host receive buffer, filled to the message length.
 type RecvEvent struct {
-	Src     myrinet.NodeID
+	Src     fabric.NodeID
 	SrcPort PortID
 	MsgID   uint64
 	Group   GroupID
@@ -25,7 +25,7 @@ type recvToken struct {
 
 // asmKey identifies an in-progress message assembly.
 type asmKey struct {
-	src     myrinet.NodeID
+	src     fabric.NodeID
 	srcPort PortID
 	msgID   uint64
 }
@@ -122,7 +122,7 @@ func (p *Port) NIC() *NIC { return p.nic }
 func (p *Port) ID() PortID { return p.id }
 
 // Node reports the port's network ID.
-func (p *Port) Node() myrinet.NodeID { return p.nic.ID() }
+func (p *Port) Node() fabric.NodeID { return p.nic.ID() }
 
 // Provide posts a receive buffer of the given capacity — a receive token.
 // Like GM, receiving is impossible without posted tokens.
@@ -173,7 +173,7 @@ func (p *Port) ReturnSendToken() {
 // only until the send descriptor is posted (taking a send token); delivery
 // completion is observable via WaitSendDone. The caller must not mutate
 // data until the send completes.
-func (p *Port) Send(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, data []byte) {
+func (p *Port) Send(proc *sim.Proc, dst fabric.NodeID, dstPort PortID, data []byte) {
 	if dst == p.Node() {
 		panic(ErrSelfSend)
 	}
@@ -207,7 +207,7 @@ func (p *Port) WaitSendDone(proc *sim.Proc) {
 }
 
 // SendSync sends and waits for the remote NIC to acknowledge all packets.
-func (p *Port) SendSync(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, data []byte) {
+func (p *Port) SendSync(proc *sim.Proc, dst fabric.NodeID, dstPort PortID, data []byte) {
 	p.Send(proc, dst, dstPort, data)
 	p.WaitSendDone(proc)
 }
@@ -260,7 +260,7 @@ func (p *Port) PostGroupEvent(ev *RecvEvent) { p.postRecvEvent(ev) }
 // GM's size-class token matching: a large rendezvous landing buffer is
 // never consumed by a small eager message. It reports false when no token
 // fits — the caller must then refuse the packet.
-func (p *Port) matchAssembly(src myrinet.NodeID, srcPort PortID, msgID uint64, msgLen int, group GroupID) (*Assembly, bool) {
+func (p *Port) matchAssembly(src fabric.NodeID, srcPort PortID, msgID uint64, msgLen int, group GroupID) (*Assembly, bool) {
 	k := asmKey{src: src, srcPort: srcPort, msgID: msgID}
 	if a, ok := p.asms[k]; ok {
 		return a, true
@@ -285,6 +285,6 @@ func (p *Port) matchAssembly(src myrinet.NodeID, srcPort PortID, msgID uint64, m
 }
 
 // MatchAssembly exposes assembly matching to the multicast extension.
-func (p *Port) MatchAssembly(src myrinet.NodeID, srcPort PortID, msgID uint64, msgLen int, group GroupID) (*Assembly, bool) {
+func (p *Port) MatchAssembly(src fabric.NodeID, srcPort PortID, msgID uint64, msgLen int, group GroupID) (*Assembly, bool) {
 	return p.matchAssembly(src, srcPort, msgID, msgLen, group)
 }

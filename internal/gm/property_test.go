@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/fabric"
 	"repro/internal/lanai"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -41,7 +41,7 @@ func TestRandomTrafficIntegrityProperty(t *testing.T) {
 		}
 
 		eng := sim.NewEngine()
-		net := myrinet.NewSingleSwitch(eng, nodes, myrinet.DefaultLinkParams())
+		net := fabric.SingleSwitch(eng, nodes, fabric.DefaultLinkParams())
 		if lossy {
 			net.SetRNG(sim.NewRNG(seed))
 			net.LossRate = 0.02
@@ -49,7 +49,7 @@ func TestRandomTrafficIntegrityProperty(t *testing.T) {
 		cfg := DefaultConfig()
 		var ports []*Port
 		for i := 0; i < nodes; i++ {
-			hw := lanai.New(eng, net.Iface(myrinet.NodeID(i)), lanai.DefaultParams())
+			hw := lanai.New(eng, net.Iface(fabric.NodeID(i)), lanai.DefaultParams())
 			ports = append(ports, NewNIC(hw, cfg).OpenPort(1))
 		}
 
@@ -99,7 +99,7 @@ func TestRandomTrafficIntegrityProperty(t *testing.T) {
 			}
 			eng.Spawn("send", func(p *sim.Proc) {
 				for i := range mine {
-					ports[s].Send(p, myrinet.NodeID(dsts[i]), 1, mine[i])
+					ports[s].Send(p, fabric.NodeID(dsts[i]), 1, mine[i])
 				}
 				for range mine {
 					ports[s].WaitSendDone(p)
@@ -130,21 +130,21 @@ func TestPacketConservationProperty(t *testing.T) {
 	f := func(raw []uint8, seed int64) bool {
 		const nodes = 5
 		eng := sim.NewEngine()
-		net := myrinet.NewSingleSwitch(eng, nodes, myrinet.DefaultLinkParams())
+		net := fabric.SingleSwitch(eng, nodes, fabric.DefaultLinkParams())
 		net.SetRNG(sim.NewRNG(seed))
 		net.LossRate = 0.1
 		delivered := uint64(0)
 		for i := 0; i < nodes; i++ {
-			net.Iface(myrinet.NodeID(i)).Deliver = func(p *myrinet.Packet) { delivered++ }
+			net.Iface(fabric.NodeID(i)).Deliver = func(p *fabric.Packet) { delivered++ }
 		}
 		eng.At(0, func() {
 			for i, r := range raw {
-				src := myrinet.NodeID(int(r) % nodes)
-				dst := myrinet.NodeID((int(r) + 1 + i) % nodes)
+				src := fabric.NodeID(int(r) % nodes)
+				dst := fabric.NodeID((int(r) + 1 + i) % nodes)
 				if src == dst {
 					continue
 				}
-				net.Iface(src).Inject(&myrinet.Packet{Src: src, Dst: dst, Size: int(r) + 1})
+				net.Iface(src).Inject(&fabric.Packet{Src: src, Dst: dst, Size: int(r) + 1})
 			}
 		})
 		eng.Run()

@@ -3,7 +3,7 @@ package gm
 import (
 	"fmt"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -64,13 +64,13 @@ func (p *Port) RegionWritten(id RegionID) int {
 // the given offset — a remote DMA put. It consumes a host send token like
 // any send; completion (all packets acknowledged) is observable via
 // WaitSendDone. The remote host is not notified.
-func (p *Port) DirectedSend(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte) {
+func (p *Port) DirectedSend(proc *sim.Proc, dst fabric.NodeID, dstPort PortID, remote RegionID, offset int, data []byte) {
 	p.directedSend(proc, dst, dstPort, remote, offset, data, nil)
 }
 
 // DirectedSendSync performs a directed send and blocks until the remote
 // NIC has acknowledged every packet — the write is then globally visible.
-func (p *Port) DirectedSendSync(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte) {
+func (p *Port) DirectedSendSync(proc *sim.Proc, dst fabric.NodeID, dstPort PortID, remote RegionID, offset int, data []byte) {
 	done := false
 	w := sim.NewWaiter(p.nic.Engine())
 	p.directedSend(proc, dst, dstPort, remote, offset, data, func() {
@@ -82,7 +82,7 @@ func (p *Port) DirectedSendSync(proc *sim.Proc, dst myrinet.NodeID, dstPort Port
 	}
 }
 
-func (p *Port) directedSend(proc *sim.Proc, dst myrinet.NodeID, dstPort PortID, remote RegionID, offset int, data []byte, onDone func()) {
+func (p *Port) directedSend(proc *sim.Proc, dst fabric.NodeID, dstPort PortID, remote RegionID, offset int, data []byte, onDone func()) {
 	if dst == p.Node() {
 		panic(ErrSelfSend)
 	}

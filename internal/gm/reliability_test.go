@@ -8,7 +8,7 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -76,7 +76,7 @@ func TestFastRetransmitHoldoffExpiry(t *testing.T) {
 func TestKarnRuleSkipsRetransmitRTTSample(t *testing.T) {
 	r := newRig(t, 2, func(c *Config) { c.AdaptiveRTO = true })
 	dropOnce := true
-	r.net.DropFn = func(p *myrinet.Packet, _ *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, _ *fabric.Link) bool {
 		if fr, ok := p.Payload.(*Frame); ok && fr.Kind == KindData && dropOnce {
 			dropOnce = false
 			return true
@@ -147,7 +147,7 @@ func TestSequenceWraparoundUnderLoss(t *testing.T) {
 	r.nics[1].recvConn(0, 1, 1).expect = start
 
 	traversals := 0
-	r.net.DropFn = func(p *myrinet.Packet, _ *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, _ *fabric.Link) bool {
 		if fr, ok := p.Payload.(*Frame); ok && fr.Kind == KindData {
 			traversals++
 			return traversals%5 == 0 // deterministic loss straddling the wrap

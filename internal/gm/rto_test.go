@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -15,7 +15,7 @@ func TestAdaptiveRTORecoversFasterThanFixed(t *testing.T) {
 	run := func(adaptive bool) sim.Time {
 		r := newRig(t, 2, func(c *Config) { c.AdaptiveRTO = adaptive })
 		drop := false
-		r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+		r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 			fr, ok := p.Payload.(*Frame)
 			if ok && fr.Kind == KindData && drop {
 				drop = false
@@ -78,7 +78,7 @@ func TestKarnsRuleExcludesRetransmittedSamples(t *testing.T) {
 	// Karn's rule the estimator must stay near the true RTT afterwards.
 	r := newRig(t, 2, func(c *Config) { c.AdaptiveRTO = true })
 	dropOnce := true
-	r.net.DropFn = func(p *myrinet.Packet, l *myrinet.Link) bool {
+	r.net.DropFn = func(p *fabric.Packet, l *fabric.Link) bool {
 		fr, ok := p.Payload.(*Frame)
 		if ok && fr.Kind == KindData && fr.Seq == 3 && dropOnce {
 			dropOnce = false

@@ -33,6 +33,7 @@ func (o Options) ChaosSweep(scenarios []chaos.Scenario, nodeCounts []int, msgs, 
 			Size:    size,
 			Seed:    o.Seed,
 			Metrics: o.Metrics,
+			Fabric:  o.Fabric,
 		})
 	})
 }

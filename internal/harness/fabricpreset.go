@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/clos"
+	"repro/internal/fabric"
+	"repro/internal/myrinet"
+)
+
+// FabricPreset resolves a backend name — the value of the benches' shared
+// -fabric flag — to its preset. The empty string means the default Myrinet
+// backend, so flag plumbing can pass the flag through unconditionally.
+func FabricPreset(name string) (fabric.Config, error) {
+	switch name {
+	case "", "myrinet":
+		return myrinet.Default(), nil
+	case "clos":
+		return clos.Default(), nil
+	}
+	return fabric.Config{}, fmt.Errorf("unknown fabric %q (want myrinet or clos)", name)
+}
+
+// FabricNames lists the selectable backends, for usage strings.
+func FabricNames() string { return "myrinet, clos" }

@@ -2,8 +2,8 @@ package harness
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tree"
@@ -27,7 +27,7 @@ func (o Options) MultisendNB(ndest, size int) float64 {
 	total := o.Warmup + o.Iters
 	for d := 1; d <= ndest; d++ {
 		d := d
-		c.SpawnOn(myrinet.NodeID(d), "dest", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(d), "dest", func(p *sim.Proc) {
 			ports[d].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ports[d].Recv(p)
@@ -60,7 +60,7 @@ func (o Options) MultisendHB(ndest, size int) float64 {
 	total := o.Warmup + o.Iters
 	for d := 1; d <= ndest; d++ {
 		d := d
-		c.SpawnOn(myrinet.NodeID(d), "dest", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(d), "dest", func(p *sim.Proc) {
 			ports[d].ProvideN(total, size)
 			for i := 0; i < total; i++ {
 				ports[d].Recv(p)
@@ -72,7 +72,7 @@ func (o Options) MultisendHB(ndest, size int) float64 {
 	c.SpawnOn(0, "root", func(p *sim.Proc) {
 		iter := func() {
 			for d := 1; d <= ndest; d++ {
-				ports[0].Send(p, myrinet.NodeID(d), benchPort, msg)
+				ports[0].Send(p, fabric.NodeID(d), benchPort, msg)
 			}
 			for d := 1; d <= ndest; d++ {
 				ports[0].WaitSendDone(p)
@@ -103,7 +103,7 @@ func (o Options) Fig3(ndest int, sizes []int) Series {
 // multicastNBOnce measures the NIC-based multicast over the size-specific
 // optimal tree with one designated leaf returning an application-level
 // 1-byte acknowledgment, the paper's Figure 5 protocol.
-func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) float64 {
+func (o Options) multicastNBOnce(nodes, size int, designated fabric.NodeID) float64 {
 	cfg := o.config(nodes)
 	c := cluster.NewFromConfig(cfg)
 	ports := c.OpenPorts(benchPort)
@@ -149,7 +149,7 @@ func (o Options) multicastNBOnce(nodes, size int, designated myrinet.NodeID) flo
 
 // multicastHBOnce measures the traditional host-based multicast: unicasts
 // forwarded by the host process at every node of a binomial tree.
-func (o Options) multicastHBOnce(nodes, size int, designated myrinet.NodeID) float64 {
+func (o Options) multicastHBOnce(nodes, size int, designated fabric.NodeID) float64 {
 	c := cluster.NewFromConfig(o.config(nodes))
 	ports := c.OpenPorts(benchPort)
 	tr := tree.Binomial(0, c.Members())
@@ -284,10 +284,10 @@ func payload(size int) []byte {
 	return b
 }
 
-func membersOf(n int) []myrinet.NodeID {
-	out := make([]myrinet.NodeID, n)
+func membersOf(n int) []fabric.NodeID {
+	out := make([]fabric.NodeID, n)
 	for i := range out {
-		out[i] = myrinet.NodeID(i)
+		out[i] = fabric.NodeID(i)
 	}
 	return out
 }
@@ -304,7 +304,7 @@ func (o Options) NICBarrier(nodes int) float64 {
 	var avg float64
 	for i := 0; i < nodes; i++ {
 		i := i
-		c.SpawnOn(myrinet.NodeID(i), "p", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(i), "p", func(p *sim.Proc) {
 			for r := 0; r < total; r++ {
 				c.Nodes[i].Ext.Barrier(p, ports[i], gmGroup)
 			}
@@ -330,11 +330,11 @@ func (o Options) HostBarrier(nodes int) float64 {
 	var avg float64
 	for i := 0; i < nodes; i++ {
 		i := i
-		c.SpawnOn(myrinet.NodeID(i), "p", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(i), "p", func(p *sim.Proc) {
 			ports[i].ProvideN(total*rounds, 16)
 			for r := 0; r < total; r++ {
 				for k := 1; k < nodes; k <<= 1 {
-					dst := myrinet.NodeID((i + k) % nodes)
+					dst := fabric.NodeID((i + k) % nodes)
 					ports[i].Send(p, dst, benchPort, ack1)
 					ports[i].Recv(p)
 				}

@@ -10,8 +10,8 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 	"repro/internal/tree"
 )
 
@@ -30,7 +30,7 @@ type Options struct {
 	// NBTree, when non-nil, overrides the NIC-based multicast's spanning
 	// tree (the tree-shape ablation); nil uses the size-specific optimal
 	// tree.
-	NBTree func(cfg *cluster.Config, root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree
+	NBTree func(cfg *cluster.Config, root fabric.NodeID, members []fabric.NodeID, size int) *tree.Tree
 	// Metrics, when non-nil, is wired through every cluster the harness
 	// builds, so a Reporter can diff it between experiments. Because the
 	// registry is unsynchronized, a non-nil Metrics forces sweeps serial
@@ -47,10 +47,14 @@ type Options struct {
 	// Sweeps cap their worker fan-out so Workers x Shards stays within
 	// GOMAXPROCS rather than oversubscribing the machine twice.
 	Shards int
+	// Fabric selects the interconnect backend every cluster the harness
+	// builds runs on (zero value: the classic Myrinet fabric). Use
+	// FabricPreset to resolve a -fabric CLI flag.
+	Fabric fabric.Config
 }
 
 // nbTree resolves the NIC-based multicast tree for a run.
-func (o Options) nbTree(cfg *cluster.Config, root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree {
+func (o Options) nbTree(cfg *cluster.Config, root fabric.NodeID, members []fabric.NodeID, size int) *tree.Tree {
 	if o.NBTree != nil {
 		return o.NBTree(cfg, root, members, size)
 	}
@@ -64,6 +68,10 @@ func DefaultOptions() Options {
 
 func (o Options) config(nodes int) *cluster.Config {
 	cfg := cluster.DefaultConfig(nodes)
+	if o.Fabric.Valid() {
+		cfg.Fabric = o.Fabric
+		cfg.Link = o.Fabric.Links
+	}
 	cfg.Seed = o.Seed
 	cfg.Metrics = o.Metrics
 	cfg.Shards = o.Shards

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/tree"
 )
 
@@ -165,7 +165,7 @@ func TestFig7Signature(t *testing.T) {
 func TestAblationTreeShape(t *testing.T) {
 	o := fast()
 	opt := o.MulticastNB(16, 32)
-	o.NBTree = func(cfg *cluster.Config, root myrinet.NodeID, members []myrinet.NodeID, size int) *tree.Tree {
+	o.NBTree = func(cfg *cluster.Config, root fabric.NodeID, members []fabric.NodeID, size int) *tree.Tree {
 		return tree.Binomial(root, members)
 	}
 	bin := o.MulticastNB(16, 32)

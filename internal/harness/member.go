@@ -38,6 +38,7 @@ func (o Options) MemberSweep(scenarios []chaos.MemberScenario, nodeCounts, trans
 			Transitions: p.transitions,
 			Seed:        o.Seed,
 			Metrics:     o.Metrics,
+			Fabric:      o.Fabric,
 		})
 	})
 }

@@ -5,10 +5,10 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/lanai"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 )
 
 // Reporter turns a shared metrics registry into per-experiment reports.
@@ -90,12 +90,12 @@ func WriteBreakdown(w io.Writer, d metrics.Snapshot) {
 	}
 	fmt.Fprintln(w, "per-layer breakdown:")
 	fmt.Fprintf(w, "  link:       %s busy, %d pkts delivered, %s stalled (up %s / switch %s), %d dropped\n",
-		ns(d.CounterSum(myrinet.Component, "link_busy_ns")),
-		d.CounterSum(myrinet.Component, "delivered"),
-		ns(d.CounterSum(myrinet.Component, "uplink_stall_ns")+d.CounterSum(myrinet.Component, "switch_stall_ns")),
-		ns(d.CounterSum(myrinet.Component, "uplink_stall_ns")),
-		ns(d.CounterSum(myrinet.Component, "switch_stall_ns")),
-		d.CounterSum(myrinet.Component, "dropped"))
+		ns(d.CounterSum(fabric.Component, "link_busy_ns")),
+		d.CounterSum(fabric.Component, "delivered"),
+		ns(d.CounterSum(fabric.Component, "uplink_stall_ns")+d.CounterSum(fabric.Component, "switch_stall_ns")),
+		ns(d.CounterSum(fabric.Component, "uplink_stall_ns")),
+		ns(d.CounterSum(fabric.Component, "switch_stall_ns")),
+		d.CounterSum(fabric.Component, "dropped"))
 	fmt.Fprintf(w, "  NIC CPU:    %s busy\n", ns(d.CounterSum(lanai.Component, "cpu_busy_ns")))
 	fmt.Fprintf(w, "  DMA:        %s send-side, %s recv-side, %d recv-buffer stalls\n",
 		ns(d.CounterSum(lanai.Component, "sdma_busy_ns")),

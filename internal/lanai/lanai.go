@@ -13,8 +13,8 @@ package lanai
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -61,7 +61,7 @@ type Stats struct {
 // NIC is the hardware model for one network interface.
 type NIC struct {
 	Eng *sim.Engine
-	ID  myrinet.NodeID
+	ID  fabric.NodeID
 	P   Params
 
 	// CPU is the LANai processor: every firmware action serializes here.
@@ -71,13 +71,13 @@ type NIC struct {
 	SDMA *sim.Facility
 	RDMA *sim.Facility
 
-	Ifc      *myrinet.Iface
+	Ifc      *fabric.Iface
 	SendBufs *BufPool
 	RecvBufs *BufPool
 
 	// RxDispatch is installed by the firmware; it receives every packet
 	// that arrives from the wire.
-	RxDispatch func(*myrinet.Packet)
+	RxDispatch func(*fabric.Packet)
 
 	// paused, when set, makes the NIC deaf: packets arriving from the wire
 	// are discarded before the firmware sees them, as during a firmware
@@ -105,7 +105,7 @@ type NIC struct {
 }
 
 // New attaches a NIC model to a network interface.
-func New(eng *sim.Engine, ifc *myrinet.Iface, p Params) *NIC {
+func New(eng *sim.Engine, ifc *fabric.Iface, p Params) *NIC {
 	n := &NIC{
 		Eng:        eng,
 		ID:         ifc.ID(),
@@ -119,7 +119,7 @@ func New(eng *sim.Engine, ifc *myrinet.Iface, p Params) *NIC {
 		hostWaiter: sim.NewWaiter(eng),
 	}
 	n.postFn = n.deliverHostEvent
-	ifc.Deliver = func(pkt *myrinet.Packet) {
+	ifc.Deliver = func(pkt *fabric.Packet) {
 		if n.paused {
 			n.mRxPausedDrops.Inc()
 			return

@@ -3,18 +3,18 @@ package lanai
 import (
 	"testing"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
 func testNIC(t *testing.T) (*sim.Engine, *NIC, *NIC) {
 	t.Helper()
 	eng := sim.NewEngine()
-	net := myrinet.NewSingleSwitch(eng, 2, myrinet.DefaultLinkParams())
+	net := fabric.SingleSwitch(eng, 2, fabric.DefaultLinkParams())
 	a := New(eng, net.Iface(0), DefaultParams())
 	b := New(eng, net.Iface(1), DefaultParams())
-	a.RxDispatch = func(p *myrinet.Packet) {}
-	b.RxDispatch = func(p *myrinet.Packet) {}
+	a.RxDispatch = func(p *fabric.Packet) {}
+	b.RxDispatch = func(p *fabric.Packet) {}
 	return eng, a, b
 }
 
@@ -206,10 +206,10 @@ func TestHostPostLatency(t *testing.T) {
 
 func TestWirePacketReachesRxDispatch(t *testing.T) {
 	eng, a, b := testNIC(t)
-	var got *myrinet.Packet
-	b.RxDispatch = func(p *myrinet.Packet) { got = p }
+	var got *fabric.Packet
+	b.RxDispatch = func(p *fabric.Packet) { got = p }
 	eng.At(0, func() {
-		a.Ifc.Inject(&myrinet.Packet{Src: 0, Dst: 1, Size: 128, Payload: "hello"})
+		a.Ifc.Inject(&fabric.Packet{Src: 0, Dst: 1, Size: 128, Payload: "hello"})
 	})
 	eng.Run()
 	if got == nil || got.Payload != "hello" {
@@ -278,11 +278,11 @@ func TestPendingHostEvents(t *testing.T) {
 
 func TestUnattachedNICPanicsOnDelivery(t *testing.T) {
 	eng := sim.NewEngine()
-	net := myrinet.NewSingleSwitch(eng, 2, myrinet.DefaultLinkParams())
+	net := fabric.SingleSwitch(eng, 2, fabric.DefaultLinkParams())
 	New(eng, net.Iface(0), DefaultParams())
 	New(eng, net.Iface(1), DefaultParams()) // no RxDispatch installed
 	eng.At(0, func() {
-		net.Iface(0).Inject(&myrinet.Packet{Src: 0, Dst: 1, Size: 16})
+		net.Iface(0).Inject(&fabric.Packet{Src: 0, Dst: 1, Size: 16})
 	})
 	defer func() {
 		if recover() == nil {

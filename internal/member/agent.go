@@ -1,7 +1,7 @@
 package member
 
 import (
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -10,7 +10,7 @@ import (
 // commits epoch views against the local NIC on the coordinator's orders.
 type agent struct {
 	s *System
-	n myrinet.NodeID
+	n fabric.NodeID
 	// stagedEpoch is the epoch of the view this node staged in the
 	// in-flight transition (0 = nothing staged).
 	stagedEpoch uint32
@@ -21,7 +21,7 @@ type agent struct {
 // routed to it, while prepare/quiesce/commit addressed to the root itself
 // arrive as self-posted events and take the same agent path as on any
 // other node.
-func (s *System) agentLoop(p *sim.Proc, n myrinet.NodeID) {
+func (s *System) agentLoop(p *sim.Proc, n fabric.NodeID) {
 	a := &agent{s: s, n: n}
 	port := s.ctrl[n]
 	port.ProvideN(4, s.ctrlBufCap())

@@ -3,7 +3,7 @@ package member
 import (
 	"sort"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/tree"
 )
@@ -22,18 +22,18 @@ const (
 type coord struct {
 	s *System
 
-	members map[myrinet.NodeID]bool // current membership, root included
-	tr      *tree.Tree              // current epoch's tree
+	members map[fabric.NodeID]bool // current membership, root included
+	tr      *tree.Tree             // current epoch's tree
 	epoch   uint32
 
 	phase   int
-	reqNode myrinet.NodeID // the transition's subject (root for finalize)
+	reqNode fabric.NodeID // the transition's subject (root for finalize)
 	reqJoin bool
-	target  []myrinet.NodeID // new membership, ascending, root included
+	target  []fabric.NodeID // new membership, ascending, root included
 	nextTr  *tree.Tree
-	parts   []myrinet.NodeID        // union(old, new) membership
-	waitFor map[myrinet.NodeID]bool // outstanding replies this phase/level
-	levels  [][]myrinet.NodeID      // old tree in BFS level order
+	parts   []fabric.NodeID        // union(old, new) membership
+	waitFor map[fabric.NodeID]bool // outstanding replies this phase/level
+	levels  [][]fabric.NodeID      // old tree in BFS level order
 	lvl     int
 	startAt sim.Time // request accepted: rebuild latency starts here
 	// freezeAt/thawAt bracket the root pump's stall — the traffic
@@ -47,8 +47,8 @@ type coord struct {
 	done         bool
 }
 
-func newCoord(s *System, initial []myrinet.NodeID, tr *tree.Tree) *coord {
-	co := &coord{s: s, tr: tr, members: make(map[myrinet.NodeID]bool, len(initial))}
+func newCoord(s *System, initial []fabric.NodeID, tr *tree.Tree) *coord {
+	co := &coord{s: s, tr: tr, members: make(map[fabric.NodeID]bool, len(initial))}
 	for _, m := range initial {
 		co.members[m] = true
 	}
@@ -118,7 +118,7 @@ func (co *coord) request(p *sim.Proc, m ctrlMsg) {
 		co.s.res.Rejected++
 		return
 	}
-	target := make([]myrinet.NodeID, 0, len(co.members)+1)
+	target := make([]fabric.NodeID, 0, len(co.members)+1)
 	for n := range co.members {
 		if !join && n == m.node {
 			continue
@@ -140,9 +140,9 @@ func (co *coord) finalize(p *sim.Proc) {
 		co.s.finalWait.WakeAll()
 		return
 	}
-	target := make([]myrinet.NodeID, 0, len(co.s.c.Nodes))
+	target := make([]fabric.NodeID, 0, len(co.s.c.Nodes))
 	for n := range co.s.c.Nodes {
-		target = append(target, myrinet.NodeID(n))
+		target = append(target, fabric.NodeID(n))
 	}
 	co.begin(p, co.s.root, true, target)
 }
@@ -150,14 +150,14 @@ func (co *coord) finalize(p *sim.Proc) {
 // begin starts the two-phase epoch roll toward the target membership:
 // rebuild the tree incrementally, then PREPARE every participant (union
 // of old and new membership).
-func (co *coord) begin(p *sim.Proc, node myrinet.NodeID, join bool, target []myrinet.NodeID) {
+func (co *coord) begin(p *sim.Proc, node fabric.NodeID, join bool, target []fabric.NodeID) {
 	sort.Slice(target, func(i, j int) bool { return target[i] < target[j] })
 	co.reqNode, co.reqJoin = node, join
 	co.target = target
 	co.nextTr = tree.Incremental(co.tr, co.s.root, target, co.s.cfg.Fanout)
 	co.startAt = p.Now()
 
-	union := make(map[myrinet.NodeID]bool, len(target)+1)
+	union := make(map[fabric.NodeID]bool, len(target)+1)
 	for n := range co.members {
 		union[n] = true
 	}
@@ -171,7 +171,7 @@ func (co *coord) begin(p *sim.Proc, node myrinet.NodeID, join bool, target []myr
 	sort.Slice(co.parts, func(i, j int) bool { return co.parts[i] < co.parts[j] })
 
 	co.phase = phasePreparing
-	co.waitFor = make(map[myrinet.NodeID]bool, len(co.parts))
+	co.waitFor = make(map[fabric.NodeID]bool, len(co.parts))
 	msg := ctrlMsg{
 		kind:    ctrlPrepare,
 		epoch:   co.epoch + 1,
@@ -217,7 +217,7 @@ func (co *coord) reply(p *sim.Proc, wantPhase int, m ctrlMsg) {
 			return
 		}
 		co.phase = phaseCommitting
-		co.waitFor = make(map[myrinet.NodeID]bool, len(co.parts))
+		co.waitFor = make(map[fabric.NodeID]bool, len(co.parts))
 		for _, n := range co.parts {
 			co.waitFor[n] = true
 		}
@@ -241,7 +241,7 @@ func (co *coord) reply(p *sim.Proc, wantPhase int, m ctrlMsg) {
 // quiesceLevel asks every old member in the current BFS level to drain.
 func (co *coord) quiesceLevel(p *sim.Proc) {
 	level := co.levels[co.lvl]
-	co.waitFor = make(map[myrinet.NodeID]bool, len(level))
+	co.waitFor = make(map[fabric.NodeID]bool, len(level))
 	for _, n := range level {
 		co.waitFor[n] = true
 	}
@@ -256,7 +256,7 @@ func (co *coord) quiesceLevel(p *sim.Proc) {
 // traffic-disruption gap feed the histograms.
 func (co *coord) finish(p *sim.Proc) {
 	co.epoch++
-	co.members = make(map[myrinet.NodeID]bool, len(co.target))
+	co.members = make(map[fabric.NodeID]bool, len(co.target))
 	for _, n := range co.target {
 		co.members[n] = true
 	}
@@ -278,7 +278,7 @@ func (co *coord) finish(p *sim.Proc) {
 	co.s.res.Transitions++
 	co.s.res.Epochs = append(co.s.res.Epochs, EpochRecord{
 		Epoch:     co.epoch,
-		Members:   append([]myrinet.NodeID(nil), co.target...),
+		Members:   append([]fabric.NodeID(nil), co.target...),
 		Node:      co.reqNode,
 		Join:      co.reqJoin,
 		At:        p.Now(),
@@ -297,7 +297,7 @@ func (co *coord) finish(p *sim.Proc) {
 func (co *coord) shutdown(p *sim.Proc) {
 	msg := ctrlMsg{kind: ctrlShutdown}
 	for n := range co.s.c.Nodes {
-		if id := myrinet.NodeID(n); id != co.s.root {
+		if id := fabric.NodeID(n); id != co.s.root {
 			co.s.sendCtrl(p, co.s.root, id, msg)
 		}
 	}
@@ -305,12 +305,12 @@ func (co *coord) shutdown(p *sim.Proc) {
 }
 
 // bfsLevels returns the tree's nodes grouped by depth, root first.
-func bfsLevels(t *tree.Tree) [][]myrinet.NodeID {
-	var out [][]myrinet.NodeID
-	level := []myrinet.NodeID{t.Root}
+func bfsLevels(t *tree.Tree) [][]fabric.NodeID {
+	var out [][]fabric.NodeID
+	level := []fabric.NodeID{t.Root}
 	for len(level) > 0 {
 		out = append(out, level)
-		var next []myrinet.NodeID
+		var next []fabric.NodeID
 		for _, n := range level {
 			next = append(next, t.Children(n)...)
 		}

@@ -6,9 +6,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/metrics"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tree"
 	"repro/internal/workload"
@@ -64,7 +64,7 @@ type System struct {
 	c    *cluster.Cluster
 	cfg  Config
 	plan workload.ChurnPlan
-	root myrinet.NodeID
+	root fabric.NodeID
 
 	data []*gm.Port
 	ctrl []*gm.Port
@@ -110,7 +110,7 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 		panic("member: plan has no initial members or no sends")
 	}
 	n := len(c.Nodes)
-	root := myrinet.NodeID(plan.Root)
+	root := fabric.NodeID(plan.Root)
 	s := &System{
 		c:    c,
 		cfg:  cfg,
@@ -131,10 +131,10 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 	s.mRebuildNs = reg.Histogram("member", int(s.root), "rebuild_ns")
 	s.mDisruptNs = reg.Histogram("member", int(s.root), "disruption_ns")
 
-	initial := make([]myrinet.NodeID, 0, len(plan.Initial)+1)
+	initial := make([]fabric.NodeID, 0, len(plan.Initial)+1)
 	initial = append(initial, s.root)
 	for _, m := range plan.Initial {
-		initial = append(initial, myrinet.NodeID(m))
+		initial = append(initial, fabric.NodeID(m))
 	}
 	tr := tree.Incremental(nil, s.root, initial, cfg.Fanout)
 
@@ -151,7 +151,7 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 	}
 	s.res.Epochs = append(s.res.Epochs, EpochRecord{
 		Epoch:   0,
-		Members: append([]myrinet.NodeID(nil), initial...),
+		Members: append([]fabric.NodeID(nil), initial...),
 		Node:    -1,
 	})
 
@@ -180,20 +180,20 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 	// Phase 2: spawn every process on its own node's engine and run to the
 	// deadline.
 	for id := 0; id < n; id++ {
-		id := myrinet.NodeID(id)
+		id := fabric.NodeID(id)
 		c.SpawnOn(id, fmt.Sprintf("member-agent-%d", id), func(p *sim.Proc) {
 			s.agentLoop(p, id)
 		})
 	}
 	for id := 1; id < n; id++ {
-		id := myrinet.NodeID(id)
+		id := fabric.NodeID(id)
 		c.SpawnOn(id, fmt.Sprintf("member-recv-%d", id), func(p *sim.Proc) {
 			s.recvLoop(p, id)
 		})
 	}
 	for i, ev := range plan.Events {
 		i, ev := i, ev
-		c.SpawnOn(myrinet.NodeID(ev.Node), fmt.Sprintf("member-req-%d", i), func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(ev.Node), fmt.Sprintf("member-req-%d", i), func(p *sim.Proc) {
 			s.requestProc(p, ev)
 		})
 	}
@@ -243,7 +243,7 @@ func mkPayload(idx uint32, size int) []byte {
 // Self-delivery (the coordinator messaging the root's own agent, or vice
 // versa) cannot use gm.Send — self-sends panic — so it rides
 // Port.PostGroupEvent through the same receive loop.
-func (s *System) sendCtrl(p *sim.Proc, from, to myrinet.NodeID, m ctrlMsg) {
+func (s *System) sendCtrl(p *sim.Proc, from, to fabric.NodeID, m ctrlMsg) {
 	data := m.encode()
 	if from == to {
 		s.ctrl[from].PostGroupEvent(&gm.RecvEvent{
@@ -278,7 +278,7 @@ func (s *System) requestProc(p *sim.Proc, ev workload.ChurnEvent) {
 	if ev.Join {
 		kind = ctrlJoin
 	}
-	node := myrinet.NodeID(ev.Node)
+	node := fabric.NodeID(ev.Node)
 	s.sendCtrl(p, node, s.root, ctrlMsg{kind: kind, node: node})
 }
 
@@ -320,7 +320,7 @@ func (s *System) senderLoop(p *sim.Proc) {
 // order and checking payload integrity. It exits on the sentinel, which
 // reaches every node because the group is finalized to full membership
 // before the sentinel is sent.
-func (s *System) recvLoop(p *sim.Proc, id myrinet.NodeID) {
+func (s *System) recvLoop(p *sim.Proc, id fabric.NodeID) {
 	port := s.data[id]
 	port.ProvideN(len(s.plan.Sends)+1, s.maxPayload())
 	for {

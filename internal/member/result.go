@@ -5,7 +5,7 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -19,10 +19,10 @@ type Delivery struct {
 // nodes were members while it was current.
 type EpochRecord struct {
 	Epoch   uint32
-	Members []myrinet.NodeID // ascending, root included
+	Members []fabric.NodeID // ascending, root included
 	// Node/Join describe the transition that created the epoch (Node is
 	// -1 for the initial epoch 0, the root for the finalize transition).
-	Node myrinet.NodeID
+	Node fabric.NodeID
 	Join bool
 	At   sim.Time
 	// RebuildNs is request-accepted to commit-complete; DisruptNs is the
@@ -33,7 +33,7 @@ type EpochRecord struct {
 // Result is everything a membership run observed.
 type Result struct {
 	Nodes int
-	Root  myrinet.NodeID
+	Root  fabric.NodeID
 	// Epochs holds one record per committed epoch, in commit order,
 	// starting with the initial epoch 0.
 	Epochs []EpochRecord
@@ -76,9 +76,9 @@ func (r *Result) Verify() []string {
 		errs = append(errs, "run did not complete before the deadline")
 		return errs
 	}
-	memberAt := make(map[uint32]map[myrinet.NodeID]bool, len(r.Epochs))
+	memberAt := make(map[uint32]map[fabric.NodeID]bool, len(r.Epochs))
 	for _, e := range r.Epochs {
-		set := make(map[myrinet.NodeID]bool, len(e.Members))
+		set := make(map[fabric.NodeID]bool, len(e.Members))
 		for _, n := range e.Members {
 			set[n] = true
 		}
@@ -101,7 +101,7 @@ func (r *Result) Verify() []string {
 	}
 
 	for n := 0; n < r.Nodes; n++ {
-		id := myrinet.NodeID(n)
+		id := fabric.NodeID(n)
 		if id == r.Root {
 			continue
 		}
@@ -136,7 +136,7 @@ func (r *Result) Verify() []string {
 
 // EpochMembers returns the recorded membership of an epoch (nil if the
 // epoch was never committed).
-func (r *Result) EpochMembers(epoch uint32) []myrinet.NodeID {
+func (r *Result) EpochMembers(epoch uint32) []fabric.NodeID {
 	for _, e := range r.Epochs {
 		if e.Epoch == epoch {
 			return e.Members

@@ -32,7 +32,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 )
 
 // Control message kinds, carried on the membership control port.
@@ -55,14 +55,14 @@ const (
 // ends are the same binary in the simulator).
 type ctrlMsg struct {
 	kind  uint32
-	node  myrinet.NodeID
+	node  fabric.NodeID
 	epoch uint32
-	root  myrinet.NodeID
+	root  fabric.NodeID
 	// members is the new epoch's full membership (root included),
 	// ascending; parents is the new tree in wire form (child -> parent),
 	// exactly what tree.FromParents reconstructs.
-	members []myrinet.NodeID
-	parents map[myrinet.NodeID]myrinet.NodeID
+	members []fabric.NodeID
+	parents map[fabric.NodeID]fabric.NodeID
 }
 
 func (m ctrlMsg) encode() []byte {
@@ -81,7 +81,7 @@ func (m ctrlMsg) encode() []byte {
 		put(uint32(n))
 	}
 	put(uint32(len(m.parents)))
-	children := make([]myrinet.NodeID, 0, len(m.parents))
+	children := make([]fabric.NodeID, 0, len(m.parents))
 	for c := range m.parents {
 		children = append(children, c)
 	}
@@ -114,7 +114,7 @@ func decodeCtrl(b []byte) (ctrlMsg, error) {
 		}
 		*f = v
 	}
-	m.node, m.root = myrinet.NodeID(node), myrinet.NodeID(root)
+	m.node, m.root = fabric.NodeID(node), fabric.NodeID(root)
 	nm, ok := get()
 	if !ok {
 		return m, fmt.Errorf("member: truncated member list")
@@ -124,14 +124,14 @@ func decodeCtrl(b []byte) (ctrlMsg, error) {
 		if !ok {
 			return m, fmt.Errorf("member: truncated member list")
 		}
-		m.members = append(m.members, myrinet.NodeID(v))
+		m.members = append(m.members, fabric.NodeID(v))
 	}
 	np, ok := get()
 	if !ok {
 		return m, fmt.Errorf("member: truncated parent list")
 	}
 	if np > 0 {
-		m.parents = make(map[myrinet.NodeID]myrinet.NodeID, np)
+		m.parents = make(map[fabric.NodeID]fabric.NodeID, np)
 	}
 	for i := uint32(0); i < np; i++ {
 		c, ok1 := get()
@@ -139,7 +139,7 @@ func decodeCtrl(b []byte) (ctrlMsg, error) {
 		if !ok1 || !ok2 {
 			return m, fmt.Errorf("member: truncated parent list")
 		}
-		m.parents[myrinet.NodeID(c)] = myrinet.NodeID(p)
+		m.parents[fabric.NodeID(c)] = fabric.NodeID(p)
 	}
 	return m, nil
 }

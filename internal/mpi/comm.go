@@ -4,7 +4,7 @@ import (
 	"hash/fnv"
 	"sort"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -48,10 +48,10 @@ func (c *Comm) ID() uint32 { return c.id }
 func (c *Comm) WorldRank(i int) int { return c.members[i] }
 
 // nodes returns the member nodes in communicator-rank order.
-func (c *Comm) nodes() []myrinet.NodeID {
-	out := make([]myrinet.NodeID, len(c.members))
+func (c *Comm) nodes() []fabric.NodeID {
+	out := make([]fabric.NodeID, len(c.members))
 	for i, m := range c.members {
-		out[i] = myrinet.NodeID(m)
+		out[i] = fabric.NodeID(m)
 	}
 	return out
 }

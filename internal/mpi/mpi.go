@@ -11,8 +11,8 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/gm"
-	"repro/internal/myrinet"
 	"repro/internal/sim"
 )
 
@@ -60,7 +60,7 @@ func NewWorld(c *cluster.Cluster, useNB bool) *World {
 		}
 		// Port setup schedules host->NIC events; attribute them to the
 		// rank's node so their tiebreak keys are shard-stable.
-		c.WithNode(myrinet.NodeID(i), func() {
+		c.WithNode(fabric.NodeID(i), func() {
 			r.port = c.Nodes[i].NIC.OpenPort(mpiPort)
 			r.port.ProvideN(eagerTokens, EagerMax+envelopeBytes)
 		})
@@ -91,7 +91,7 @@ func (w *World) Run(prog func(r *Rank)) {
 func (w *World) Spawn(prog func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
-		w.C.SpawnOn(myrinet.NodeID(r.id), fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		w.C.SpawnOn(fabric.NodeID(r.id), fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			r.proc = p
 			prog(r)
 		})
@@ -145,7 +145,7 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 func (r *Rank) Now() sim.Time { return r.proc.Now() }
 
 // node maps a rank to its network node.
-func (r *Rank) node(rank int) myrinet.NodeID { return myrinet.NodeID(rank) }
+func (r *Rank) node(rank int) fabric.NodeID { return fabric.NodeID(rank) }
 
 func (r *Rank) nextSeq(comm uint32, peer int, tag int32) uint32 {
 	if r.sendSeq == nil {

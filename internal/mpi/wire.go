@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/tree"
 )
 
@@ -96,13 +96,13 @@ func encodeTree(gid uint32, tr *tree.Tree) []byte {
 
 func decodeTree(b []byte) (gid uint32, tr *tree.Tree) {
 	gid = binary.LittleEndian.Uint32(b[0:])
-	root := myrinet.NodeID(binary.LittleEndian.Uint32(b[4:]))
+	root := fabric.NodeID(binary.LittleEndian.Uint32(b[4:]))
 	n := int(binary.LittleEndian.Uint32(b[8:]))
-	parents := make(map[myrinet.NodeID]myrinet.NodeID, n)
+	parents := make(map[fabric.NodeID]fabric.NodeID, n)
 	i := 12
 	for k := 0; k < n; k++ {
-		c := myrinet.NodeID(binary.LittleEndian.Uint32(b[i:]))
-		p := myrinet.NodeID(binary.LittleEndian.Uint32(b[i+4:]))
+		c := fabric.NodeID(binary.LittleEndian.Uint32(b[i:]))
+		p := fabric.NodeID(binary.LittleEndian.Uint32(b[i+4:]))
 		parents[c] = p
 		i += 8
 	}

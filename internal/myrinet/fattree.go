@@ -3,6 +3,7 @@ package myrinet
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -33,30 +34,30 @@ func NewFatTree(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 			hosts, ports, ports*hostsPerPod))
 	}
 
-	n := newNetwork(eng, params)
+	n := fabric.New(eng, params)
 
 	// Edge and aggregation switches per pod.
-	edges := make([][]*vertex, pods)
-	aggs := make([][]*vertex, pods)
+	edges := make([][]*fabric.Vertex, pods)
+	aggs := make([][]*fabric.Vertex, pods)
 	// Intra-pod links: edgeUp[p][e][a], aggDown[p][a][e].
 	edgeUp := make([][][]*Link, pods)
 	aggDown := make([][][]*Link, pods)
 	for p := 0; p < pods; p++ {
-		edges[p] = make([]*vertex, half)
-		aggs[p] = make([]*vertex, half)
+		edges[p] = make([]*fabric.Vertex, half)
+		aggs[p] = make([]*fabric.Vertex, half)
 		edgeUp[p] = make([][]*Link, half)
 		aggDown[p] = make([][]*Link, half)
 		for e := 0; e < half; e++ {
-			edges[p][e] = n.addVertex(fmt.Sprintf("edge%d.%d", p, e))
+			edges[p][e] = n.AddSwitch(fmt.Sprintf("edge%d.%d", p, e))
 			edgeUp[p][e] = make([]*Link, half)
 		}
 		for a := 0; a < half; a++ {
-			aggs[p][a] = n.addVertex(fmt.Sprintf("agg%d.%d", p, a))
+			aggs[p][a] = n.AddSwitch(fmt.Sprintf("agg%d.%d", p, a))
 			aggDown[p][a] = make([]*Link, half)
 		}
 		for e := 0; e < half; e++ {
 			for a := 0; a < half; a++ {
-				up, down := n.connect(edges[p][e], aggs[p][a])
+				up, down := n.Connect(edges[p][e], aggs[p][a])
 				edgeUp[p][e][a] = up
 				aggDown[p][a][e] = down
 			}
@@ -65,11 +66,11 @@ func NewFatTree(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 
 	// Core switches: agg index a in every pod connects to cores
 	// [a*half, (a+1)*half).
-	cores := make([]*vertex, half*half)
+	cores := make([]*fabric.Vertex, half*half)
 	aggUp := make([][][]*Link, pods) // [p][a][j] to core a*half+j
 	coreDown := make([][]*Link, len(cores))
 	for c := range cores {
-		cores[c] = n.addVertex(fmt.Sprintf("core%d", c))
+		cores[c] = n.AddSwitch(fmt.Sprintf("core%d", c))
 		coreDown[c] = make([]*Link, pods)
 	}
 	for p := 0; p < pods; p++ {
@@ -78,7 +79,7 @@ func NewFatTree(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 			aggUp[p][a] = make([]*Link, half)
 			for j := 0; j < half; j++ {
 				c := a*half + j
-				up, down := n.connect(aggs[p][a], cores[c])
+				up, down := n.Connect(aggs[p][a], cores[c])
 				aggUp[p][a][j] = up
 				coreDown[c][p] = down
 			}
@@ -91,16 +92,14 @@ func NewFatTree(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 	for i := 0; i < hosts; i++ {
 		p := i / hostsPerPod
 		e := (i % hostsPerPod) / hostsPerEdge
-		hv := n.addHost(NodeID(i))
-		up, down := n.connect(hv, edges[p][e])
+		_, up, down := n.AddHost(NodeID(i), edges[p][e])
 		hostUp[i], hostDown[i] = up, down
-		n.hosts = append(n.hosts, &Iface{net: n, id: NodeID(i), up: up})
 	}
 
 	podOf := func(h NodeID) int { return int(h) / hostsPerPod }
 	edgeOf := func(h NodeID) int { return (int(h) % hostsPerPod) / hostsPerEdge }
 
-	n.routeFn = func(src, dst NodeID) []*Link {
+	n.SetRoute(func(src, dst NodeID) []*Link {
 		if src == dst {
 			panic("myrinet: route to self")
 		}
@@ -125,7 +124,7 @@ func NewFatTree(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 			aggDown[dp][a][de],
 			hostDown[dst],
 		}
-	}
+	})
 	n.SetMetrics(nil)
 	return n
 }

@@ -3,25 +3,14 @@ package myrinet
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
 // NewSingleSwitch builds a fabric with all hosts on one crossbar — the
 // shape of the paper's 16-node testbed (one Myrinet-2000 Xbar16).
 func NewSingleSwitch(eng *sim.Engine, hosts int, params LinkParams) *Network {
-	if hosts < 1 {
-		panic("myrinet: need at least one host")
-	}
-	n := newNetwork(eng, params)
-	sw := n.addVertex("xbar0")
-	for i := 0; i < hosts; i++ {
-		hv := n.addHost(NodeID(i))
-		up, _ := n.connect(hv, sw)
-		n.hosts = append(n.hosts, &Iface{net: n, id: NodeID(i), up: up})
-	}
-	n.routeFn = n.bfsRoute
-	n.SetMetrics(nil)
-	return n
+	return fabric.SingleSwitch(eng, hosts, params)
 }
 
 // NewClos builds a two-level Clos network out of crossbars with the given
@@ -38,11 +27,11 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 	if leaves <= 1 {
 		return NewSingleSwitch(eng, hosts, params)
 	}
-	n := newNetwork(eng, params)
+	n := fabric.New(eng, params)
 
-	leafV := make([]*vertex, leaves)
+	leafV := make([]*fabric.Vertex, leaves)
 	for i := range leafV {
-		leafV[i] = n.addVertex(fmt.Sprintf("leaf%d", i))
+		leafV[i] = n.AddSwitch(fmt.Sprintf("leaf%d", i))
 	}
 	spines := ports / 2
 	// up[l][s] is the leaf->spine link, down[s][l] the reverse.
@@ -55,9 +44,9 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 		up[l] = make([]*Link, spines)
 	}
 	for s := 0; s < spines; s++ {
-		sv := n.addVertex(fmt.Sprintf("spine%d", s))
+		sv := n.AddSwitch(fmt.Sprintf("spine%d", s))
 		for l := 0; l < leaves; l++ {
-			u, d := n.connect(leafV[l], sv)
+			u, d := n.Connect(leafV[l], sv)
 			up[l][s] = u
 			down[s][l] = d
 		}
@@ -65,12 +54,10 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 	hostUp := make([]*Link, hosts)
 	hostDown := make([]*Link, hosts)
 	for i := 0; i < hosts; i++ {
-		hv := n.addHost(NodeID(i))
-		u, d := n.connect(hv, leafV[i/hostsPerLeaf])
+		_, u, d := n.AddHost(NodeID(i), leafV[i/hostsPerLeaf])
 		hostUp[i], hostDown[i] = u, d
-		n.hosts = append(n.hosts, &Iface{net: n, id: NodeID(i), up: u})
 	}
-	n.routeFn = func(src, dst NodeID) []*Link {
+	n.SetRoute(func(src, dst NodeID) []*Link {
 		if src == dst {
 			panic("myrinet: route to self")
 		}
@@ -80,7 +67,7 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 		}
 		spine := (int(src)*31 + int(dst)) % spines
 		return []*Link{hostUp[src], up[sl][spine], down[spine][dl], hostDown[dst]}
-	}
+	})
 	n.SetMetrics(nil)
 	return n
 }
@@ -93,13 +80,16 @@ func NewClos(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 // that the radix doubles until the pod count fits — the way large Myrinet
 // installations scale by moving to wider crossbar line cards.
 func AutoTopology(eng *sim.Engine, hosts int, params LinkParams) *Network {
+	return autoTopology(eng, hosts, DefaultRadix, params)
+}
+
+func autoTopology(eng *sim.Engine, hosts, ports int, params LinkParams) *Network {
 	switch {
-	case hosts <= 16:
+	case hosts <= ports:
 		return NewSingleSwitch(eng, hosts, params)
-	case hosts <= 128:
-		return NewClos(eng, hosts, 16, params)
+	case hosts <= ports*ports/2:
+		return NewClos(eng, hosts, ports, params)
 	default:
-		ports := 16
 		for hosts > ports*ports*ports/4 {
 			ports *= 2
 		}

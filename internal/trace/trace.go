@@ -10,7 +10,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -30,7 +30,7 @@ const (
 // Event is one timestamped record.
 type Event struct {
 	At   sim.Time
-	Node myrinet.NodeID
+	Node fabric.NodeID
 	Cat  Category
 	Msg  string
 }
@@ -61,7 +61,7 @@ func (r *Recorder) Disable() { r.enabled = false }
 func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
 
 // Log records one event. Safe to call on a nil recorder.
-func (r *Recorder) Log(at sim.Time, node myrinet.NodeID, cat Category, format string, args ...any) {
+func (r *Recorder) Log(at sim.Time, node fabric.NodeID, cat Category, format string, args ...any) {
 	if r == nil || !r.enabled {
 		return
 	}
@@ -107,8 +107,8 @@ func (r *Recorder) Filter(cats ...Category) []Event {
 }
 
 // ByNode groups events per node, each group in time order.
-func (r *Recorder) ByNode() map[myrinet.NodeID][]Event {
-	out := make(map[myrinet.NodeID][]Event)
+func (r *Recorder) ByNode() map[fabric.NodeID][]Event {
+	out := make(map[fabric.NodeID][]Event)
 	for _, e := range r.events {
 		out[e.Node] = append(out[e.Node], e)
 	}
@@ -129,8 +129,8 @@ func (r *Recorder) WriteTimeline(w io.Writer) {
 // events as rows in time order, with each event marked in its node's lane
 // — a text Gantt of the multicast.
 func (r *Recorder) WriteLanes(w io.Writer) {
-	nodes := make([]myrinet.NodeID, 0)
-	seen := map[myrinet.NodeID]bool{}
+	nodes := make([]fabric.NodeID, 0)
+	seen := map[fabric.NodeID]bool{}
 	for _, e := range r.events {
 		if !seen[e.Node] {
 			seen[e.Node] = true
@@ -138,7 +138,7 @@ func (r *Recorder) WriteLanes(w io.Writer) {
 		}
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	lane := make(map[myrinet.NodeID]int, len(nodes))
+	lane := make(map[fabric.NodeID]int, len(nodes))
 	var header strings.Builder
 	header.WriteString(fmt.Sprintf("%12s  ", "time"))
 	for i, n := range nodes {

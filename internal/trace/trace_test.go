@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 )
 
 func TestNilRecorderIsSafe(t *testing.T) {
@@ -56,7 +56,7 @@ func TestByNode(t *testing.T) {
 	r.Log(2, 1, RX, "b")
 	r.Log(3, 0, Ack, "c")
 	groups := r.ByNode()
-	if len(groups[myrinet.NodeID(0)]) != 2 || len(groups[myrinet.NodeID(1)]) != 1 {
+	if len(groups[fabric.NodeID(0)]) != 2 || len(groups[fabric.NodeID(1)]) != 1 {
 		t.Fatalf("ByNode grouping wrong: %v", groups)
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -40,8 +40,8 @@ func TestIncrementalJoinKeepsSurvivingEdges(t *testing.T) {
 
 func TestIncrementalLeaveOnlyReattachesOrphans(t *testing.T) {
 	base := Incremental(nil, 0, seq(10), 2)
-	left := myrinet.NodeID(1) // an interior node with children
-	members := make([]myrinet.NodeID, 0, 9)
+	left := fabric.NodeID(1) // an interior node with children
+	members := make([]fabric.NodeID, 0, 9)
 	for _, n := range base.Nodes() {
 		if n != left {
 			members = append(members, n)
@@ -55,7 +55,7 @@ func TestIncrementalLeaveOnlyReattachesOrphans(t *testing.T) {
 		t.Fatalf("departed node still present: size %d", shrunk.Size())
 	}
 	// Every edge not touching the departed node or its orphans survives.
-	orphans := map[myrinet.NodeID]bool{}
+	orphans := map[fabric.NodeID]bool{}
 	for _, c := range base.Children(left) {
 		orphans[c] = true
 	}
@@ -76,15 +76,15 @@ func TestIncrementalLeaveOnlyReattachesOrphans(t *testing.T) {
 func TestIncrementalRoundTripsThroughParents(t *testing.T) {
 	rng := sim.NewRNG(17)
 	var tr *Tree
-	members := map[myrinet.NodeID]bool{0: true, 1: true, 2: true}
+	members := map[fabric.NodeID]bool{0: true, 1: true, 2: true}
 	for step := 0; step < 40; step++ {
-		n := myrinet.NodeID(1 + rng.Intn(11))
+		n := fabric.NodeID(1 + rng.Intn(11))
 		if members[n] && len(members) > 2 {
 			delete(members, n)
 		} else {
 			members[n] = true
 		}
-		list := make([]myrinet.NodeID, 0, len(members))
+		list := make([]fabric.NodeID, 0, len(members))
 		for m := range members {
 			list = append(list, m)
 		}
@@ -106,9 +106,9 @@ func TestIncrementalProperty(t *testing.T) {
 	f := func(seed int64, steps uint8) bool {
 		rng := sim.NewRNG(seed)
 		var a, b *Tree
-		members := []myrinet.NodeID{0, 3, 5}
+		members := []fabric.NodeID{0, 3, 5}
 		for i := 0; i < int(steps)%20+1; i++ {
-			n := myrinet.NodeID(1 + rng.Intn(15))
+			n := fabric.NodeID(1 + rng.Intn(15))
 			found := -1
 			for j, m := range members {
 				if m == n {

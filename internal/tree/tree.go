@@ -12,25 +12,25 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
 // Tree is a rooted multicast spanning tree. Children of each node are
 // ordered: the first child is sent to first.
 type Tree struct {
-	Root     myrinet.NodeID
-	children map[myrinet.NodeID][]myrinet.NodeID
-	parent   map[myrinet.NodeID]myrinet.NodeID
-	nodes    []myrinet.NodeID // all members, root first, then sorted
+	Root     fabric.NodeID
+	children map[fabric.NodeID][]fabric.NodeID
+	parent   map[fabric.NodeID]fabric.NodeID
+	nodes    []fabric.NodeID // all members, root first, then sorted
 }
 
-func newTree(root myrinet.NodeID, dests []myrinet.NodeID) *Tree {
+func newTree(root fabric.NodeID, dests []fabric.NodeID) *Tree {
 	t := &Tree{
 		Root:     root,
-		children: make(map[myrinet.NodeID][]myrinet.NodeID, len(dests)+1),
-		parent:   make(map[myrinet.NodeID]myrinet.NodeID, len(dests)),
-		nodes:    append([]myrinet.NodeID{root}, dests...),
+		children: make(map[fabric.NodeID][]fabric.NodeID, len(dests)+1),
+		parent:   make(map[fabric.NodeID]fabric.NodeID, len(dests)),
+		nodes:    append([]fabric.NodeID{root}, dests...),
 	}
 	return t
 }
@@ -38,9 +38,9 @@ func newTree(root myrinet.NodeID, dests []myrinet.NodeID) *Tree {
 // sortedDests validates and returns the destination set sorted by network
 // ID with the root removed — "we sort the list of destinations linearly by
 // their network IDs before tree construction".
-func sortedDests(root myrinet.NodeID, members []myrinet.NodeID) []myrinet.NodeID {
-	seen := map[myrinet.NodeID]bool{root: true}
-	dests := make([]myrinet.NodeID, 0, len(members))
+func sortedDests(root fabric.NodeID, members []fabric.NodeID) []fabric.NodeID {
+	seen := map[fabric.NodeID]bool{root: true}
+	dests := make([]fabric.NodeID, 0, len(members))
 	for _, m := range members {
 		if m == root {
 			continue
@@ -55,30 +55,30 @@ func sortedDests(root myrinet.NodeID, members []myrinet.NodeID) []myrinet.NodeID
 	return dests
 }
 
-func (t *Tree) link(parent, child myrinet.NodeID) {
+func (t *Tree) link(parent, child fabric.NodeID) {
 	t.children[parent] = append(t.children[parent], child)
 	t.parent[child] = parent
 }
 
 // Children returns a node's children in send order.
-func (t *Tree) Children(n myrinet.NodeID) []myrinet.NodeID { return t.children[n] }
+func (t *Tree) Children(n fabric.NodeID) []fabric.NodeID { return t.children[n] }
 
 // Parent returns a node's parent; the root reports itself with ok=false.
-func (t *Tree) Parent(n myrinet.NodeID) (myrinet.NodeID, bool) {
+func (t *Tree) Parent(n fabric.NodeID) (fabric.NodeID, bool) {
 	p, ok := t.parent[n]
 	return p, ok
 }
 
 // Nodes returns all members (root first, destinations in sorted order).
-func (t *Tree) Nodes() []myrinet.NodeID { return t.nodes }
+func (t *Tree) Nodes() []fabric.NodeID { return t.nodes }
 
 // Size reports the member count including the root.
 func (t *Tree) Size() int { return len(t.nodes) }
 
 // Depth reports the longest root-to-leaf path length in edges.
 func (t *Tree) Depth() int {
-	var walk func(n myrinet.NodeID) int
-	walk = func(n myrinet.NodeID) int {
+	var walk func(n fabric.NodeID) int
+	walk = func(n fabric.NodeID) int {
 		max := 0
 		for _, c := range t.children[n] {
 			if d := walk(c) + 1; d > max {
@@ -102,8 +102,8 @@ func (t *Tree) MaxFanout() int {
 }
 
 // Leaves returns all members with no children.
-func (t *Tree) Leaves() []myrinet.NodeID {
-	var out []myrinet.NodeID
+func (t *Tree) Leaves() []fabric.NodeID {
+	var out []fabric.NodeID
 	for _, n := range t.nodes {
 		if len(t.children[n]) == 0 {
 			out = append(out, n)
@@ -117,9 +117,9 @@ func (t *Tree) Leaves() []myrinet.NodeID {
 // graph is a single tree, and each child's network ID exceeds its parent's
 // unless the parent is the root.
 func (t *Tree) Validate() error {
-	reached := map[myrinet.NodeID]bool{}
-	var walk func(n myrinet.NodeID) error
-	walk = func(n myrinet.NodeID) error {
+	reached := map[fabric.NodeID]bool{}
+	var walk func(n fabric.NodeID) error
+	walk = func(n fabric.NodeID) error {
 		if reached[n] {
 			return fmt.Errorf("tree: node %v reached twice (cycle or diamond)", n)
 		}
@@ -149,8 +149,8 @@ func (t *Tree) Validate() error {
 // String renders the tree as an indented outline.
 func (t *Tree) String() string {
 	var b strings.Builder
-	var walk func(n myrinet.NodeID, depth int)
-	walk = func(n myrinet.NodeID, depth int) {
+	var walk func(n fabric.NodeID, depth int)
+	walk = func(n fabric.NodeID, depth int) {
 		fmt.Fprintf(&b, "%s%v\n", strings.Repeat("  ", depth), n)
 		for _, c := range t.children[n] {
 			walk(c, depth+1)
@@ -163,11 +163,11 @@ func (t *Tree) String() string {
 // Binomial builds the binomial spanning tree the traditional host-based
 // broadcast uses, over the sorted destination list so parent/child IDs
 // satisfy the deadlock-avoidance ordering.
-func Binomial(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
+func Binomial(root fabric.NodeID, members []fabric.NodeID) *Tree {
 	dests := sortedDests(root, members)
 	t := newTree(root, dests)
 	// Index 0 is the root; indices 1..n-1 are the sorted destinations.
-	at := func(i int) myrinet.NodeID {
+	at := func(i int) fabric.NodeID {
 		if i == 0 {
 			return root
 		}
@@ -193,7 +193,7 @@ func Binomial(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
 
 // Chain builds a linear pipeline tree (each node forwards to the next
 // sorted destination) — useful in tests and as a degenerate shape.
-func Chain(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
+func Chain(root fabric.NodeID, members []fabric.NodeID) *Tree {
 	dests := sortedDests(root, members)
 	t := newTree(root, dests)
 	prev := root
@@ -206,7 +206,7 @@ func Chain(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
 
 // Flat builds a one-level tree: the root sends to every destination
 // directly. This is the shape of the paper's multisend experiments.
-func Flat(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
+func Flat(root fabric.NodeID, members []fabric.NodeID) *Tree {
 	dests := sortedDests(root, members)
 	t := newTree(root, dests)
 	for _, d := range dests {
@@ -220,13 +220,13 @@ func Flat(root myrinet.NodeID, members []myrinet.NodeID) *Tree {
 // indices precede child indices and the ID-sorting invariant holds. Low
 // fan-outs keep every node's injection link un-oversubscribed, which is
 // what per-packet pipelined forwarding of multi-packet messages needs.
-func KAry(root myrinet.NodeID, members []myrinet.NodeID, k int) *Tree {
+func KAry(root fabric.NodeID, members []fabric.NodeID, k int) *Tree {
 	if k < 1 {
 		panic("tree: k-ary fanout must be >= 1")
 	}
 	dests := sortedDests(root, members)
 	t := newTree(root, dests)
-	at := func(i int) myrinet.NodeID {
+	at := func(i int) fabric.NodeID {
 		if i == 0 {
 			return root
 		}
@@ -243,8 +243,8 @@ func KAry(root myrinet.NodeID, members []myrinet.NodeID, k int) *Tree {
 // node's children in ascending ID order. Trees whose construction emits
 // children in ascending order per sender (Optimal, Chain, Flat) round-trip
 // exactly; use it to decode trees shipped over the wire.
-func FromParents(root myrinet.NodeID, parents map[myrinet.NodeID]myrinet.NodeID) *Tree {
-	members := make([]myrinet.NodeID, 0, len(parents)+1)
+func FromParents(root fabric.NodeID, parents map[fabric.NodeID]fabric.NodeID) *Tree {
+	members := make([]fabric.NodeID, 0, len(parents)+1)
 	members = append(members, root)
 	for n := range parents {
 		if n != root {
@@ -273,9 +273,9 @@ func FromParents(root myrinet.NodeID, parents map[myrinet.NodeID]myrinet.NodeID)
 // must. A nil prev builds the greedy tree from scratch. Children attach
 // in ascending ID order, so the result round-trips exactly through
 // Parents/FromParents (the wire form the membership protocol ships).
-func Incremental(prev *Tree, root myrinet.NodeID, members []myrinet.NodeID, maxFanout int) *Tree {
+func Incremental(prev *Tree, root fabric.NodeID, members []fabric.NodeID, maxFanout int) *Tree {
 	dests := sortedDests(root, members)
-	member := make(map[myrinet.NodeID]bool, len(dests)+1)
+	member := make(map[fabric.NodeID]bool, len(dests)+1)
 	member[root] = true
 	for _, d := range dests {
 		member[d] = true
@@ -284,8 +284,8 @@ func Incremental(prev *Tree, root myrinet.NodeID, members []myrinet.NodeID, maxF
 	// First pass: carry surviving edges over. The parent must survive, and
 	// the edge must still be legal: any child under the (new) root, else
 	// strictly ID-increasing.
-	parents := make(map[myrinet.NodeID]myrinet.NodeID, len(dests))
-	fanout := make(map[myrinet.NodeID]int, len(dests)+1)
+	parents := make(map[fabric.NodeID]fabric.NodeID, len(dests))
+	fanout := make(map[fabric.NodeID]int, len(dests)+1)
 	if prev != nil {
 		for _, d := range dests {
 			p, ok := prev.parent[d]
@@ -352,8 +352,8 @@ func SharedEdges(a, b *Tree) int {
 }
 
 // Parents returns the tree's parent relation, the wire-portable form.
-func (t *Tree) Parents() map[myrinet.NodeID]myrinet.NodeID {
-	out := make(map[myrinet.NodeID]myrinet.NodeID, len(t.parent))
+func (t *Tree) Parents() map[fabric.NodeID]fabric.NodeID {
+	out := make(map[fabric.NodeID]fabric.NodeID, len(t.parent))
 	for c, p := range t.parent {
 		out[c] = p
 	}
@@ -381,7 +381,7 @@ func (p PostalParams) Ratio() float64 {
 // senderHeap orders senders by the time they can emit their next copy,
 // breaking ties toward the earliest-joined sender for determinism.
 type sender struct {
-	node  myrinet.NodeID
+	node  fabric.NodeID
 	ready sim.Time
 	order int
 }
@@ -406,7 +406,7 @@ func (h *senderHeap) Pop() any     { old := *h; n := len(old); s := old[n-1]; *h
 // sending at any time. Large Lambda/Gap produces wide shallow trees (small
 // messages on a NIC-based multisend); a ratio near 1 degenerates toward a
 // binomial shape, exactly as Section 6.1 of the paper observes.
-func Optimal(root myrinet.NodeID, members []myrinet.NodeID, pp PostalParams) *Tree {
+func Optimal(root fabric.NodeID, members []fabric.NodeID, pp PostalParams) *Tree {
 	if pp.Lambda <= 0 {
 		panic("tree: postal Lambda must be positive")
 	}

@@ -4,22 +4,22 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
-func ids(ns ...int) []myrinet.NodeID {
-	out := make([]myrinet.NodeID, len(ns))
+func ids(ns ...int) []fabric.NodeID {
+	out := make([]fabric.NodeID, len(ns))
 	for i, n := range ns {
-		out[i] = myrinet.NodeID(n)
+		out[i] = fabric.NodeID(n)
 	}
 	return out
 }
 
-func seq(n int) []myrinet.NodeID {
-	out := make([]myrinet.NodeID, n)
+func seq(n int) []fabric.NodeID {
+	out := make([]fabric.NodeID, n)
 	for i := range out {
-		out[i] = myrinet.NodeID(i)
+		out[i] = fabric.NodeID(i)
 	}
 	return out
 }
@@ -153,8 +153,8 @@ func TestOptimalFinishTimeBeatsBinomial(t *testing.T) {
 	pp := PostalParams{Lambda: sim.Micros(8), Gap: sim.Micros(1)}
 	finish := func(tr *Tree) sim.Time {
 		var worst sim.Time
-		var walk func(n myrinet.NodeID, ready sim.Time)
-		walk = func(n myrinet.NodeID, ready sim.Time) {
+		var walk func(n fabric.NodeID, ready sim.Time)
+		walk = func(n fabric.NodeID, ready sim.Time) {
 			if ready > worst {
 				worst = ready
 			}
@@ -230,10 +230,10 @@ func TestLeaves(t *testing.T) {
 // every member exactly once, and respect the ID-sorting invariant.
 func TestConstructionProperty(t *testing.T) {
 	f := func(raw []uint8, rootPick uint8, lamUs, gapUs uint8) bool {
-		seen := map[myrinet.NodeID]bool{}
-		var members []myrinet.NodeID
+		seen := map[fabric.NodeID]bool{}
+		var members []fabric.NodeID
 		for _, r := range raw {
-			id := myrinet.NodeID(r % 64)
+			id := fabric.NodeID(r % 64)
 			if !seen[id] {
 				seen[id] = true
 				members = append(members, id)
@@ -356,7 +356,7 @@ func TestFromParentsRoundTrip(t *testing.T) {
 func TestFromParentsForeignParentFailsValidation(t *testing.T) {
 	// A parent that is not itself a member produces a disconnected tree,
 	// which Validate (run by InstallGroup) must reject.
-	tr := FromParents(0, map[myrinet.NodeID]myrinet.NodeID{5: 0, 7: 5, 9: 99})
+	tr := FromParents(0, map[fabric.NodeID]fabric.NodeID{5: 0, 7: 5, 9: 99})
 	if err := tr.Validate(); err == nil {
 		t.Fatal("disconnected parent relation passed validation")
 	}
@@ -416,7 +416,7 @@ func TestValidateCatchesForeignChild(t *testing.T) {
 func TestValidateCatchesIDInversion(t *testing.T) {
 	tr := Chain(0, seq(4))
 	// Corrupt: make 3's parent 2's child list contain 1 (1 < 2, non-root).
-	tr.children[2] = []myrinet.NodeID{1}
+	tr.children[2] = []fabric.NodeID{1}
 	tr.parent[1] = 2
 	if err := tr.Validate(); err == nil {
 		t.Fatal("validation accepted child <= non-root parent")

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/myrinet"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 )
 
@@ -54,7 +54,7 @@ func RunWith(cfg *cluster.Config, spec Spec, attach func(*cluster.Cluster)) (Rep
 	perDst := make([][]sim.Time, cfg.Nodes)
 	for d, n := range tot.PerDst {
 		d, n := d, n
-		c.SpawnOn(myrinet.NodeID(d), "sink", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(d), "sink", func(p *sim.Proc) {
 			ports[d].ProvideN(n, 64*1024)
 			for i := 0; i < n; i++ {
 				ev := ports[d].Recv(p)
@@ -76,7 +76,7 @@ func RunWith(cfg *cluster.Config, spec Spec, attach func(*cluster.Cluster)) (Rep
 	}
 	for s, list := range perSrc {
 		s, list := s, list
-		c.SpawnOn(myrinet.NodeID(s), "src", func(p *sim.Proc) {
+		c.SpawnOn(fabric.NodeID(s), "src", func(p *sim.Proc) {
 			for _, m := range list {
 				if m.At > p.Now() {
 					p.Sleep(m.At - p.Now())
@@ -90,7 +90,7 @@ func RunWith(cfg *cluster.Config, spec Spec, attach func(*cluster.Cluster)) (Rep
 				for b := 0; b < 8; b++ {
 					buf[b] = byte(t0 >> (8 * b))
 				}
-				ports[s].Send(p, myrinet.NodeID(m.Dst), 1, buf)
+				ports[s].Send(p, fabric.NodeID(m.Dst), 1, buf)
 			}
 			for range list {
 				ports[s].WaitSendDone(p)
