@@ -17,9 +17,11 @@
 // path reads wall-clock identity like time.Now — provenance comes from the
 // caller, who knows what tree it is measuring.
 //
-// With -check FILE the command instead re-measures only the Schedule
-// kernel benchmark and exits nonzero if it regressed more than -tolerance
-// (default 20%) against the committed baseline — the CI perf gate.
+// With -check FILE the command instead re-measures the Schedule kernel
+// benchmark and the baseline's smallest serial multicast-storm point and
+// exits nonzero if either regressed more than -tolerance (default 20%) /
+// -storm-tolerance (default 35%) against the committed baseline — the CI
+// perf gate.
 package main
 
 import (
@@ -75,28 +77,36 @@ type sweepResult struct {
 // build + group install + msgs multicasts) at one (nodes, shards) point.
 // VirtualNs is the run's final virtual clock — byte-identical across shard
 // counts by the PDES determinism contract, so matching values confirm the
-// serial and sharded timings measured the same computation.
+// serial and sharded timings measured the same computation. Every point
+// carries its own core provenance (GOMAXPROCS, NumCPU): a sharded wall
+// time taken with fewer free cores than shards measures sync overhead,
+// not parallel gain, and consumers must be able to tell the difference.
 type mcastPoint struct {
-	Fabric    string  `json:"fabric"`
-	Nodes     int     `json:"nodes"`
-	Shards    int     `json:"shards"`
-	Msgs      int     `json:"msgs"`
-	SizeBytes int     `json:"size_bytes"`
-	SecPerRun float64 `json:"sec_per_run"`
-	VirtualNs int64   `json:"virtual_ns"`
+	Fabric     string  `json:"fabric"`
+	Nodes      int     `json:"nodes"`
+	Shards     int     `json:"shards"`
+	Msgs       int     `json:"msgs"`
+	SizeBytes  int     `json:"size_bytes"`
+	SecPerRun  float64 `json:"sec_per_run"`
+	VirtualNs  int64   `json:"virtual_ns"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
 }
 
 // mcastSection summarizes the intra-run scaling study. Speedup is the
-// serial/4-shard wall ratio at the largest common size; on a single-CPU
-// host the shards time-slice one core, so the ratio reflects coordination
-// overhead, not parallel speedup — NumCPU and GOMAXPROCS record which
-// regime the numbers came from.
+// serial/4-shard wall ratio at the largest common size — but only when it
+// was measured with at least 4 free cores. On fewer cores the shards
+// time-slice and the ratio encodes conservative-sync overhead, not
+// parallel speedup: the field is then omitted and SpeedupValidity says
+// "invalid_on_1cpu", so the committed baseline can never silently launder
+// a 1-CPU number into a speedup claim.
 type mcastSection struct {
-	Points     []mcastPoint `json:"points"`
-	Speedup    float64      `json:"speedup_serial_vs_4shard"`
-	NumCPU     int          `json:"num_cpu"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Note       string       `json:"note"`
+	Points          []mcastPoint `json:"points"`
+	Speedup         float64      `json:"speedup_serial_vs_4shard,omitempty"`
+	SpeedupValidity string       `json:"speedup_validity"`
+	NumCPU          int          `json:"num_cpu"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Note            string       `json:"note"`
 }
 
 type report struct {
@@ -148,19 +158,23 @@ func stormPoint(fc fabric.Config, nodes, shards, msgs, size int) mcastPoint {
 		}
 	}
 	return mcastPoint{
-		Fabric:    fc.Kind,
-		Nodes:     nodes,
-		Shards:    shards,
-		Msgs:      msgs,
-		SizeBytes: size,
-		SecPerRun: best.Seconds(),
-		VirtualNs: int64(virt),
+		Fabric:     fc.Kind,
+		Nodes:      nodes,
+		Shards:     shards,
+		Msgs:       msgs,
+		SizeBytes:  size,
+		SecPerRun:  best.Seconds(),
+		VirtualNs:  int64(virt),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 }
 
-// check re-measures the Schedule kernel and gates it against the committed
-// baseline, exiting nonzero on regression beyond tol.
-func check(path string, tol float64) {
+// check re-measures the Schedule kernel and the serial multicast-storm
+// point and gates both against the committed baseline, exiting nonzero on
+// regression beyond tol (kernel) / stormTol (storm wall time, which is a
+// full end-to-end run and inherently noisier).
+func check(path string, tol, stormTol float64) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -202,6 +216,46 @@ func check(path string, tol float64) {
 			100*(got.NsPerOp/want.NsPerOp-1), want.NsPerOp, got.NsPerOp, 100*tol)
 		os.Exit(1)
 	}
+
+	// Multicast-storm gate: re-measure the baseline's serial point (shard
+	// counts > GOMAXPROCS would gate scheduler noise) and compare wall
+	// times. Old baselines without a storm section pass vacuously.
+	if base.Mcast == nil {
+		return
+	}
+	var bp *mcastPoint
+	for i := range base.Mcast.Points {
+		if p := &base.Mcast.Points[i]; p.Shards == 1 && (bp == nil || p.Nodes < bp.Nodes) {
+			bp = p
+		}
+	}
+	if bp == nil {
+		return
+	}
+	fc, err := harness.FabricPreset(bp.Fabric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline storm point has unknown fabric %q: %v\n", bp.Fabric, err)
+		os.Exit(1)
+	}
+	np := stormPoint(fc, bp.Nodes, bp.Shards, bp.Msgs, bp.SizeBytes)
+	for i := 0; i < 2; i++ {
+		if p := stormPoint(fc, bp.Nodes, bp.Shards, bp.Msgs, bp.SizeBytes); p.SecPerRun < np.SecPerRun {
+			np = p
+		}
+	}
+	if np.VirtualNs != bp.VirtualNs {
+		fmt.Fprintf(os.Stderr, "benchjson: storm virtual clock diverged from baseline (%d != %d ns) — the workload changed; regenerate BENCH_sim.json\n",
+			np.VirtualNs, bp.VirtualNs)
+		os.Exit(1)
+	}
+	stormLimit := bp.SecPerRun * (1 + stormTol)
+	fmt.Printf("multicast storm %s %d nodes serial: %.3fs/run (baseline %.3fs, limit %.3fs)\n",
+		bp.Fabric, bp.Nodes, np.SecPerRun, bp.SecPerRun, stormLimit)
+	if np.SecPerRun > stormLimit {
+		fmt.Fprintf(os.Stderr, "benchjson: multicast storm regressed %.0f%% (%.3fs -> %.3fs per run, tolerance %.0f%%)\n",
+			100*(np.SecPerRun/bp.SecPerRun-1), bp.SecPerRun, np.SecPerRun, 100*stormTol)
+		os.Exit(1)
+	}
 }
 
 func main() {
@@ -213,13 +267,16 @@ func main() {
 	stormMsgs := flag.Int("storm-msgs", 20, "multicast-storm messages per run")
 	stormSize := flag.Int("storm-size", 1024, "multicast-storm payload bytes")
 	bigNodes := flag.Int("storm-big", 2048, "largest single sharded storm point (0 to skip)")
+	hugeNodes := flag.Int("storm-huge", 16384, "frontier storm point on both fabrics at 4 shards (0 to skip)")
+	hugeMsgs := flag.Int("storm-huge-msgs", 3, "messages per run at the frontier point")
 	fabricName := flag.String("fabric", "myrinet", "interconnect backend for the storm points: "+harness.FabricNames())
 	checkFile := flag.String("check", "", "gate mode: compare Schedule against this baseline and exit nonzero on regression")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression in -check mode")
+	stormTolerance := flag.Float64("storm-tolerance", 0.35, "allowed fractional sec_per_run regression for the multicast storm in -check mode")
 	flag.Parse()
 
 	if *checkFile != "" {
-		check(*checkFile, *tolerance)
+		check(*checkFile, *tolerance, *stormTolerance)
 		return
 	}
 
@@ -271,15 +328,19 @@ func main() {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Note: "sec_per_run is one full run: cluster build + group install + msgs " +
 				"multicasts; matching virtual_ns across shard counts certifies identical " +
-				"computations. speedup needs >= 4 free cores to show parallel gain; on " +
-				"fewer cores it records conservative-sync overhead instead.",
+				"computations. speedup_serial_vs_4shard is only recorded when measured " +
+				"with >= 4 free cores (see speedup_validity); on fewer cores sharded " +
+				"wall times record conservative-sync overhead, not parallel gain.",
+		}
+		show := func(p mcastPoint) {
+			sec.Points = append(sec.Points, p)
+			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s, GOMAXPROCS %d)\n",
+				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs), p.GOMAXPROCS)
 		}
 		var serialSec, shardSec float64
 		for _, shards := range []int{1, 2, 4} {
 			p := stormPoint(fc, *stormNodes, shards, *stormMsgs, *stormSize)
-			sec.Points = append(sec.Points, p)
-			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s)\n",
-				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+			show(p)
 			switch shards {
 			case 1:
 				serialSec = p.SecPerRun
@@ -288,23 +349,38 @@ func main() {
 			}
 		}
 		if shardSec > 0 {
-			sec.Speedup = serialSec / shardSec
+			if runtime.GOMAXPROCS(0) >= 4 && runtime.NumCPU() >= 4 {
+				sec.Speedup = serialSec / shardSec
+				sec.SpeedupValidity = "ok"
+			} else {
+				// Fewer free cores than shards: the ratio would be 1-CPU
+				// noise dressed up as a speedup. Record the verdict, not the
+				// number.
+				sec.SpeedupValidity = "invalid_on_1cpu"
+				fmt.Printf("multicast storm: speedup suppressed (GOMAXPROCS %d < 4 shards); serial/4-shard wall ratio %.2f is sync overhead, not parallel gain\n",
+					runtime.GOMAXPROCS(0), serialSec/shardSec)
+			}
 		}
 		if *bigNodes > 0 {
-			p := stormPoint(fc, *bigNodes, 4, *stormMsgs/2+1, *stormSize)
-			sec.Points = append(sec.Points, p)
-			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s)\n",
-				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+			show(stormPoint(fc, *bigNodes, 4, *stormMsgs/2+1, *stormSize))
 		}
 		// Cross-fabric point: the same storm on the Clos backend, so the
 		// committed baseline carries a datacenter-fabric number next to the
 		// Myrinet ones (skipped when the whole sweep already ran on Clos).
 		if fc.Kind != "clos" {
 			cfc, _ := harness.FabricPreset("clos")
-			p := stormPoint(cfc, *stormNodes, 1, *stormMsgs, *stormSize)
-			sec.Points = append(sec.Points, p)
-			fmt.Printf("multicast storm %s %d nodes / %d shards: %.2fs (virtual %s)\n",
-				p.Fabric, p.Nodes, p.Shards, p.SecPerRun, sim.Time(p.VirtualNs))
+			show(stormPoint(cfc, *stormNodes, 1, *stormMsgs, *stormSize))
+		}
+		// Frontier points: the first 16384-host storms, one per fabric, at
+		// 4 shards — the scale the adaptive windows and radix-doubling
+		// topologies exist for. A couple of messages suffice: the point
+		// records that the scale runs at all and what a run costs.
+		if *hugeNodes > 0 {
+			show(stormPoint(fc, *hugeNodes, 4, *hugeMsgs, *stormSize))
+			if fc.Kind != "clos" {
+				cfc, _ := harness.FabricPreset("clos")
+				show(stormPoint(cfc, *hugeNodes, 4, *hugeMsgs, *stormSize))
+			}
 		}
 		rep.Mcast = sec
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/benchkernel"
 	"repro/internal/fabric"
 	"repro/internal/harness"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -75,14 +76,19 @@ func main() {
 // install + msgs broadcasts) per (nodes, shards) cell. Speedups are
 // relative to the 1-shard column; they exceed 1.0 only when the shards
 // have real cores to run on, so the GOMAXPROCS context prints with the
-// table.
+// table. Sharded cells also show the coordinator's sync accounting —
+// windows executed (w), cross-shard events per window (x/w), and the
+// average shard's barrier-wait share of window wall time (wait) — so
+// conservative-sync overhead is visible without a profiler.
 func speedupMatrix(fc fabric.Config, nodeCounts []int, msgs, size int) {
 	shardCounts := []int{1, 2, 4, 8}
 	fmt.Printf("Multicast-storm wall seconds per run (speedup vs serial), %d msgs x %d bytes, fabric %s, GOMAXPROCS=%d\n",
 		msgs, size, fc.Kind, runtime.GOMAXPROCS(0))
+	fmt.Printf("sharded cells: w=sync windows, x/w=cross-shard events per window, wait=mean barrier-wait share\n")
+	const cell = 34
 	fmt.Printf("%8s", "nodes")
 	for _, s := range shardCounts {
-		fmt.Printf("  %14s", fmt.Sprintf("%d-shard", s))
+		fmt.Printf("  %*s", cell, fmt.Sprintf("%d-shard", s))
 	}
 	fmt.Println()
 	for _, n := range nodeCounts {
@@ -90,22 +96,24 @@ func speedupMatrix(fc fabric.Config, nodeCounts []int, msgs, size int) {
 		serial := 0.0
 		for _, s := range shardCounts {
 			if s > n {
-				fmt.Printf("  %14s", "-")
+				fmt.Printf("  %*s", cell, "-")
 				continue
 			}
 			best := 0.0
+			var st sim.ShardStats
 			for i := 0; i < 2; i++ {
 				start := time.Now()
-				benchkernel.MulticastStormOn(fc, n, s, msgs, size)
+				_, runStats := benchkernel.MulticastStormStats(fc, n, s, msgs, size)
 				if d := time.Since(start).Seconds(); best == 0 || d < best {
-					best = d
+					best, st = d, runStats
 				}
 			}
 			if s == 1 {
 				serial = best
-				fmt.Printf("  %14s", fmt.Sprintf("%.3fs", best))
+				fmt.Printf("  %*s", cell, fmt.Sprintf("%.3fs", best))
 			} else {
-				fmt.Printf("  %14s", fmt.Sprintf("%.3fs (%.2fx)", best, serial/best))
+				fmt.Printf("  %*s", cell, fmt.Sprintf("%.3fs %.2fx w=%d x/w=%.1f wait=%.0f%%",
+					best, serial/best, st.Windows, st.CrossPerWindow(), 100*st.BarrierWaitShare()))
 			}
 		}
 		fmt.Println()

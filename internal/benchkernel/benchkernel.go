@@ -152,6 +152,15 @@ func MulticastStormOnce(nodes, shards, msgs, size int) sim.Time {
 // MulticastStormOn is MulticastStormOnce on an explicit fabric backend; the
 // zero Config selects the default Myrinet fabric.
 func MulticastStormOn(fc fabric.Config, nodes, shards, msgs, size int) sim.Time {
+	virt, _ := MulticastStormStats(fc, nodes, shards, msgs, size)
+	return virt
+}
+
+// MulticastStormStats is MulticastStormOn returning the shard coordinator's
+// statistics as well — window counts, cross-shard events, stretched/inline
+// windows, and wall-clock barrier-wait accounting. A serial run (shards <=
+// 1) returns a zero ShardStats.
+func MulticastStormStats(fc fabric.Config, nodes, shards, msgs, size int) (sim.Time, sim.ShardStats) {
 	opts := []cluster.Option{cluster.WithShards(shards), cluster.WithSeed(1)}
 	if fc.Valid() {
 		opts = append(opts, cluster.WithFabric(fc))
@@ -183,8 +192,12 @@ func MulticastStormOn(fc fabric.Config, nodes, shards, msgs, size int) sim.Time 
 	})
 	c.Run()
 	end := c.Now()
+	var st sim.ShardStats
+	if sh := c.Sharded(); sh != nil {
+		st = sh.Stats()
+	}
 	c.Kill()
-	return end
+	return end, st
 }
 
 // MulticastStorm returns a benchmark body whose iteration is one full

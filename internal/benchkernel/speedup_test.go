@@ -1,0 +1,59 @@
+package benchkernel
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// TestShardedSpeedupMulticore is the CI smoke for the point of the whole
+// parallel engine: on a machine with at least 4 free cores, the 4-shard
+// multicast storm must beat the serial engine by a real margin. It skips
+// cleanly on smaller machines (including the 1-CPU boxes the committed
+// BENCH_sim.json numbers come from) and in -short mode, so the assertion
+// only ever runs where it is meaningful. The virtual clocks must agree
+// exactly — the speedup claim is only valid for identical computations.
+func TestShardedSpeedupMulticore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup assertion, have %d", n)
+	}
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		t.Skipf("need GOMAXPROCS >= 4 for a meaningful speedup assertion, have %d", n)
+	}
+
+	const (
+		nodes = 512
+		msgs  = 20
+		size  = 1024
+	)
+	measure := func(shards int) (float64, int64) {
+		best := 0.0
+		var virt int64
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			v, _ := MulticastStormStats(fabric.Config{}, nodes, shards, msgs, size)
+			if d := time.Since(start).Seconds(); best == 0 || d < best {
+				best = d
+			}
+			virt = int64(v)
+		}
+		return best, virt
+	}
+	serial, virtSerial := measure(1)
+	sharded, virtSharded := measure(4)
+	if virtSerial != virtSharded {
+		t.Fatalf("virtual clocks diverged: serial %d ns, 4-shard %d ns", virtSerial, virtSharded)
+	}
+	speedup := serial / sharded
+	t.Logf("multicast storm %d nodes: serial %.3fs, 4-shard %.3fs, speedup %.2fx (GOMAXPROCS=%d)",
+		nodes, serial, sharded, speedup, runtime.GOMAXPROCS(0))
+	if speedup < 1.3 {
+		t.Fatalf("4-shard speedup %.2fx < 1.3x on %d cores (serial %.3fs, sharded %.3fs)",
+			speedup, runtime.NumCPU(), serial, sharded)
+	}
+}

@@ -1,0 +1,55 @@
+package clos_test
+
+import (
+	"testing"
+
+	"repro/internal/clos"
+	"repro/internal/sim"
+)
+
+// TestAutoTopology16KHosts pins the 16384-host Clos shape behind the
+// large benchmark points: the radix doubles from 32 to 64 (the smallest
+// three-tier Clos carrying 16K hosts), preserving the 2/4/6 hop tiers,
+// and a 4-way partition stays balanced with full-link lookahead on every
+// shard pair. Build-only, no traffic.
+func TestAutoTopology16KHosts(t *testing.T) {
+	const hosts = 16384
+	params := clos.DefaultLinkParams()
+	n := clos.AutoTopology(sim.NewEngine(), hosts, clos.DefaultRadix, params)
+	if got := n.Hosts(); got != hosts {
+		t.Fatalf("built %d hosts, want %d", got, hosts)
+	}
+	// Radix 64 three-tier: 32 hosts per leaf, 1024 per pod.
+	if hops := n.HopCount(0, 31); hops != 2 {
+		t.Errorf("same-leaf hop count %d, want 2", hops)
+	}
+	if hops := n.HopCount(0, 1000); hops != 4 {
+		t.Errorf("same-pod hop count %d, want 4", hops)
+	}
+	if hops := n.HopCount(0, hosts-1); hops != 6 {
+		t.Errorf("cross-pod hop count %d, want 6", hops)
+	}
+
+	const shards = 4
+	plan := n.Partition(shards)
+	counts := make([]int, shards)
+	for _, s := range plan.HostShard {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != hosts/shards {
+			t.Fatalf("shard %d holds %d hosts, want %d", s, c, hosts/shards)
+		}
+	}
+	if plan.Lookahead != params.Latency {
+		t.Fatalf("lookahead %v, want the link latency %v", plan.Lookahead, params.Latency)
+	}
+	for s := 0; s < shards; s++ {
+		for d := 0; d < shards; d++ {
+			if s != d && plan.PairLookahead[s][d] != params.Latency {
+				t.Fatalf("PairLookahead[%d][%d] = %v, want %v",
+					s, d, plan.PairLookahead[s][d], params.Latency)
+			}
+		}
+	}
+}

@@ -64,6 +64,14 @@ type Config struct {
 	// ErrShardsWithTrace.
 	Shards int
 
+	// PartitionObjective selects what the fabric partitioner optimizes when
+	// Shards > 1: the zero value (fabric.ObjectiveMaxLookahead) places cuts
+	// on the highest-latency links so conservative windows come out wide;
+	// fabric.ObjectiveMinCut is the original cut-count heuristic, kept for
+	// comparison. Either way timelines stay byte-identical to serial — the
+	// objective only moves the cuts, never the event order.
+	PartitionObjective fabric.Objective
+
 	// noExt skips installing the multicast extension (WithoutExtension).
 	noExt bool
 }
@@ -115,10 +123,13 @@ type Cluster struct {
 	plan    fabric.Plan
 	sh      *sim.Sharded // nil when serial
 
-	prevWindows uint64 // metrics fold bookkeeping
-	prevCross   uint64
-	prevEvents  []uint64
-	prevWait    []int64
+	prevWindows   uint64 // metrics fold bookkeeping
+	prevCross     uint64
+	prevStretched uint64
+	prevInline    uint64
+	prevEmpty     uint64
+	prevEvents    []uint64
+	prevWait      []int64
 }
 
 // Sentinel errors for configurations sharding cannot honor; build panics
@@ -197,7 +208,7 @@ func build(cfg *Config) *Cluster {
 	// whichever backend builds the topology.
 	fab.Links = cfg.Link
 	net := fab.Build(engines[0], cfg.Nodes, fab)
-	plan := net.Partition(shards)
+	plan := net.PartitionObjective(shards, cfg.PartitionObjective)
 	net.ApplyPlan(plan, engines[:plan.Shards])
 	rng := sim.NewRNG(cfg.Seed)
 	net.SetRNG(rng)
@@ -209,7 +220,8 @@ func build(cfg *Config) *Cluster {
 	if plan.Shards == 1 {
 		c.Eng = engines[0]
 	} else {
-		c.sh = sim.NewSharded(engines, plan.Lookahead, net.DrainCross)
+		c.sh = sim.NewShardedMatrix(engines, plan.PairLookahead, net.DrainCross)
+		c.sh.SetPending(net.CrossPending)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := fabric.NodeID(i)
@@ -340,10 +352,12 @@ func (c *Cluster) EventsFired() uint64 {
 }
 
 // foldShardMetrics publishes the coordinator's deterministic accounting —
-// per-shard fired events, window and cross-shard event counts — into the
-// metrics registry after each run. Wall-clock barrier waits are folded
-// only when wall statistics were explicitly enabled (benchmarks), keeping
-// default metrics output deterministic.
+// per-shard fired events, window / stretched-window / inline-window /
+// skipped-drain and cross-shard event counts — into the metrics registry
+// after each run. Wall-clock barrier waits are cheap enough to track
+// unconditionally now, so they fold in by default; they are wall-clock
+// (nondeterministic) values and live in histograms, which the determinism
+// checks already exclude.
 func (c *Cluster) foldShardMetrics() {
 	reg := c.Cfg.Metrics
 	if c.sh == nil || !reg.Enabled() {
@@ -352,7 +366,11 @@ func (c *Cluster) foldShardMetrics() {
 	st := c.sh.Stats()
 	reg.Counter("sim", metrics.NodeFabric, "windows").Add(st.Windows - c.prevWindows)
 	reg.Counter("sim", metrics.NodeFabric, "cross_events").Add(st.CrossEvents - c.prevCross)
+	reg.Counter("sim", metrics.NodeFabric, "windows_stretched").Add(st.Stretched - c.prevStretched)
+	reg.Counter("sim", metrics.NodeFabric, "windows_inline").Add(st.Inline - c.prevInline)
+	reg.Counter("sim", metrics.NodeFabric, "drains_skipped").Add(st.EmptyDrains - c.prevEmpty)
 	c.prevWindows, c.prevCross = st.Windows, st.CrossEvents
+	c.prevStretched, c.prevInline, c.prevEmpty = st.Stretched, st.Inline, st.EmptyDrains
 	if c.prevEvents == nil {
 		c.prevEvents = make([]uint64, st.Shards)
 		c.prevWait = make([]int64, st.Shards)

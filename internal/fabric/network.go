@@ -354,7 +354,21 @@ func (tr *transit) post(v *Vertex, when sim.Time, kind uint8, hop int32) {
 	sh.out[v.shard] = append(sh.out[v.shard], crossMsg{
 		when: when, key: key, owner: v.domain, kind: kind, hop: hop, p: tr.p,
 	})
+	sh.outPending++
 	tr.release()
+}
+
+// CrossPending reports how many cross-shard messages are queued in outboxes.
+// The shard coordinator reads it at window barriers — when no shard
+// goroutine is running, so the per-shard counters are quiescent — to skip
+// the drain pass (and the barrier bookkeeping around it) for windows that
+// moved nothing across a cut.
+func (n *Network) CrossPending() int {
+	pending := 0
+	for s := range n.sh {
+		pending += n.sh[s].outPending
+	}
+	return pending
 }
 
 // DrainCross delivers every queued cross-shard message into its destination
@@ -363,19 +377,43 @@ func (tr *transit) post(v *Vertex, when sim.Time, kind uint8, hop int32) {
 // shard goroutine is running; outside sharded runs there is nothing to
 // drain.
 func (n *Network) DrainCross() int {
+	if n.CrossPending() == 0 {
+		return 0
+	}
 	total := 0
 	for d := range n.sh {
-		buf := n.drainBuf[:0]
+		// One pass finds the non-empty source boxes; a single-source window
+		// (the common case under bursty traffic) sorts that box in place and
+		// skips the merge copy entirely.
+		src, multi := -1, false
 		for s := range n.sh {
-			box := n.sh[s].out[d]
-			if len(box) == 0 {
+			if len(n.sh[s].out[d]) == 0 {
 				continue
 			}
-			buf = append(buf, box...)
-			n.sh[s].out[d] = box[:0]
+			if src < 0 {
+				src = s
+			} else {
+				multi = true
+				break
+			}
 		}
-		if len(buf) == 0 {
+		if src < 0 {
 			continue
+		}
+		var buf []crossMsg
+		if multi {
+			buf = n.drainBuf[:0]
+			for s := range n.sh {
+				box := n.sh[s].out[d]
+				if len(box) == 0 {
+					continue
+				}
+				buf = append(buf, box...)
+				n.sh[s].out[d] = box[:0]
+			}
+			n.drainBuf = buf
+		} else {
+			buf = n.sh[src].out[d]
 		}
 		n.drainSort.msgs = buf
 		sort.Sort(&n.drainSort)
@@ -396,7 +434,14 @@ func (n *Network) DrainCross() int {
 			dst.eng.AtKey(m.when, m.key, m.owner, tr.step)
 		}
 		total += len(buf)
-		n.drainBuf = buf[:0]
+		if multi {
+			n.drainBuf = buf[:0]
+		} else {
+			n.sh[src].out[d] = buf[:0]
+		}
+	}
+	for s := range n.sh {
+		n.sh[s].outPending = 0
 	}
 	return total
 }
@@ -434,6 +479,7 @@ type shardState struct {
 	transitFree []*transit
 	routeCache  map[[2]NodeID][]*Link
 	out         [][]crossMsg // outboxes, indexed by destination shard
+	outPending  int          // total messages queued across out, reset at drains
 }
 
 // crossMsg is one packet event crossing a shard boundary: a wormhole hop
@@ -505,13 +551,23 @@ func (n *Network) AddHost(id NodeID, sw *Vertex) (ifc *Iface, up, down *Link) {
 	return ifc, up, down
 }
 
-// Connect adds a pair of directed links between a and b.
+// Connect adds a pair of directed links between a and b with the fabric's
+// default link parameters.
 func (n *Network) Connect(a, b *Vertex) (ab, ba *Link) {
-	ab = &Link{from: a, to: b, params: n.params,
+	return n.ConnectWith(a, b, n.params)
+}
+
+// ConnectWith adds a pair of directed links between a and b with explicit
+// link parameters — the builder hook for heterogeneous fabrics (e.g. long
+// inter-rack runs slower than intra-rack links). The partitioner sees the
+// per-link latency, so its lookahead matrix and the lookahead-maximizing
+// objective work per link, not per fabric.
+func (n *Network) ConnectWith(a, b *Vertex, params LinkParams) (ab, ba *Link) {
+	ab = &Link{from: a, to: b, params: params,
 		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", a.label, b.label))}
-	ba = &Link{from: b, to: a, params: n.params,
+	ba = &Link{from: b, to: a, params: params,
 		fac: sim.NewFacility(n.eng, fmt.Sprintf("link:%s->%s", b.label, a.label))}
-	if n.params.PauseBytes > 0 {
+	if params.PauseBytes > 0 {
 		ab.drainFn = ab.drain
 		ba.drainFn = ba.drain
 	}

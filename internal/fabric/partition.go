@@ -7,38 +7,85 @@ import (
 )
 
 // Plan is a deterministic assignment of fabric vertices to shards, plus the
-// conservative-synchronization lookahead the assignment admits: the minimum
-// latency of any link whose endpoints land in different shards. Every event
+// conservative-synchronization lookahead the assignment admits. Every event
 // of a vertex fires on its shard's engine, so a packet handoff across a cut
 // link is the only cross-shard interaction — and it cannot take effect
-// sooner than Lookahead after it is sent, which is exactly the window width
-// a conservative parallel run may execute without synchronizing.
+// sooner than that link's latency after it is sent, which is exactly the
+// window width a conservative parallel run may execute without
+// synchronizing.
 type Plan struct {
 	Shards int
-	// Lookahead is the minimum cut-link latency (the fabric's uniform link
-	// latency in practice, since every link shares LinkParams).
+	// Lookahead is the minimum cut-link latency over the whole partition —
+	// the width of the old lockstep synchronization window, kept as the
+	// conservative floor and for reporting.
 	Lookahead sim.Time
+	// PairLookahead[s][d] is the minimum latency of any cut link from a
+	// shard-s vertex to a shard-d vertex, or 0 when no such link exists.
+	// The adaptive coordinator turns it into per-shard window bounds
+	// (sim.NewShardedMatrix), so a pair joined only by high-latency links —
+	// or by no links at all — no longer drags every shard down to the
+	// single global minimum.
+	PairLookahead [][]sim.Time
 	// VertexShard maps vertex index -> shard; HostShard maps host NodeID ->
 	// shard (a convenience view of the same assignment).
 	VertexShard []int
 	HostShard   []int
-	// CutLinks counts directed links crossing shards — the quantity the
-	// partitioning heuristic minimizes.
-	CutLinks int
+	// CutLinks counts directed links crossing shards; CutLatency sums their
+	// latencies — the quantity the lookahead-maximizing objective drives
+	// up per link by preferring to cut slow links.
+	CutLinks   int
+	CutLatency sim.Time
+}
+
+// Objective selects what the partitioning heuristic optimizes when it
+// assigns switches to shards.
+type Objective int
+
+const (
+	// ObjectiveMaxLookahead (the default) places cuts on the
+	// highest-latency links: each switch joins the shard it is attached to
+	// by the largest total inverse link latency (fast links pull hardest),
+	// so the links that do get cut are the slow ones — which directly
+	// widens the per-pair conservative windows. Ties break toward the shard
+	// with fewer vertices (balance), then rotate by vertex index. On a
+	// fabric with uniform link latency the score is proportional to the
+	// link count, so it degenerates to min-cut (modulo tie-breaking).
+	ObjectiveMaxLookahead Objective = iota
+	// ObjectiveMinCut is the original heuristic: each switch joins the
+	// shard it has the most links to, minimizing the number of cut links
+	// regardless of their latency. Kept as the fallback knob for
+	// experiments comparing the two objectives.
+	ObjectiveMinCut
+)
+
+// String names the objective for reports.
+func (o Objective) String() string {
+	if o == ObjectiveMinCut {
+		return "mincut"
+	}
+	return "maxlookahead"
 }
 
 // Partition assigns the fabric's vertices to the given number of shards
-// with a deterministic min-cut-flavored heuristic:
+// with the default lookahead-maximizing objective. See PartitionObjective.
+func (n *Network) Partition(shards int) Plan {
+	return n.PartitionObjective(shards, ObjectiveMaxLookahead)
+}
+
+// PartitionObjective assigns the fabric's vertices to the given number of
+// shards with a deterministic greedy heuristic:
 //
 //   - Hosts are split into contiguous balanced blocks (shard =
 //     host*shards/hosts). Topology builders lay hosts out so that
 //     consecutive IDs share a leaf switch (and, in the fat tree, a pod), so
 //     contiguous blocks keep the short host<->leaf links interior.
-//   - Each switch then joins the shard it has the most links to, counting
-//     only already-assigned neighbors, processed in BFS-from-hosts order so
-//     leaves commit before spines. Ties rotate by vertex index, spreading
-//     equally-pulled spine switches across shards instead of piling them
-//     onto shard 0.
+//   - Each switch then joins a shard scored over its already-assigned
+//     neighbors, processed in BFS-from-hosts order so leaves commit before
+//     spines. ObjectiveMaxLookahead scores by total inverse link latency
+//     into the shard (the fast links pull hardest, so cuts land on the
+//     slowest links, widening the conservative windows), tie-breaking by
+//     shard balance then vertex-index rotation; ObjectiveMinCut scores by
+//     link count with index rotation, the original behavior.
 //
 // The request is clamped to [1, hosts]: more shards than hosts would leave
 // empty engines (the shard-count-exceeds-nodes edge case degenerates to one
@@ -46,7 +93,7 @@ type Plan struct {
 //
 // The heuristic is topology-agnostic: it sees only the vertex/link graph,
 // so any backend built through the fabric builder API shards the same way.
-func (n *Network) Partition(shards int) Plan {
+func (n *Network) PartitionObjective(shards int, obj Objective) Plan {
 	if shards < 1 {
 		shards = 1
 	}
@@ -59,6 +106,7 @@ func (n *Network) Partition(shards int) Plan {
 		HostShard:   make([]int, len(n.hosts)),
 	}
 	assigned := make([]bool, len(n.verts))
+	vcount := make([]int, shards) // vertices per shard, the balance tie-break
 	var frontier []*Vertex
 	for i := range n.hosts {
 		s := i * shards / len(n.hosts)
@@ -66,12 +114,15 @@ func (n *Network) Partition(shards int) Plan {
 		hv := n.hosts[i].up.from
 		plan.VertexShard[hv.idx] = s
 		assigned[hv.idx] = true
+		vcount[s]++
 		frontier = append(frontier, hv)
 	}
 
 	// BFS from the hosts so each switch is placed after the neighbors that
-	// anchor it; weight[s] counts links into already-assigned members of s.
-	weight := make([]int, shards)
+	// anchor it; weight[s] scores links into already-assigned members of s
+	// (latency-weighted under ObjectiveMaxLookahead, counted under
+	// ObjectiveMinCut).
+	weight := make([]int64, shards)
 	for len(frontier) > 0 {
 		var next []*Vertex
 		for _, v := range frontier {
@@ -85,21 +136,55 @@ func (n *Network) Partition(shards int) Plan {
 				}
 				for _, wl := range w.out {
 					if assigned[wl.to.idx] {
-						weight[plan.VertexShard[wl.to.idx]]++
+						if obj == ObjectiveMaxLookahead {
+							// Inverse-latency weight: joining the shard the
+							// fast links lead to keeps them interior, so the
+							// links that do get cut are the slow ones — which
+							// is what widens the windows (lookahead is the
+							// minimum latency among cut links). A zero-latency
+							// link weighs ~2^40: it must never be cut, since
+							// it would zero the lookahead.
+							lat := int64(wl.params.Latency)
+							if lat < 1 {
+								lat = 1
+							}
+							weight[plan.VertexShard[wl.to.idx]] += (int64(1) << 40) / lat
+						} else {
+							weight[plan.VertexShard[wl.to.idx]]++
+						}
 					}
 				}
-				best := 0
+				best := int64(0)
 				var ties []int
-				for s, cnt := range weight {
-					if cnt > best {
-						best = cnt
+				for s, sc := range weight {
+					if sc > best {
+						best = sc
 						ties = ties[:0]
 					}
-					if cnt == best {
+					if sc == best {
 						ties = append(ties, s)
 					}
 				}
-				plan.VertexShard[w.idx] = ties[w.idx%len(ties)]
+				if obj == ObjectiveMaxLookahead && len(ties) > 1 {
+					// Balance tie-break: keep only the least-loaded tied
+					// shards, then rotate among those.
+					minC := vcount[ties[0]]
+					for _, s := range ties[1:] {
+						if vcount[s] < minC {
+							minC = vcount[s]
+						}
+					}
+					kept := ties[:0]
+					for _, s := range ties {
+						if vcount[s] == minC {
+							kept = append(kept, s)
+						}
+					}
+					ties = kept
+				}
+				pick := ties[w.idx%len(ties)]
+				plan.VertexShard[w.idx] = pick
+				vcount[pick]++
 				assigned[w.idx] = true
 				next = append(next, w)
 			}
@@ -108,12 +193,26 @@ func (n *Network) Partition(shards int) Plan {
 	}
 	// Disconnected leftovers (none in the standard topologies) go to 0.
 
+	plan.PairLookahead = make([][]sim.Time, shards)
+	for s := range plan.PairLookahead {
+		plan.PairLookahead[s] = make([]sim.Time, shards)
+	}
 	for _, l := range n.links {
-		if plan.VertexShard[l.from.idx] != plan.VertexShard[l.to.idx] {
-			plan.CutLinks++
-			if plan.Lookahead == 0 || l.params.Latency < plan.Lookahead {
-				plan.Lookahead = l.params.Latency
-			}
+		s, d := plan.VertexShard[l.from.idx], plan.VertexShard[l.to.idx]
+		if s == d {
+			continue
+		}
+		if l.params.Latency <= 0 {
+			panic(fmt.Sprintf("fabric: cut link %v has non-positive latency %v — conservative sync needs positive lookahead",
+				l, l.params.Latency))
+		}
+		plan.CutLinks++
+		plan.CutLatency += l.params.Latency
+		if plan.Lookahead == 0 || l.params.Latency < plan.Lookahead {
+			plan.Lookahead = l.params.Latency
+		}
+		if cur := plan.PairLookahead[s][d]; cur == 0 || l.params.Latency < cur {
+			plan.PairLookahead[s][d] = l.params.Latency
 		}
 	}
 	if plan.Lookahead == 0 {

@@ -1,0 +1,63 @@
+package myrinet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestAutoTopology16KHosts pins the 16384-host shape the benchmark points
+// rely on: AutoTopology doubles the crossbar radix from 16 to 64 (the
+// smallest fat tree carrying 16K hosts), yielding a 16-pod fat tree with
+// the promised 2/4/6 hop structure, and the partitioner still produces a
+// balanced plan with full-link lookahead. Build-only — no traffic — so the
+// test stays fast at this scale.
+func TestAutoTopology16KHosts(t *testing.T) {
+	const hosts = 16384
+	params := DefaultLinkParams()
+	n := AutoTopology(sim.NewEngine(), hosts, params)
+	if got := n.Hosts(); got != hosts {
+		t.Fatalf("built %d hosts, want %d", got, hosts)
+	}
+	// Radix 64 fat tree: 32 hosts per edge switch, 1024 per pod.
+	if hops := n.HopCount(0, 31); hops != 2 {
+		t.Errorf("same-edge hop count %d, want 2", hops)
+	}
+	if hops := n.HopCount(0, 1000); hops != 4 {
+		t.Errorf("same-pod hop count %d, want 4", hops)
+	}
+	if hops := n.HopCount(0, hosts-1); hops != 6 {
+		t.Errorf("cross-pod hop count %d, want 6", hops)
+	}
+
+	const shards = 4
+	plan := n.Partition(shards)
+	if plan.Shards != shards {
+		t.Fatalf("plan has %d shards, want %d", plan.Shards, shards)
+	}
+	counts := make([]int, shards)
+	for _, s := range plan.HostShard {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != hosts/shards {
+			t.Fatalf("shard %d holds %d hosts, want %d", s, c, hosts/shards)
+		}
+	}
+	if plan.Lookahead != params.Latency {
+		t.Fatalf("lookahead %v, want the link latency %v", plan.Lookahead, params.Latency)
+	}
+	// Every directed shard pair must be coupled through cut links at full
+	// link latency — the adaptive coordinator's matrix has no surprise
+	// zero-latency entries.
+	for s := 0; s < shards; s++ {
+		for d := 0; d < shards; d++ {
+			if s == d {
+				continue
+			}
+			if got := plan.PairLookahead[s][d]; got != params.Latency {
+				t.Fatalf("PairLookahead[%d][%d] = %v, want %v", s, d, got, params.Latency)
+			}
+		}
+	}
+}

@@ -2,78 +2,278 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
 
-// Sharded runs several engines under conservative parallel discrete-event
-// synchronization. The model partitions the simulated system into shards —
-// each engine owns a disjoint set of entities and every event touching an
-// entity is scheduled on its owner's engine — and advances all engines in
-// lockstep windows [T, T+lookahead), where T is the global minimum pending
-// timestamp and lookahead is the minimum latency of any cross-shard
-// interaction. Within a window the shards are causally independent (no
-// cross-shard effect can land before T+lookahead), so each engine fires its
-// window on its own goroutine; cross-shard events queue in mailboxes owned
-// by the caller and are delivered by the drain callback at the barrier
-// between windows.
+// Sharded runs several engines under adaptive conservative parallel
+// discrete-event synchronization. The model partitions the simulated system
+// into shards — each engine owns a disjoint set of entities and every event
+// touching an entity is scheduled on its owner's engine — and advances the
+// engines in synchronization windows. Cross-shard events queue in mailboxes
+// owned by the caller and are delivered by the drain callback at the
+// barrier between windows.
+//
+// Window sizing is per shard, from a per-shard-pair lookahead matrix
+// L[s][d] — the minimum latency of any direct interaction from shard s to
+// shard d (for a network fabric: the minimum latency of a cut link s→d).
+// The coordinator closes the matrix transitively (shortest paths, plus the
+// shortest cycle back through each shard), so shard d's window end is its
+// earliest input time:
+//
+//	end(d) = min( min_{s≠d} next(s) + dist(s→d),  next(d) + cycle(d) )
+//
+// where next(s) is shard s's earliest pending timestamp. Any event that can
+// ever reach d originates from some event pending now in some shard s and
+// pays at least dist(s→d) of link latency on the way — including echoes of
+// d's own events, which pay at least cycle(d). Compared to the lockstep
+// rule (every shard stops at the global minimum plus the global minimum cut
+// latency), windows stretch automatically whenever the shards that could
+// feed a shard are idle or far in the future, and shards with nothing to
+// fire inside their window skip the dispatch entirely; a window with
+// exactly one busy shard runs inline on the coordinator with no barrier at
+// all.
 //
 // Determinism: events carry (time, domain-keyed sequence) keys assigned at
 // their logical scheduling point (AllocKey on the source engine for
 // cross-shard handoffs), so the union of all shards' timelines is exactly
 // the serial engine's timeline — bit-identical, not merely equivalent.
+// Window placement affects only when mailboxes drain, never the order
+// events fire in.
 type Sharded struct {
 	engines   []*Engine
-	lookahead Time
+	lookahead Time // minimum finite pair lookahead (the lockstep window width)
+	// dist[s][d] is the transitive earliest-input bound from s to d
+	// (shortest path over the pair matrix); cyc[d] is the shortest cycle
+	// d→…→d. Both saturate at infTime for unreachable pairs.
+	dist [][]Time
+	cyc  []Time
+
 	// drain delivers every queued cross-shard event into its destination
 	// engine (via AtKey) and reports how many it delivered. It runs at
-	// window barriers only, when no engine goroutine is active.
-	drain func() int
+	// window barriers only, when no engine goroutine is active. pending,
+	// when non-nil, reports how many cross-shard events are queued without
+	// delivering them, letting the coordinator skip empty drain passes.
+	drain   func() int
+	pending func() int
 
 	windows     uint64
 	crossEvents uint64
+	stretched   uint64 // windows where some busy shard ran past the lockstep bound
+	inlineWins  uint64 // single-busy-shard windows run without a barrier
+	emptyDrains uint64 // drain passes skipped because no cross events were queued
 
-	// Wall-clock accounting, populated only when EnableWallStats was
-	// called: per-shard busy time inside windows, and the coordinator's
-	// total elapsed window time (per-shard wait = wall - busy).
-	wallStats bool
-	busyNs    []int64
-	wallNs    int64
+	// Per-window scratch, reused so steady-state coordination allocates
+	// nothing.
+	next []Time
+	has  []bool
+	ends []Time
+	busy []bool
+
+	// Wall-clock accounting: per-shard busy time inside windows and the
+	// coordinator's total elapsed window time (per-shard wait = wall -
+	// busy). Cheap enough to keep always on now that adaptive windows make
+	// barriers rare; it never influences simulation results.
+	busyNs []int64
+	wallNs int64
 }
 
-// NewSharded assembles a coordinator over the given engines. lookahead must
-// be positive: it is the width of the synchronization window, and a
-// non-positive width means the partition has a zero-latency cross-shard
-// interaction, which conservative synchronization cannot run in parallel.
-// drain may be nil when the caller guarantees no cross-shard events exist
-// (single shard).
-func NewSharded(engines []*Engine, lookahead Time, drain func() int) *Sharded {
-	if len(engines) == 0 {
-		panic("sim: NewSharded with no engines")
+// infTime is the saturation value for unreachable shard pairs — far beyond
+// any virtual timestamp, low enough that sums cannot overflow.
+const infTime = Time(math.MaxInt64 >> 2)
+
+func satAdd(a, b Time) Time {
+	if a >= infTime || b >= infTime {
+		return infTime
 	}
+	if c := a + b; c < infTime {
+		return c
+	}
+	return infTime
+}
+
+// NewSharded assembles a coordinator over the given engines with a uniform
+// lookahead: every directed shard pair is assumed able to interact with the
+// given minimum latency. lookahead must be positive: it is the minimum
+// synchronization window width, and a non-positive width means the
+// partition has a zero-latency cross-shard interaction, which conservative
+// synchronization cannot run in parallel. drain may be nil when the caller
+// guarantees no cross-shard events exist (single shard).
+func NewSharded(engines []*Engine, lookahead Time, drain func() int) *Sharded {
 	if lookahead <= 0 {
 		panic(fmt.Sprintf("sim: NewSharded with non-positive lookahead %v", lookahead))
+	}
+	n := len(engines)
+	pair := make([][]Time, n)
+	for s := range pair {
+		pair[s] = make([]Time, n)
+		for d := range pair[s] {
+			if s != d {
+				pair[s][d] = lookahead
+			}
+		}
+	}
+	return NewShardedMatrix(engines, pair, drain)
+}
+
+// NewShardedMatrix assembles a coordinator over the given engines with a
+// per-shard-pair lookahead matrix: pair[s][d] is the minimum latency of any
+// direct cross-shard interaction from shard s to shard d, and 0 means no
+// direct interaction exists (the pair's effective lookahead then falls out
+// of the transitive closure, or is unbounded when no path exists at all).
+// Negative entries panic. drain may be nil when the caller guarantees no
+// cross-shard events exist.
+func NewShardedMatrix(engines []*Engine, pair [][]Time, drain func() int) *Sharded {
+	n := len(engines)
+	if n == 0 {
+		panic("sim: NewSharded with no engines")
+	}
+	if len(pair) != n {
+		panic(fmt.Sprintf("sim: lookahead matrix has %d rows for %d engines", len(pair), n))
 	}
 	if drain == nil {
 		drain = func() int { return 0 }
 	}
+	dist := make([][]Time, n)
+	for s := range dist {
+		if len(pair[s]) != n {
+			panic(fmt.Sprintf("sim: lookahead matrix row %d has %d entries for %d engines", s, len(pair[s]), n))
+		}
+		dist[s] = make([]Time, n)
+		for d, l := range pair[s] {
+			switch {
+			case l < 0:
+				panic(fmt.Sprintf("sim: negative pair lookahead %v for shards %d->%d", l, s, d))
+			case s == d || l == 0:
+				dist[s][d] = infTime
+			default:
+				dist[s][d] = l
+			}
+		}
+		dist[s][s] = 0
+	}
+	// Transitive closure (Floyd–Warshall): an event can reach shard d from
+	// shard s through intermediates, paying every hop's lookahead on the
+	// way. Shard counts are small, so the cubic pass is negligible.
+	for k := 0; k < n; k++ {
+		for s := 0; s < n; s++ {
+			if dist[s][k] >= infTime {
+				continue
+			}
+			for d := 0; d < n; d++ {
+				if t := satAdd(dist[s][k], dist[k][d]); t < dist[s][d] {
+					dist[s][d] = t
+				}
+			}
+		}
+	}
+	cyc := make([]Time, n)
+	look := infTime
+	for d := range cyc {
+		cyc[d] = infTime
+		for m := 0; m < n; m++ {
+			if m == d {
+				continue
+			}
+			if t := satAdd(dist[d][m], dist[m][d]); t < cyc[d] {
+				cyc[d] = t
+			}
+			if dist[d][m] > 0 && dist[d][m] < look {
+				look = dist[d][m]
+			}
+		}
+		dist[d][d] = infTime // self-influence goes through cyc, not dist
+	}
+	if n > 1 && look <= 0 {
+		panic(fmt.Sprintf("sim: non-positive effective lookahead %v", look))
+	}
+	if look >= infTime {
+		// Fully independent shards (or a single engine): any positive
+		// window width works; windows are unbounded anyway.
+		look = 1
+	}
 	return &Sharded{
 		engines:   engines,
-		lookahead: lookahead,
+		lookahead: look,
+		dist:      dist,
+		cyc:       cyc,
 		drain:     drain,
-		busyNs:    make([]int64, len(engines)),
+		next:      make([]Time, n),
+		has:       make([]bool, n),
+		ends:      make([]Time, n),
+		busy:      make([]bool, n),
+		busyNs:    make([]int64, n),
 	}
 }
+
+// SetPending installs a cheap probe for the number of queued cross-shard
+// events. When it reports zero at a barrier the coordinator skips the drain
+// pass entirely.
+func (s *Sharded) SetPending(fn func() int) { s.pending = fn }
 
 // Engines exposes the per-shard engines (index = shard).
 func (s *Sharded) Engines() []*Engine { return s.engines }
 
-// Lookahead reports the synchronization window width.
+// Lookahead reports the minimum synchronization window width (the smallest
+// finite pair lookahead after transitive closure).
 func (s *Sharded) Lookahead() Time { return s.lookahead }
 
-// EnableWallStats turns on wall-clock busy/wait accounting (it costs two
-// time.Now calls per shard per window, so benchmarks opt in explicitly).
-func (s *Sharded) EnableWallStats() { s.wallStats = true }
+// EnableWallStats is a no-op kept for compatibility: adaptive windows made
+// barriers rare enough that wall-clock busy/wait accounting is always on.
+//
+// Deprecated: wall statistics are collected unconditionally.
+func (s *Sharded) EnableWallStats() {}
+
+// windowEnds computes each shard's conservative window end from the
+// engines' earliest pending timestamps: the earliest time any cross-shard
+// input could still arrive at the shard, per the transitively-closed
+// lookahead matrix. It returns the global minimum pending time and whether
+// any engine has events at all. Exported indirectly for tests via
+// WindowEnds.
+func (s *Sharded) windowEnds() (minT Time, any bool) {
+	for i, e := range s.engines {
+		s.next[i], s.has[i] = e.NextEventTime()
+		if s.has[i] && (!any || s.next[i] < minT) {
+			minT, any = s.next[i], true
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	for d := range s.engines {
+		end := infTime
+		for m := range s.engines {
+			if !s.has[m] {
+				continue
+			}
+			var bound Time
+			if m == d {
+				bound = satAdd(s.next[m], s.cyc[m])
+			} else {
+				bound = satAdd(s.next[m], s.dist[m][d])
+			}
+			if bound < end {
+				end = bound
+			}
+		}
+		s.ends[d] = end
+	}
+	return minT, true
+}
+
+// WindowEnds exposes one window-end computation for tests: given the
+// coordinator's engines' current queues, it returns each shard's window end
+// (the conservative earliest-input-time bound). The slice is reused across
+// calls.
+func (s *Sharded) WindowEnds() []Time {
+	if _, any := s.windowEnds(); !any {
+		for i := range s.ends {
+			s.ends[i] = infTime
+		}
+	}
+	return s.ends
+}
 
 // Run fires events until the whole system is quiescent — every engine's
 // queue empty and every mailbox drained — then aligns all clocks to the
@@ -101,25 +301,37 @@ func (s *Sharded) RunUntil(t Time) {
 	}
 }
 
+// drainBarrier runs the mailbox drain unless the pending probe reports
+// there is nothing queued.
+func (s *Sharded) drainBarrier() {
+	if s.pending != nil && s.pending() == 0 {
+		s.emptyDrains++
+		return
+	}
+	s.crossEvents += uint64(s.drain())
+}
+
 // runWindows advances all shards window by window; with bounded set it
 // stops once no pending event is <= limit.
 func (s *Sharded) runWindows(limit Time, bounded bool) {
 	n := len(s.engines)
 	if n == 1 {
-		// Degenerate partition: no parallelism and no cross-shard events,
-		// but keep the same drain/window structure for uniformity.
+		// Degenerate partition: no parallelism, and windows are unbounded
+		// (nothing can feed the lone shard but its own drain callback).
 		e := s.engines[0]
 		for {
-			s.crossEvents += uint64(s.drain())
+			s.drainBarrier()
 			t, ok := e.NextEventTime()
 			if !ok || (bounded && t > limit) {
 				return
 			}
-			end := t + s.lookahead
-			if bounded && end > limit+1 {
+			end := infTime
+			if bounded {
 				end = limit + 1
 			}
+			t0 := time.Now()
 			e.RunBefore(end)
+			s.busyNs[0] += time.Since(t0).Nanoseconds()
 			s.windows++
 		}
 	}
@@ -135,44 +347,65 @@ func (s *Sharded) runWindows(limit Time, bounded bool) {
 		go func(i int, e *Engine) {
 			defer wg.Done()
 			for end := range work[i] {
-				if s.wallStats {
-					t0 := time.Now()
-					e.RunBefore(end)
-					s.busyNs[i] += time.Since(t0).Nanoseconds()
-				} else {
-					e.RunBefore(end)
-				}
+				t0 := time.Now()
+				e.RunBefore(end)
+				s.busyNs[i] += time.Since(t0).Nanoseconds()
 				done <- i
 			}
 		}(i, e)
 	}
 
 	for {
-		s.crossEvents += uint64(s.drain())
-		t, ok := s.minNext()
-		if !ok || (bounded && t > limit) {
+		s.drainBarrier()
+		minT, any := s.windowEnds()
+		if !any || (bounded && minT > limit) {
 			break
 		}
-		end := t + s.lookahead
-		if bounded && end > limit+1 {
-			// Clamp so events at exactly limit still fire but nothing
-			// beyond it does; Time is integral, so limit+1 is the
-			// smallest exclusive bound that includes limit.
-			end = limit + 1
+		lockstep := minT + s.lookahead // the non-adaptive window bound
+		dispatched := 0
+		lone := -1
+		stretchedThis := false
+		for d := range s.engines {
+			end := s.ends[d]
+			if bounded && end > limit+1 {
+				// Clamp so events at exactly limit still fire but nothing
+				// beyond it does; Time is integral, so limit+1 is the
+				// smallest exclusive bound that includes limit.
+				end = limit + 1
+			}
+			s.ends[d] = end
+			s.busy[d] = s.has[d] && s.next[d] < end
+			if s.busy[d] {
+				dispatched++
+				lone = d
+				if end > lockstep {
+					stretchedThis = true
+				}
+			}
 		}
-		var t0 time.Time
-		if s.wallStats {
-			t0 = time.Now()
+		if stretchedThis {
+			s.stretched++
 		}
-		for i := range work {
-			work[i] <- end
+		t0 := time.Now()
+		if dispatched == 1 {
+			// One busy shard: no barrier needed — its window cannot observe
+			// any other shard, so run it on the coordinator and skip the
+			// channel round trip entirely.
+			e := s.engines[lone]
+			e.RunBefore(s.ends[lone])
+			s.busyNs[lone] += time.Since(t0).Nanoseconds()
+			s.inlineWins++
+		} else {
+			for d := range s.engines {
+				if s.busy[d] {
+					work[d] <- s.ends[d]
+				}
+			}
+			for i := 0; i < dispatched; i++ {
+				<-done
+			}
 		}
-		for i := 0; i < n; i++ {
-			<-done
-		}
-		if s.wallStats {
-			s.wallNs += time.Since(t0).Nanoseconds()
-		}
+		s.wallNs += time.Since(t0).Nanoseconds()
 		s.windows++
 	}
 
@@ -180,18 +413,6 @@ func (s *Sharded) runWindows(limit Time, bounded bool) {
 		close(work[i])
 	}
 	wg.Wait()
-}
-
-// minNext reports the earliest pending timestamp across all engines.
-func (s *Sharded) minNext() (Time, bool) {
-	var min Time
-	ok := false
-	for _, e := range s.engines {
-		if t, has := e.NextEventTime(); has && (!ok || t < min) {
-			min, ok = t, true
-		}
-	}
-	return min, ok
 }
 
 // Now reports the common clock. Outside windows all engines agree (Run and
@@ -245,16 +466,42 @@ func (s *Sharded) EventsFired() uint64 {
 // ShardStats summarizes one coordinator's execution.
 type ShardStats struct {
 	Shards      int      // number of shards
-	LookaheadNs int64    // window width
+	LookaheadNs int64    // minimum window width (smallest finite pair lookahead)
 	Windows     uint64   // synchronization windows executed
 	CrossEvents uint64   // events delivered across shard boundaries
+	Stretched   uint64   // windows where a busy shard ran past the lockstep bound
+	Inline      uint64   // single-busy-shard windows run without a barrier
+	EmptyDrains uint64   // drain passes skipped (no cross events queued)
 	Events      []uint64 // per-shard fired-event counts
-	// BusyNs and WaitNs are wall-clock (non-deterministic) and populated
-	// only after EnableWallStats: per-shard time spent executing windows,
-	// and per-shard idle time at barriers (window wall time minus busy).
+	// BusyNs and WaitNs are wall-clock (non-deterministic): per-shard time
+	// spent executing windows, and per-shard idle time at barriers (window
+	// wall time minus busy).
 	BusyNs []int64
 	WaitNs []int64
 	WallNs int64 // total wall time inside windows
+}
+
+// BarrierWaitShare reports the fraction of the total window wall time the
+// average shard spent waiting at barriers — the headline conservative-sync
+// overhead number (0 when nothing ran).
+func (st ShardStats) BarrierWaitShare() float64 {
+	if st.WallNs <= 0 || len(st.WaitNs) == 0 {
+		return 0
+	}
+	var wait int64
+	for _, w := range st.WaitNs {
+		wait += w
+	}
+	return float64(wait) / (float64(st.WallNs) * float64(len(st.WaitNs)))
+}
+
+// CrossPerWindow reports the average number of cross-shard events a
+// synchronization window moved.
+func (st ShardStats) CrossPerWindow() float64 {
+	if st.Windows == 0 {
+		return 0
+	}
+	return float64(st.CrossEvents) / float64(st.Windows)
 }
 
 // Stats snapshots the coordinator's accounting. Call it between runs, not
@@ -265,18 +512,19 @@ func (s *Sharded) Stats() ShardStats {
 		LookaheadNs: int64(s.lookahead),
 		Windows:     s.windows,
 		CrossEvents: s.crossEvents,
+		Stretched:   s.stretched,
+		Inline:      s.inlineWins,
+		EmptyDrains: s.emptyDrains,
 		WallNs:      s.wallNs,
 	}
 	for i, e := range s.engines {
 		st.Events = append(st.Events, e.fired)
-		if s.wallStats {
-			st.BusyNs = append(st.BusyNs, s.busyNs[i])
-			wait := s.wallNs - s.busyNs[i]
-			if wait < 0 {
-				wait = 0
-			}
-			st.WaitNs = append(st.WaitNs, wait)
+		st.BusyNs = append(st.BusyNs, s.busyNs[i])
+		wait := s.wallNs - s.busyNs[i]
+		if wait < 0 {
+			wait = 0
 		}
+		st.WaitNs = append(st.WaitNs, wait)
 	}
 	return st
 }

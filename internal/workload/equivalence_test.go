@@ -6,16 +6,19 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/clos"
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/member"
+	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // Engine-equivalence property test: every registered workload pattern,
-// run at several seeds, must produce the exact same event timeline —
-// every (timestamp, tiebreak key) pair fired by any engine — under four
-// execution modes:
+// run at several seeds on both fabric backends, must produce the exact
+// same event timeline — every (timestamp, tiebreak key) pair fired by any
+// engine — under four execution modes:
 //
 //	legacy  — Config.Shards left zero, the path every pre-existing caller
 //	          takes (pins that sharding support didn't change defaults)
@@ -23,8 +26,12 @@ import (
 //	2-shard — conservative parallel, two engines
 //	4-shard — conservative parallel, four engines
 //
-// Reports/results are compared too: the timeline proves the engines agree,
-// the report proves the workload-visible numbers do.
+// Sharded modes exercise the adaptive coordinator end to end — per-pair
+// lookahead matrix, window stretching, inline single-shard windows,
+// skipped drains — so this is the property pinning that adaptivity moves
+// only wall-clock behavior, never the timeline. Reports/results are
+// compared too: the timeline proves the engines agree, the report proves
+// the workload-visible numbers do.
 
 type tlRec struct {
 	when sim.Time
@@ -67,6 +74,17 @@ var modes = []struct {
 	{"4-shard", 4},
 }
 
+// fabrics lists the interconnect backends the equivalence property must
+// hold on. The uniform-latency Myrinet fabric and the 3x-faster PFC Clos
+// fabric stress different window widths and cross-shard densities.
+var fabrics = []struct {
+	name string
+	cfg  fabric.Config
+}{
+	{"myrinet", myrinet.Default()},
+	{"clos", clos.Default()},
+}
+
 func diffTimelines(t *testing.T, label string, want, got []tlRec) {
 	t.Helper()
 	if len(want) != len(got) {
@@ -83,40 +101,45 @@ func diffTimelines(t *testing.T, label string, want, got []tlRec) {
 func TestEngineEquivalenceAcrossPatterns(t *testing.T) {
 	const nodes = 16
 	p2p := []workload.Pattern{workload.Uniform, workload.Permutation, workload.Hotspot, workload.Neighbor}
-	for _, pat := range p2p {
-		pat := pat
-		t.Run(string(pat), func(t *testing.T) {
-			for _, seed := range []int64{1, 2, 3} {
-				var baseTL []tlRec
-				var baseRep workload.Report
-				for mi, m := range modes {
-					cfg := cluster.DefaultConfig(nodes)
-					cfg.Seed = seed
-					cfg.Shards = m.shards
-					var tl func() []tlRec
-					rep, err := workload.RunWith(cfg, workload.Spec{
-						Pattern:  pat,
-						Messages: 60,
-						MeanSize: 2048,
-						MeanGap:  5 * sim.Microsecond,
-					}, func(c *cluster.Cluster) { tl = recordTimelines(c) })
-					if err != nil {
-						t.Fatalf("seed %d %s: %v", seed, m.name, err)
-					}
-					if mi == 0 {
-						baseTL, baseRep = tl(), rep
-						if len(baseTL) == 0 {
-							t.Fatalf("seed %d: baseline fired no events", seed)
+	for _, fb := range fabrics {
+		fb := fb
+		for _, pat := range p2p {
+			pat := pat
+			t.Run(fb.name+"/"+string(pat), func(t *testing.T) {
+				for _, seed := range []int64{1, 2, 3} {
+					var baseTL []tlRec
+					var baseRep workload.Report
+					for mi, m := range modes {
+						cfg := cluster.DefaultConfig(nodes)
+						cfg.Seed = seed
+						cfg.Shards = m.shards
+						cfg.Fabric = fb.cfg
+						cfg.Link = fb.cfg.Links
+						var tl func() []tlRec
+						rep, err := workload.RunWith(cfg, workload.Spec{
+							Pattern:  pat,
+							Messages: 60,
+							MeanSize: 2048,
+							MeanGap:  5 * sim.Microsecond,
+						}, func(c *cluster.Cluster) { tl = recordTimelines(c) })
+						if err != nil {
+							t.Fatalf("seed %d %s: %v", seed, m.name, err)
 						}
-						continue
-					}
-					diffTimelines(t, fmt.Sprintf("seed %d %s", seed, m.name), baseTL, tl())
-					if rep != baseRep {
-						t.Errorf("seed %d %s: report %+v != baseline %+v", seed, m.name, rep, baseRep)
+						if mi == 0 {
+							baseTL, baseRep = tl(), rep
+							if len(baseTL) == 0 {
+								t.Fatalf("seed %d: baseline fired no events", seed)
+							}
+							continue
+						}
+						diffTimelines(t, fmt.Sprintf("seed %d %s", seed, m.name), baseTL, tl())
+						if rep != baseRep {
+							t.Errorf("seed %d %s: report %+v != baseline %+v", seed, m.name, rep, baseRep)
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -126,44 +149,50 @@ func TestEngineEquivalenceAcrossPatterns(t *testing.T) {
 // the full delivery and epoch ground truth — all of it must match.
 func TestEngineEquivalenceChurn(t *testing.T) {
 	const nodes = 12
-	for _, seed := range []int64{1, 2, 3} {
-		var baseTL []tlRec
-		var base *member.Result
-		for mi, m := range modes {
-			plan, err := workload.GenerateChurn(workload.ChurnSpec{
-				Nodes:        nodes,
-				Transitions:  4,
-				Msgs:         10,
-				MeanSize:     1024,
-				MeanGap:      15 * sim.Microsecond,
-				MeanChurnGap: 60 * sim.Microsecond,
-			}, sim.NewRNG(seed))
-			if err != nil {
-				t.Fatalf("seed %d: %v", seed, err)
+	for _, fb := range fabrics {
+		fb := fb
+		t.Run(fb.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				var baseTL []tlRec
+				var base *member.Result
+				for mi, m := range modes {
+					plan, err := workload.GenerateChurn(workload.ChurnSpec{
+						Nodes:        nodes,
+						Transitions:  4,
+						Msgs:         10,
+						MeanSize:     1024,
+						MeanGap:      15 * sim.Microsecond,
+						MeanChurnGap: 60 * sim.Microsecond,
+					}, sim.NewRNG(seed))
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					c := cluster.New(nodes, cluster.WithSeed(seed),
+						cluster.WithShards(m.shards), cluster.WithFabric(fb.cfg))
+					tl := recordTimelines(c)
+					res := member.Run(c, member.Config{}, plan)
+					if vs := res.Verify(); len(vs) != 0 {
+						t.Fatalf("seed %d %s: churn run violated invariants: %v", seed, m.name, vs)
+					}
+					if mi == 0 {
+						baseTL, base = tl(), res
+						continue
+					}
+					diffTimelines(t, fmt.Sprintf("seed %d %s", seed, m.name), baseTL, tl())
+					if res.Finish != base.Finish {
+						t.Errorf("seed %d %s: finish %v != baseline %v", seed, m.name, res.Finish, base.Finish)
+					}
+					if !reflect.DeepEqual(res.Epochs, base.Epochs) {
+						t.Errorf("seed %d %s: epoch ground truth diverged", seed, m.name)
+					}
+					if !reflect.DeepEqual(res.Deliveries, base.Deliveries) {
+						t.Errorf("seed %d %s: delivery sequences diverged", seed, m.name)
+					}
+					if !reflect.DeepEqual(res.SendEpoch, base.SendEpoch) {
+						t.Errorf("seed %d %s: send-epoch stamps diverged", seed, m.name)
+					}
+				}
 			}
-			c := cluster.New(nodes, cluster.WithSeed(seed), cluster.WithShards(m.shards))
-			tl := recordTimelines(c)
-			res := member.Run(c, member.Config{}, plan)
-			if vs := res.Verify(); len(vs) != 0 {
-				t.Fatalf("seed %d %s: churn run violated invariants: %v", seed, m.name, vs)
-			}
-			if mi == 0 {
-				baseTL, base = tl(), res
-				continue
-			}
-			diffTimelines(t, fmt.Sprintf("seed %d %s", seed, m.name), baseTL, tl())
-			if res.Finish != base.Finish {
-				t.Errorf("seed %d %s: finish %v != baseline %v", seed, m.name, res.Finish, base.Finish)
-			}
-			if !reflect.DeepEqual(res.Epochs, base.Epochs) {
-				t.Errorf("seed %d %s: epoch ground truth diverged", seed, m.name)
-			}
-			if !reflect.DeepEqual(res.Deliveries, base.Deliveries) {
-				t.Errorf("seed %d %s: delivery sequences diverged", seed, m.name)
-			}
-			if !reflect.DeepEqual(res.SendEpoch, base.SendEpoch) {
-				t.Errorf("seed %d %s: send-epoch stamps diverged", seed, m.name)
-			}
-		}
+		})
 	}
 }
