@@ -288,22 +288,8 @@ func memberRunOnce(sc MemberScenario, cfg MemberConfig, faulted bool) memberOutc
 	out.finish = res.Finish
 	out.epochs = len(res.Epochs)
 	out.rejected = res.Rejected
-	out.violations = append(out.violations, res.Verify()...)
-	out.violations = append(out.violations, checkQuiescence(c, Config{Deadline: cfg.Deadline})...)
-	out.violations = append(out.violations, checkResources(c, data, ccfg)...)
-	for i, p := range ctrl {
-		if got, want := p.FreeSendTokens(), ccfg.GM.SendTokens; got != want {
-			out.violations = append(out.violations, fmt.Sprintf(
-				"node %d: %d/%d control send tokens not returned", i, want-got, want))
-		}
-		if r := p.PendingRecvs(); r != 0 {
-			out.violations = append(out.violations, fmt.Sprintf(
-				"node %d: %d control deliveries never consumed", i, r))
-		}
-	}
-
 	d := reg.Snapshot().Diff(before)
-	out.violations = append(out.violations, checkMemberAccounting(d, res, ccfg)...)
+	out.violations = append(out.violations, CheckMemberRun(c, ccfg, res, data, ctrl, d, cfg.Deadline)...)
 	out.drops = d.CounterSum("net", "dropped")
 	out.dups = d.CounterSum("net", "duplicated")
 	out.retransmits = d.CounterSum("core", "retransmits") + d.CounterSum("gm", "retransmits")
@@ -319,6 +305,41 @@ func memberRunOnce(sc MemberScenario, cfg MemberConfig, faulted bool) memberOutc
 	c.Kill()
 	return out
 }
+
+// CheckMemberRun evaluates the full membership invariant set against a
+// finished run: the membership invariant itself (Result.Verify — every
+// payload multicast in epoch E delivered exactly once, in order, to
+// exactly E's members), cluster quiescence (no blocked procs, no leaked
+// timers), NIC/port resource return on both the data and control ports,
+// and the delivery-derived packet-accounting census. diff must be the
+// run's metrics delta (Snapshot().Diff(before)) on a registry private to
+// the run. It is the checker the chaos campaigns apply after every
+// scenario, exported so the schedule explorer can hold every permuted
+// trace to exactly the same bar.
+func CheckMemberRun(c *cluster.Cluster, ccfg *cluster.Config, res *member.Result, data, ctrl []*gm.Port, diff metrics.Snapshot, deadline sim.Time) []string {
+	var v []string
+	v = append(v, res.Verify()...)
+	v = append(v, checkQuiescence(c, Config{Deadline: deadline})...)
+	v = append(v, checkResources(c, data, ccfg)...)
+	for i, p := range ctrl {
+		if got, want := p.FreeSendTokens(), ccfg.GM.SendTokens; got != want {
+			v = append(v, fmt.Sprintf(
+				"node %d: %d/%d control send tokens not returned", i, want-got, want))
+		}
+		if r := p.PendingRecvs(); r != 0 {
+			v = append(v, fmt.Sprintf(
+				"node %d: %d control deliveries never consumed", i, r))
+		}
+	}
+	v = append(v, checkMemberAccounting(diff, res, ccfg)...)
+	return v
+}
+
+// ScenarioSeed mixes a campaign seed with a scenario name (FNV-1a), the
+// derivation every chaos run uses to give each scenario an independent
+// but reproducible fault stream. Exported for the schedule explorer,
+// which derives its churn-plan and fault seeds the same way.
+func ScenarioSeed(seed int64, name string) int64 { return scenarioSeed(seed, name) }
 
 // checkMemberAccounting verifies the fabric conserved packets and that
 // the NICs accepted exactly the packets of the deliveries the membership

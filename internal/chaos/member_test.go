@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/chaos"
+	"repro/internal/sim"
 )
 
 func memberConfig() chaos.MemberConfig {
@@ -62,6 +63,34 @@ func TestMemberScenariosActuallyInject(t *testing.T) {
 		if sc.Name == "churn-under-loss" && res.Drops == 0 {
 			t.Errorf("churn-under-loss dropped nothing — the burst channel missed the run")
 		}
+	}
+}
+
+// Regression: PauseNIC events armed before member.RunOn must fire DURING
+// the run, not during the install barrier. RunOn's phase-1 quiescence
+// used to drain the whole event heap, so the coordinator-outage pause
+// (300µs–1ms) fired before any membership process existed and the
+// scenario quietly ran fault-free — unnoticed because PauseNIC is not a
+// hit-counted rule. The schedule explorer surfaced it (a pause that
+// outlasted the deadline still "passed"). A faulted run that truly hits
+// a 1ms outage cannot finish before the NIC resumes.
+func TestCoordinatorOutageOverlapsRun(t *testing.T) {
+	sc, ok := chaos.FindMember("churn-coordinator-outage")
+	if !ok {
+		t.Fatal("churn-coordinator-outage missing from membership library")
+	}
+	res := chaos.RunMemberScenario(sc, memberConfig())
+	if !res.Pass {
+		t.Fatalf("scenario failed: %v", res.Violations)
+	}
+	const pauseEnd = sim.Millisecond
+	if res.FaultFinish < pauseEnd {
+		t.Fatalf("faulted run finished at %v, before the outage lifted at %v — the pause never overlapped the run",
+			res.FaultFinish, pauseEnd)
+	}
+	if res.FaultFinish <= res.CleanFinish {
+		t.Fatalf("faulted finish %v not after clean finish %v — the outage cost nothing",
+			res.FaultFinish, res.CleanFinish)
 	}
 }
 

@@ -3,6 +3,7 @@ package core_test
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gm"
 	"repro/internal/sim"
@@ -166,6 +167,92 @@ func TestFutureEpochFrameDeliveredAfterCommit(t *testing.T) {
 	r.run(t)
 	if len(*got) != 3 {
 		t.Fatalf("delivered to %d nodes, want all 3 after the laggard commits", len(*got))
+	}
+}
+
+// newRigEpoch is newRig with the group installed at a caller-chosen
+// initial epoch — the wraparound tests start at the top of the uint32
+// epoch space.
+func newRigEpoch(t *testing.T, nodes int, epoch uint32) *rig {
+	t.Helper()
+	c := cluster.NewFromConfig(cluster.DefaultConfig(nodes))
+	r := &rig{c: c, ports: c.OpenPorts(testPort), gid: 7}
+	r.tr = tree.Flat(0, c.Members())
+	left := 0
+	for _, n := range c.Members() {
+		left++
+		c.Nodes[n].Ext.InstallGroupEpoch(r.gid, r.tr, testPort, testPort, epoch, func() { left-- })
+	}
+	c.Run()
+	if left != 0 {
+		t.Fatalf("%d installs incomplete after quiescence", left)
+	}
+	return r
+}
+
+// Regression (epoch wraparound): the epoch counter lives in uint32
+// serial-number space. After the group rolls past MaxUint32 to epoch 1
+// (the coordinator skips the static-reserved 0), a frame still stamped
+// MaxUint32 arriving at a moved-on NIC must classify as STALE and be
+// acked-as-dropped. A raw `<` comparison classifies it as future and
+// drops it silently, so the sender retransmits forever — this test then
+// fails with node 2 undelivered frames never acked and zero
+// StaleEpochDrops.
+func TestStaleClassificationAcrossEpochWrap(t *testing.T) {
+	const top = ^uint32(0) // MaxUint32: the last epoch before the wrap
+	r := newRigEpoch(t, 4, top)
+	got := r.spawnReceivers(1, 256)
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		rollEpoch(p, r, 1, 2) // node 2 wraps to epoch 1; everyone else stays at MaxUint32
+		// McastSync returning proves node 2's rejection was acked (stale),
+		// not silently dropped (future) — the wrap-unsafe failure mode.
+		r.c.Nodes[0].Ext.McastSync(p, r.ports[0], r.gid, pattern(64))
+	})
+	r.run(t)
+	if len(*got) != 2 {
+		t.Fatalf("delivered to %d nodes, want 2 (node 2 must reject as stale)", len(*got))
+	}
+	if _, ok := (*got)[2]; ok {
+		t.Fatal("pre-wrap frame was delivered at the node that wrapped ahead")
+	}
+	st := r.c.Nodes[2].Ext.Stats()
+	if st.StaleEpochDrops == 0 || st.AckedAsDropped == 0 {
+		t.Fatalf("pre-wrap frame not classified stale across the wrap: %+v", st)
+	}
+	if st.FutureEpochDrops != 0 {
+		t.Fatalf("pre-wrap frame misclassified as future %d times", st.FutureEpochDrops)
+	}
+}
+
+// Regression (epoch wraparound, the other direction): a post-wrap frame
+// (epoch 1) reaching a NIC still at MaxUint32 must classify as FUTURE —
+// silently dropped until this NIC commits, after which the parent's
+// retransmissions land. A raw `<` would call it stale and ack it as
+// dropped, permanently losing the payload at the laggard.
+func TestFutureClassificationAcrossEpochWrap(t *testing.T) {
+	const top = ^uint32(0)
+	r := newRigEpoch(t, 4, top)
+	got := r.spawnReceivers(1, 256)
+	r.c.Eng.Spawn("root", func(p *sim.Proc) {
+		rollEpoch(p, r, 1, 0, 1, 3) // node 2 lags at MaxUint32
+		if ep, live := r.c.Nodes[0].Ext.GroupEpoch(r.gid); ep != 1 || !live {
+			t.Errorf("root at epoch %d live=%v after the wrap, want 1/true", ep, live)
+		}
+		r.c.Nodes[0].Ext.Mcast(p, r.ports[0], r.gid, pattern(64))
+		p.Sleep(300 * sim.Microsecond)
+		st := r.c.Nodes[2].Ext.Stats()
+		if st.FutureEpochDrops == 0 {
+			t.Error("laggard accepted (or never saw) a post-wrap future-epoch frame")
+		}
+		if st.AckedAsDropped != 0 {
+			t.Error("laggard acked-as-dropped a future frame — wrap misclassification")
+		}
+		rollEpoch(p, r, 1, 2) // node 2 wraps too; retransmits now land
+		r.ports[0].WaitSendDone(p)
+	})
+	r.run(t)
+	if len(*got) != 3 {
+		t.Fatalf("delivered to %d nodes, want all 3 after the laggard wraps", len(*got))
 	}
 }
 

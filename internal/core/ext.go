@@ -193,7 +193,7 @@ func (e *Ext) PrepareGroupEpoch(id gm.GroupID, tr *tree.Tree, port, rootPort gm.
 				g.live = false
 				g.epoch = epoch
 				e.groups[id] = g
-			} else if g.live && !gm.SeqAfter(epoch, g.epoch) {
+			} else if g.live && !gm.EpochAfter(epoch, g.epoch) {
 				panic(fmt.Errorf("%w: group %d at %v prepared for epoch %d, live epoch is %d",
 					ErrEpochRegressed, id, e.nic.ID(), epoch, g.epoch))
 			}
@@ -329,7 +329,10 @@ func (e *Ext) rxData(fr *gm.Frame) {
 			// A departed NIC has no entry at all; a dynamic-epoch frame
 			// reaching one is acked-as-dropped so the sender's window never
 			// deadlocks on a node that left. Static (epoch 0) traffic keeps
-			// the silent not-a-member drop.
+			// the silent not-a-member drop. Epoch 0 is RESERVED for static
+			// groups — the membership coordinator skips it when its epoch
+			// counter wraps past MaxUint32 — so this test stays a correct
+			// static/dynamic discriminator for arbitrarily long-lived groups.
 			e.m.notMemberDrops.Inc()
 			if fr.Epoch != 0 {
 				e.ackDropped(fr)
@@ -539,9 +542,13 @@ func (g *group) recordForwarded(fr *gm.Frame, release func()) {
 // retransmitting into a view that will never accept them. Frames from a
 // future epoch — data racing ahead of this NIC's commit, or anything
 // aimed at a staged-but-not-live joining entry — are dropped silently;
-// the parent's retransmission arrives after the commit lands.
+// the parent's retransmission arrives after the commit lands. The
+// stale/future split is serial-number arithmetic (gm.EpochBefore), so a
+// group whose epoch counter wraps past MaxUint32 keeps classifying
+// correctly — a raw < here would ack brand-new post-wrap frames as stale
+// and silently starve the group.
 func (e *Ext) dropEpochMismatch(g *group, fr *gm.Frame) {
-	if g.live && gm.SeqBefore(fr.Epoch, g.epoch) {
+	if g.live && gm.EpochBefore(fr.Epoch, g.epoch) {
 		e.m.staleEpochDrops.Inc()
 		e.ackDropped(fr)
 		return

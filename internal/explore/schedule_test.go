@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Every schedule round-trips exactly through its one-line token — the
+// property that makes the printed repro command a faithful replay.
+func TestScheduleRoundTrip(t *testing.T) {
+	scheds := []Schedule{
+		{Seed: 1},
+		{Seed: -42},
+		{Seed: 7, Ticks: []Tick{{Pos: 3, Val: 2}, {Pos: 90, Val: 1}}},
+		{
+			Seed:   11,
+			Ticks:  []Tick{{Pos: 0, Val: 5}},
+			Faults: []FaultPoint{{Kind: FaultDropData, At: 100 * sim.Microsecond, Dur: 50 * sim.Microsecond, Node: 3}},
+			Shifts: []Shift{{Event: 2, By: 40 * sim.Microsecond}},
+		},
+		{
+			Seed: 2,
+			Faults: []FaultPoint{
+				{Kind: FaultPause, At: 10, Dur: 20, Node: 1},
+				{Kind: FaultDropAcks, At: 10, Dur: 20, Node: 0},
+				{Kind: FaultDup, At: 5, Dur: 7, Node: 0},
+			},
+		},
+	}
+	for _, s := range scheds {
+		tok := s.String()
+		got, err := Parse(tok)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tok, err)
+		}
+		if got.String() != tok {
+			t.Fatalf("round trip changed token: %q -> %q", tok, got.String())
+		}
+		if !reflect.DeepEqual(got.canon(), s.canon()) {
+			t.Fatalf("round trip changed schedule:\nsent %+v\ngot  %+v", s.canon(), got.canon())
+		}
+	}
+}
+
+// The token is canonical: decision order in the struct does not change it,
+// so it doubles as the distinct-schedule dedup key.
+func TestScheduleTokenCanonical(t *testing.T) {
+	a := Schedule{Seed: 5, Ticks: []Tick{{Pos: 9, Val: 1}, {Pos: 2, Val: 3}}}
+	b := Schedule{Seed: 5, Ticks: []Tick{{Pos: 2, Val: 3}, {Pos: 9, Val: 1}}}
+	if a.String() != b.String() {
+		t.Fatalf("permuted decision lists produced different tokens: %q vs %q", a, b)
+	}
+}
+
+func TestScheduleParseRejectsJunk(t *testing.T) {
+	for _, tok := range []string{
+		"", "x1", "s", "sfoo",
+		"s1!t3", "s1!q3.4", "s1!", "s1!fnope@1+2.n0", "s1!fdup@1", "s1!c4",
+	} {
+		if _, err := Parse(tok); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tok)
+		}
+	}
+}

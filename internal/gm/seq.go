@@ -16,3 +16,21 @@ func SeqAfter(a, b uint32) bool { return int32(a-b) > 0 }
 
 // SeqLEQ reports whether a precedes or equals b in sequence space.
 func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// Group epochs live in the same uint32 serial-number space as sequence
+// numbers and wrap the same way: a group that rolls epochs for long enough
+// passes MaxUint32 and continues at 1 (epoch 0 is reserved for static
+// groups — the membership coordinator skips it when allocating). The NIC
+// rx path classifies an epoch-mismatched frame as stale (acked-as-dropped
+// so the sender's window advances past a departed node) or future
+// (silently dropped until this NIC commits); getting that classification
+// backwards across the wrap would deadlock the sender, so the comparisons
+// must be serial-number ones. These are those comparisons, named for the
+// epoch space; correct while fewer than 2^31 epochs are in flight at once
+// (the protocol keeps exactly two: current and staged).
+
+// EpochBefore reports whether epoch a precedes b in epoch space.
+func EpochBefore(a, b uint32) bool { return SeqBefore(a, b) }
+
+// EpochAfter reports whether epoch a follows b in epoch space.
+func EpochAfter(a, b uint32) bool { return SeqAfter(a, b) }

@@ -1,0 +1,42 @@
+package gm
+
+import "testing"
+
+// Serial-number arithmetic must stay correct across the uint32 wrap: the
+// value after MaxUint32 is 0 (or, for epochs, 1 — the coordinator skips
+// the static-reserved 0) and must still compare as "after".
+func TestSerialArithmeticAcrossWrap(t *testing.T) {
+	const top = ^uint32(0)
+	cases := []struct {
+		a, b          uint32
+		before, after bool
+	}{
+		{0, 1, true, false},
+		{1, 0, false, true},
+		{5, 5, false, false},
+		{top, 0, true, false}, // wrap: MaxUint32 precedes 0
+		{top, 1, true, false}, // wrap: MaxUint32 precedes 1 (0 skipped)
+		{0, top, false, true}, // and the reverse orders as after
+		{1, top, false, true}, // post-wrap epoch 1 follows MaxUint32
+		{top - 3, top, true, false},
+		{top, top - 3, false, true},
+	}
+	for _, c := range cases {
+		if got := SeqBefore(c.a, c.b); got != c.before {
+			t.Errorf("SeqBefore(%d, %d) = %v, want %v", c.a, c.b, got, c.before)
+		}
+		if got := SeqAfter(c.a, c.b); got != c.after {
+			t.Errorf("SeqAfter(%d, %d) = %v, want %v", c.a, c.b, got, c.after)
+		}
+		if got := SeqLEQ(c.a, c.b); got != (c.before || c.a == c.b) {
+			t.Errorf("SeqLEQ(%d, %d) = %v, want %v", c.a, c.b, got, c.before || c.a == c.b)
+		}
+		// The epoch-space names are the same comparison; pin the aliasing.
+		if got := EpochBefore(c.a, c.b); got != c.before {
+			t.Errorf("EpochBefore(%d, %d) = %v, want %v", c.a, c.b, got, c.before)
+		}
+		if got := EpochAfter(c.a, c.b); got != c.after {
+			t.Errorf("EpochAfter(%d, %d) = %v, want %v", c.a, c.b, got, c.after)
+		}
+	}
+}

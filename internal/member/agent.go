@@ -11,8 +11,11 @@ import (
 type agent struct {
 	s *System
 	n fabric.NodeID
-	// stagedEpoch is the epoch of the view this node staged in the
-	// in-flight transition (0 = nothing staged).
+	// staged/stagedEpoch track the view this node staged in the in-flight
+	// transition. The explicit flag (rather than a 0-means-none sentinel)
+	// keeps the check correct for every epoch value in the wrapping
+	// uint32 epoch space.
+	staged      bool
 	stagedEpoch uint32
 }
 
@@ -75,7 +78,7 @@ func (a *agent) onPrepare(p *sim.Proc, m ctrlMsg) {
 	s.await(p, func(done func()) {
 		s.c.Nodes[a.n].Ext.PrepareGroupEpoch(s.cfg.Group, tr, s.cfg.DataPort, s.cfg.DataPort, m.epoch, done)
 	})
-	a.stagedEpoch = m.epoch
+	a.staged, a.stagedEpoch = true, m.epoch
 	if a.n == s.root {
 		s.co.freezeAt = p.Now()
 	}
@@ -99,11 +102,11 @@ func (a *agent) onQuiesce(p *sim.Proc, m ctrlMsg) {
 // pump into the new epoch.
 func (a *agent) onCommit(p *sim.Proc, m ctrlMsg) {
 	s := a.s
-	if a.stagedEpoch == m.epoch {
+	if a.staged && a.stagedEpoch == m.epoch {
 		s.await(p, func(done func()) {
 			s.c.Nodes[a.n].Ext.CommitGroupEpoch(s.cfg.Group, m.epoch, done)
 		})
-		a.stagedEpoch = 0
+		a.staged = false
 	}
 	if a.n == s.root {
 		s.co.thawAt = p.Now()

@@ -102,6 +102,18 @@ func (co *coord) idle(p *sim.Proc) {
 	}
 }
 
+// nextEpoch is the epoch the in-flight (or next) transition commits.
+// Epoch 0 is reserved for static groups — the NIC rx path discriminates
+// static from dynamic traffic by frame epoch 0, so the counter skips it
+// when wrapping past MaxUint32 (serial-number space; see gm.EpochAfter).
+func (co *coord) nextEpoch() uint32 {
+	e := co.epoch + 1
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
 // request validates one join/leave against the ACTUAL current membership
 // (requests may arrive reordered across nodes relative to the plan) and
 // starts a transition. Invalid requests — joining a member, leaving a
@@ -174,7 +186,7 @@ func (co *coord) begin(p *sim.Proc, node fabric.NodeID, join bool, target []fabr
 	co.waitFor = make(map[fabric.NodeID]bool, len(co.parts))
 	msg := ctrlMsg{
 		kind:    ctrlPrepare,
-		epoch:   co.epoch + 1,
+		epoch:   co.nextEpoch(),
 		root:    co.s.root,
 		members: co.target,
 		parents: co.nextTr.Parents(),
@@ -190,7 +202,7 @@ func (co *coord) begin(p *sim.Proc, node fabric.NodeID, join bool, target []fabr
 // reply retires one outstanding phase reply and advances the machine
 // when the wait set empties.
 func (co *coord) reply(p *sim.Proc, wantPhase int, m ctrlMsg) {
-	if co.phase != wantPhase || m.epoch != co.epoch+1 || !co.waitFor[m.node] {
+	if co.phase != wantPhase || m.epoch != co.nextEpoch() || !co.waitFor[m.node] {
 		co.s.res.fail("coordinator: stray reply kind=%d node=%d epoch=%d in phase %d",
 			m.kind, m.node, m.epoch, co.phase)
 		return
@@ -221,7 +233,7 @@ func (co *coord) reply(p *sim.Proc, wantPhase int, m ctrlMsg) {
 		for _, n := range co.parts {
 			co.waitFor[n] = true
 		}
-		msg := ctrlMsg{kind: ctrlCommit, epoch: co.epoch + 1}
+		msg := ctrlMsg{kind: ctrlCommit, epoch: co.nextEpoch()}
 		// Commit remote participants before the root: the root's commit
 		// un-freezes the pump, and a head start for the others shortens
 		// the future-epoch retransmit window (correct either way — a NIC
@@ -245,7 +257,7 @@ func (co *coord) quiesceLevel(p *sim.Proc) {
 	for _, n := range level {
 		co.waitFor[n] = true
 	}
-	msg := ctrlMsg{kind: ctrlQuiesce, epoch: co.epoch + 1}
+	msg := ctrlMsg{kind: ctrlQuiesce, epoch: co.nextEpoch()}
 	for _, n := range level {
 		co.s.sendCtrl(p, co.s.root, n, msg)
 	}
@@ -255,7 +267,7 @@ func (co *coord) quiesceLevel(p *sim.Proc) {
 // truth for the membership invariant, and the rebuild latency and
 // traffic-disruption gap feed the histograms.
 func (co *coord) finish(p *sim.Proc) {
-	co.epoch++
+	co.epoch = co.nextEpoch()
 	co.members = make(map[fabric.NodeID]bool, len(co.target))
 	for _, n := range co.target {
 		co.members[n] = true

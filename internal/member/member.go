@@ -25,6 +25,11 @@ type Config struct {
 	Fanout int
 	// Deadline bounds the simulated run (default 500ms).
 	Deadline sim.Time
+	// FirstEpoch is the epoch the initial view is installed as (default
+	// 0). Epochs live in uint32 serial-number space and the coordinator
+	// skips 0 when wrapping (it is reserved for static groups), so a test
+	// can start near MaxUint32 and drive the counter through wraparound.
+	FirstEpoch uint32
 }
 
 func (c Config) withDefaults() Config {
@@ -53,10 +58,6 @@ const sentinelIdx = ^uint32(0)
 // SentinelSize is the sentinel's payload length — campaigns that audit
 // packet accounting need it to price the final multicast.
 const SentinelSize = 16
-
-// unstamped is the SendEpoch value for a message whose epoch callback
-// never fired (the run did not get far enough to stage it).
-const unstamped = ^uint32(0)
 
 // System wires a cluster, a churn plan, and the membership protocol
 // together for one run.
@@ -139,23 +140,21 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 	tr := tree.Incremental(nil, s.root, initial, cfg.Fanout)
 
 	s.res = &Result{
-		Nodes:         n,
-		Root:          s.root,
-		SendEpoch:     make([]uint32, len(plan.Sends)),
-		SendSize:      make([]int, len(plan.Sends)),
-		SentinelEpoch: unstamped,
-		Deliveries:    make([][]Delivery, n),
-	}
-	for i := range s.res.SendEpoch {
-		s.res.SendEpoch[i] = unstamped
+		Nodes:       n,
+		Root:        s.root,
+		SendEpoch:   make([]uint32, len(plan.Sends)),
+		SendStamped: make([]bool, len(plan.Sends)),
+		SendSize:    make([]int, len(plan.Sends)),
+		Deliveries:  make([][]Delivery, n),
 	}
 	s.res.Epochs = append(s.res.Epochs, EpochRecord{
-		Epoch:   0,
+		Epoch:   cfg.FirstEpoch,
 		Members: append([]fabric.NodeID(nil), initial...),
 		Node:    -1,
 	})
 
 	s.co = newCoord(s, initial, tr)
+	s.co.epoch = cfg.FirstEpoch
 
 	// Phase 1: install the initial epoch-0 view on the root and every
 	// initial member, then run to quiescence so every entry is live before
@@ -167,12 +166,22 @@ func RunOn(c *cluster.Cluster, cfg Config, plan workload.ChurnPlan, data, ctrl [
 		m := m
 		s.installsLeft.Add(1)
 		c.WithNode(m, func() {
-			c.Nodes[m].Ext.InstallGroupEpoch(cfg.Group, tr, cfg.DataPort, cfg.DataPort, 0, func() {
+			c.Nodes[m].Ext.InstallGroupEpoch(cfg.Group, tr, cfg.DataPort, cfg.DataPort, cfg.FirstEpoch, func() {
 				s.installsLeft.Add(-1)
 			})
 		})
 	}
-	c.Run()
+	// The barrier must NOT drain the whole event heap (c.Run()): a fault
+	// injector may already have armed absolute-time events — a NIC pause
+	// deep in the run, say — and firing them here would advance the clock
+	// past every fault window before a single membership process exists,
+	// silently turning timed faults into no-ops. Bounded windows fire only
+	// what installation itself schedules; the same RunUntil sequence runs
+	// on serial and sharded clusters, so engine equivalence holds.
+	installBudget := c.Now() + sim.Millisecond
+	for s.installsLeft.Load() != 0 && c.Now() < installBudget {
+		c.RunUntil(c.Now() + sim.Microsecond)
+	}
 	if left := s.installsLeft.Load(); left != 0 {
 		panic(fmt.Sprintf("member: %d epoch-0 installs still pending after quiescence", left))
 	}
@@ -300,6 +309,7 @@ func (s *System) senderLoop(p *sim.Proc) {
 		s.res.SendSize[i] = len(buf)
 		ext.McastEpoch(p, port, s.cfg.Group, buf, func(epoch uint32) {
 			s.res.SendEpoch[idx] = epoch
+			s.res.SendStamped[idx] = true
 		})
 	}
 	s.sendCtrl(p, s.root, s.root, ctrlMsg{kind: ctrlFinalize})
@@ -308,6 +318,7 @@ func (s *System) senderLoop(p *sim.Proc) {
 	}
 	ext.McastEpoch(p, port, s.cfg.Group, mkPayload(sentinelIdx, SentinelSize), func(epoch uint32) {
 		s.res.SentinelEpoch = epoch
+		s.res.SentinelStamped = true
 	})
 	for i := 0; i < len(s.plan.Sends)+1; i++ {
 		port.WaitSendDone(p)

@@ -37,12 +37,19 @@ type Result struct {
 	// Epochs holds one record per committed epoch, in commit order,
 	// starting with the initial epoch 0.
 	Epochs []EpochRecord
-	// SendEpoch[i] is the epoch the firmware staged payload i in
-	// (unstamped if the run ended first); SendSize[i] its on-wire payload
-	// length after clamping.
+	// SendEpoch[i] is the epoch the firmware staged payload i in;
+	// SendStamped[i] records whether the stamp callback fired at all (a
+	// run that ends early leaves payloads unstamped). The flag is separate
+	// from the value because every uint32 — including 0 and MaxUint32 —
+	// is a legitimate epoch once the counter wraps; a sentinel value would
+	// alias a real epoch. SendSize[i] is payload i's on-wire length after
+	// clamping.
 	SendEpoch     []uint32
+	SendStamped   []bool
 	SendSize      []int
 	SentinelEpoch uint32
+	// SentinelStamped records whether the sentinel's stamp callback fired.
+	SentinelStamped bool
 	// Deliveries[n] is node n's delivery sequence in arrival order,
 	// sentinel included.
 	Deliveries [][]Delivery
@@ -85,13 +92,13 @@ func (r *Result) Verify() []string {
 		memberAt[e.Epoch] = set
 	}
 	for i, ep := range r.SendEpoch {
-		if ep == unstamped {
+		if !r.SendStamped[i] {
 			errs = append(errs, fmt.Sprintf("payload %d was never staged", i))
 		} else if memberAt[ep] == nil {
 			errs = append(errs, fmt.Sprintf("payload %d staged in unrecorded epoch %d", i, ep))
 		}
 	}
-	if r.SentinelEpoch == unstamped {
+	if !r.SentinelStamped {
 		errs = append(errs, "sentinel was never staged")
 	} else if set := memberAt[r.SentinelEpoch]; set == nil || len(set) != r.Nodes {
 		errs = append(errs, fmt.Sprintf("sentinel staged in epoch %d without full membership", r.SentinelEpoch))
@@ -159,19 +166,15 @@ func (r *Result) DeliveredPayloads() int {
 	return total
 }
 
-// String summarizes the run for logs.
+// String summarizes the run for logs. The epoch count is the number of
+// committed EpochRecords (commit order), not max-epoch+1 — the latter is
+// meaningless once the counter wraps or starts above 0.
 func (r *Result) String() string {
-	var maxEpoch uint32
-	for _, e := range r.Epochs {
-		if e.Epoch > maxEpoch {
-			maxEpoch = e.Epoch
-		}
-	}
 	sizes := make([]int, 0, len(r.Epochs))
 	for _, e := range r.Epochs {
 		sizes = append(sizes, len(e.Members))
 	}
 	sort.Ints(sizes)
 	return fmt.Sprintf("member: %d transitions over %d epochs, group size %d..%d, %d payloads delivered, %d rejected, finish %v",
-		r.Transitions, maxEpoch+1, sizes[0], sizes[len(sizes)-1], r.DeliveredPayloads(), r.Rejected, r.Finish)
+		r.Transitions, len(r.Epochs), sizes[0], sizes[len(sizes)-1], r.DeliveredPayloads(), r.Rejected, r.Finish)
 }

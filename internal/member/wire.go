@@ -29,6 +29,7 @@ package member
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -93,6 +94,14 @@ func (m ctrlMsg) encode() []byte {
 	return buf
 }
 
+// ErrBadCtrlMsg is the sentinel every decodeCtrl failure wraps: truncated
+// payloads, count fields promising more elements than the remaining bytes
+// can hold, unknown kinds, and trailing garbage all report errors.Is-able
+// against it. The agent loop counts the violation and drops the message
+// instead of crashing — a corrupt control payload must never take the
+// membership service down.
+var ErrBadCtrlMsg = errors.New("member: malformed control message")
+
 func decodeCtrl(b []byte) (ctrlMsg, error) {
 	var m ctrlMsg
 	off := 0
@@ -110,36 +119,48 @@ func decodeCtrl(b []byte) (ctrlMsg, error) {
 	for _, f := range fields {
 		v, ok := get()
 		if !ok {
-			return m, fmt.Errorf("member: short control message (%d bytes)", len(b))
+			return m, fmt.Errorf("%w: short header (%d bytes)", ErrBadCtrlMsg, len(b))
 		}
 		*f = v
+	}
+	if m.kind < ctrlJoin || m.kind > ctrlShutdown {
+		return m, fmt.Errorf("%w: unknown kind %d", ErrBadCtrlMsg, m.kind)
 	}
 	m.node, m.root = fabric.NodeID(node), fabric.NodeID(root)
 	nm, ok := get()
 	if !ok {
-		return m, fmt.Errorf("member: truncated member list")
+		return m, fmt.Errorf("%w: truncated member count", ErrBadCtrlMsg)
+	}
+	// Validate count fields against the bytes actually present BEFORE
+	// allocating: a corrupt count is attacker-sized (up to 4 billion) and
+	// pre-sizing a slice or map from it is an out-of-memory panic.
+	if uint64(nm)*4 > uint64(len(b)-off) {
+		return m, fmt.Errorf("%w: member count %d exceeds %d remaining bytes", ErrBadCtrlMsg, nm, len(b)-off)
+	}
+	if nm > 0 {
+		m.members = make([]fabric.NodeID, 0, nm)
 	}
 	for i := uint32(0); i < nm; i++ {
-		v, ok := get()
-		if !ok {
-			return m, fmt.Errorf("member: truncated member list")
-		}
+		v, _ := get()
 		m.members = append(m.members, fabric.NodeID(v))
 	}
 	np, ok := get()
 	if !ok {
-		return m, fmt.Errorf("member: truncated parent list")
+		return m, fmt.Errorf("%w: truncated parent count", ErrBadCtrlMsg)
+	}
+	if uint64(np)*8 > uint64(len(b)-off) {
+		return m, fmt.Errorf("%w: parent count %d exceeds %d remaining bytes", ErrBadCtrlMsg, np, len(b)-off)
 	}
 	if np > 0 {
 		m.parents = make(map[fabric.NodeID]fabric.NodeID, np)
 	}
 	for i := uint32(0); i < np; i++ {
-		c, ok1 := get()
-		p, ok2 := get()
-		if !ok1 || !ok2 {
-			return m, fmt.Errorf("member: truncated parent list")
-		}
+		c, _ := get()
+		p, _ := get()
 		m.parents[fabric.NodeID(c)] = fabric.NodeID(p)
+	}
+	if off != len(b) {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrBadCtrlMsg, len(b)-off)
 	}
 	return m, nil
 }

@@ -1,0 +1,155 @@
+package member
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func wireMsgs() []ctrlMsg {
+	return []ctrlMsg{
+		{kind: ctrlJoin, node: 3},
+		{kind: ctrlLeave, node: 5},
+		{kind: ctrlQuiesce, epoch: 7},
+		{kind: ctrlCommit, epoch: ^uint32(0)}, // top-of-space epoch survives the trip
+		{
+			kind: ctrlPrepare, epoch: 42, root: 0,
+			members: []fabric.NodeID{0, 1, 2, 5},
+			parents: map[fabric.NodeID]fabric.NodeID{1: 0, 2: 0, 5: 1},
+		},
+		{kind: ctrlShutdown},
+	}
+}
+
+// Every well-formed message round-trips exactly.
+func TestCtrlRoundTrip(t *testing.T) {
+	for _, m := range wireMsgs() {
+		got, err := decodeCtrl(m.encode())
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip mutated message:\nsent %+v\ngot  %+v", m, got)
+		}
+	}
+}
+
+// Regression (codec hardening): every truncation of every valid encoding
+// decodes to ErrBadCtrlMsg — no panic, no silent partial parse.
+func TestCtrlDecodeTruncations(t *testing.T) {
+	for _, m := range wireMsgs() {
+		full := m.encode()
+		for cut := 0; cut < len(full); cut++ {
+			_, err := decodeCtrl(full[:cut])
+			if err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded cleanly (%+v)", cut, len(full), m)
+			}
+			if !errors.Is(err, ErrBadCtrlMsg) {
+				t.Fatalf("truncation error not errors.Is(ErrBadCtrlMsg): %v", err)
+			}
+		}
+	}
+}
+
+// Regression (codec hardening): a corrupt count field promising billions
+// of elements must be rejected by bounds-checking against the remaining
+// bytes BEFORE any allocation — the old decoder pre-sized a map from the
+// raw count, an out-of-memory panic vector.
+func TestCtrlDecodeHugeCounts(t *testing.T) {
+	base := ctrlMsg{kind: ctrlPrepare, epoch: 3, members: []fabric.NodeID{0, 1}, parents: map[fabric.NodeID]fabric.NodeID{1: 0}}
+	full := base.encode()
+	for _, tc := range []struct {
+		name string
+		off  int // byte offset of the count field to corrupt
+	}{
+		{"member-count", 16},
+		{"parent-count", 16 + 4 + 4*2},
+	} {
+		b := append([]byte(nil), full...)
+		binary.LittleEndian.PutUint32(b[tc.off:], ^uint32(0))
+		_, err := decodeCtrl(b)
+		if err == nil {
+			t.Fatalf("%s = MaxUint32 decoded cleanly", tc.name)
+		}
+		if !errors.Is(err, ErrBadCtrlMsg) {
+			t.Fatalf("%s: error not errors.Is(ErrBadCtrlMsg): %v", tc.name, err)
+		}
+	}
+}
+
+// Unknown kinds and trailing garbage are rejected, not passed through.
+func TestCtrlDecodeRejectsJunk(t *testing.T) {
+	if _, err := decodeCtrl(ctrlMsg{kind: 99}.encode()); !errors.Is(err, ErrBadCtrlMsg) {
+		t.Fatalf("unknown kind: got %v, want ErrBadCtrlMsg", err)
+	}
+	if _, err := decodeCtrl(ctrlMsg{kind: 0}.encode()); !errors.Is(err, ErrBadCtrlMsg) {
+		t.Fatalf("zero kind: got %v, want ErrBadCtrlMsg", err)
+	}
+	withTrailer := append(ctrlMsg{kind: ctrlJoin, node: 1}.encode(), 0xde, 0xad)
+	if _, err := decodeCtrl(withTrailer); !errors.Is(err, ErrBadCtrlMsg) {
+		t.Fatalf("trailing bytes: got %v, want ErrBadCtrlMsg", err)
+	}
+}
+
+// Fuzz-style sweep: random byte soup and randomly mutated valid encodings
+// must either decode cleanly or return the sentinel — never panic, never
+// return a naked error. Deterministic seed, so failures replay.
+func TestCtrlDecodeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	valid := wireMsgs()
+	for i := 0; i < 20000; i++ {
+		var b []byte
+		if i%2 == 0 {
+			b = make([]byte, rng.Intn(64))
+			rng.Read(b)
+		} else {
+			b = valid[rng.Intn(len(valid))].encode()
+			for flips := rng.Intn(4) + 1; flips > 0; flips-- {
+				if len(b) == 0 {
+					break
+				}
+				b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+			}
+		}
+		m, err := decodeCtrl(b) // must not panic
+		if err != nil && !errors.Is(err, ErrBadCtrlMsg) {
+			t.Fatalf("iteration %d: error not wrapping ErrBadCtrlMsg: %v", i, err)
+		}
+		if err == nil && (m.kind < ctrlJoin || m.kind > ctrlShutdown) {
+			t.Fatalf("iteration %d: clean decode of out-of-range kind %d", i, m.kind)
+		}
+	}
+}
+
+// FuzzDecodeCtrl is the native fuzz entry point (go test -fuzz=FuzzDecodeCtrl
+// ./internal/member). The seed corpus covers every message shape; the
+// property is panic-freedom plus the sentinel-error contract.
+func FuzzDecodeCtrl(f *testing.F) {
+	for _, m := range wireMsgs() {
+		f.Add(m.encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodeCtrl(b)
+		if err != nil && !errors.Is(err, ErrBadCtrlMsg) {
+			t.Fatalf("error not wrapping ErrBadCtrlMsg: %v", err)
+		}
+		if err == nil {
+			// A clean decode must survive a re-encode/re-decode round trip
+			// unchanged (byte order of the input may be non-canonical, but
+			// the message itself must be stable).
+			m2, err2 := decodeCtrl(m.encode())
+			if err2 != nil {
+				t.Fatalf("re-decode of clean message failed: %v", err2)
+			}
+			if !reflect.DeepEqual(m, m2) {
+				t.Fatalf("round trip mutated message:\nfirst  %+v\nsecond %+v", m, m2)
+			}
+		}
+	})
+}

@@ -65,6 +65,11 @@ type Engine struct {
 	// fireHook, when set, observes every fired event's (when, key) — the
 	// timeline probe the engine-equivalence tests diff.
 	fireHook func(Time, uint64)
+
+	// chooser, when set, picks which same-timestamp enabled event fires
+	// next; see SetChooser. cands is its reusable scratch buffer.
+	chooser func(n int) int
+	cands   []*Event
 }
 
 // domainBits is the width of the domain field in an event key; the low
@@ -343,7 +348,11 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.heapRemove(0)
+	i := 0
+	if e.chooser != nil {
+		i = e.chooseIndex()
+	}
+	ev := e.heapRemove(i)
 	e.now = ev.when
 	e.fired++
 	fn := ev.fn
@@ -364,6 +373,74 @@ func (e *Engine) Step() bool {
 // engine-equivalence tests use to diff full timelines across serial,
 // legacy, and sharded runs.
 func (e *Engine) SetFireHook(fn func(when Time, key uint64)) { e.fireHook = fn }
+
+// SetChooser installs (or, with nil, removes) a controlled scheduler: at
+// every Step where more than one event is *enabled*, fn picks which fires.
+//
+// The enabled set at the earliest pending timestamp t contains, for each
+// domain with events at t, only that domain's lowest-key event: per-domain
+// order is the FIFO program order of the entity (a NIC processes its own
+// work in order; a link delivers in order), so permuting within a domain
+// would explore schedules no hardware can produce. Orders *across* domains
+// at the same timestamp are genuinely concurrent, and those are exactly the
+// orders a chooser can permute. The candidates are presented sorted by key,
+// so index 0 is the event the default FIFO schedule would fire — a chooser
+// that always returns 0 reproduces the uncontrolled timeline bit for bit.
+// fn is only consulted when n >= 2; out-of-range returns are reduced mod n.
+//
+// The chooser is a model-checking instrument, not a fast path: each choice
+// scans the pending queue for ties. It must not be combined with the
+// sharded coordinator (shards assume the serial FIFO order when exchanging
+// lookahead promises); internal/explore runs serial clusters only.
+func (e *Engine) SetChooser(fn func(n int) int) { e.chooser = fn }
+
+// chooseIndex builds the enabled set at the earliest pending timestamp —
+// the per-domain minimum-key event of every domain with work at that time,
+// sorted by key — and returns the heap position of the chooser's pick.
+func (e *Engine) chooseIndex() int {
+	t := e.heap[0].when
+	cands := e.cands[:0]
+	for _, ev := range e.heap {
+		if ev.when != t {
+			continue
+		}
+		d := ev.seq >> (64 - domainBits)
+		dup := false
+		for i, c := range cands {
+			if c.seq>>(64-domainBits) == d {
+				dup = true
+				if ev.seq < c.seq {
+					cands[i] = ev
+				}
+				break
+			}
+		}
+		if !dup {
+			cands = append(cands, ev)
+		}
+	}
+	// Insertion sort by key: candidate counts are small (one per busy
+	// domain) and the slice is reused, so this stays allocation-free.
+	for i := 1; i < len(cands); i++ {
+		ev := cands[i]
+		j := i - 1
+		for j >= 0 && cands[j].seq > ev.seq {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = ev
+	}
+	e.cands = cands // retain grown capacity
+	pick := 0
+	if len(cands) >= 2 {
+		pick = e.chooser(len(cands))
+		pick %= len(cands)
+		if pick < 0 {
+			pick += len(cands)
+		}
+	}
+	return int(cands[pick].index)
+}
 
 // NextEventTime reports the timestamp of the earliest pending event; ok is
 // false when the queue is empty. Shard coordinators use it to pick the next

@@ -194,14 +194,15 @@ func TestShardedMatrixValidation(t *testing.T) {
 		}()
 	}
 	// Fully disconnected pairs are legal: windows are unbounded and each
-	// shard runs to quiescence independently.
+	// shard runs to quiescence independently — concurrently, so the
+	// counters are per-shard and only summed after the run joins.
 	engines := mk()
-	ran := 0
-	engines[0].At(10, func() { ran++ })
-	engines[1].At(20, func() { ran++ })
+	var ran [2]int
+	engines[0].At(10, func() { ran[0]++ })
+	engines[1].At(20, func() { ran[1]++ })
 	sh := sim.NewShardedMatrix(engines, [][]sim.Time{{0, 0}, {0, 0}}, nil)
 	sh.Run()
-	if ran != 2 || sh.Now() != 20 {
-		t.Fatalf("disconnected run: ran=%d now=%v, want 2 events, now=20", ran, sh.Now())
+	if ran[0]+ran[1] != 2 || sh.Now() != 20 {
+		t.Fatalf("disconnected run: ran=%d now=%v, want 2 events, now=20", ran[0]+ran[1], sh.Now())
 	}
 }
