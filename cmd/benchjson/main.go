@@ -109,6 +109,28 @@ type mcastSection struct {
 	Note            string       `json:"note"`
 }
 
+// collBenchPoint is one NIC-resident collective measurement: the average
+// virtual latency of one operation at the MPI layer. LatencyUs is simulated
+// time — a pure function of configuration and seed — so the -check gate
+// requires it to match the baseline exactly, the same contract as the
+// storm's virtual_ns. SecPerRun is the wall cost of the measurement,
+// recorded for provenance but never gated (it is machine noise).
+type collBenchPoint struct {
+	Fabric     string  `json:"fabric"`
+	Collective string  `json:"collective"`
+	Nodes      int     `json:"nodes"`
+	Veclen     int     `json:"veclen"`
+	LatencyUs  float64 `json:"latency_us"`
+	SecPerRun  float64 `json:"sec_per_run"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+}
+
+type collSection struct {
+	Points []collBenchPoint `json:"points"`
+	Note   string           `json:"note"`
+}
+
 type report struct {
 	GeneratedBy string        `json:"generated_by"`
 	Revision    string        `json:"revision,omitempty"`
@@ -122,6 +144,36 @@ type report struct {
 	SeedNote    string        `json:"packet_storm_seed_note"`
 	Sweep       sweepResult   `json:"sweep"`
 	Mcast       *mcastSection `json:"multicast_storm,omitempty"`
+	Coll        *collSection  `json:"collective,omitempty"`
+}
+
+// collBenchOptions are the fixed measurement options for the collective
+// points: generation and -check must agree exactly or the deterministic
+// latency comparison would gate a workload change, not a regression.
+func collBenchOptions() harness.Options {
+	o := harness.DefaultOptions()
+	o.Warmup = 2
+	o.Iters = 10
+	o.Seed = 1
+	return o
+}
+
+// collPoint measures one NIC-resident collective at the MPI layer.
+func collPoint(fc fabric.Config, collective string, nodes, veclen int) collBenchPoint {
+	o := collBenchOptions()
+	o.Fabric = fc
+	start := time.Now()
+	lat := o.CollLatency(collective, nodes, veclen, true)
+	return collBenchPoint{
+		Fabric:     fc.Kind,
+		Collective: collective,
+		Nodes:      nodes,
+		Veclen:     veclen,
+		LatencyUs:  lat,
+		SecPerRun:  time.Since(start).Seconds(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 }
 
 func run(name string, fn func(*testing.B)) benchResult {
@@ -256,6 +308,30 @@ func check(path string, tol, stormTol float64) {
 			100*(np.SecPerRun/bp.SecPerRun-1), bp.SecPerRun, np.SecPerRun, 100*stormTol)
 		os.Exit(1)
 	}
+
+	// Collective gate: re-measure each baseline point and require the
+	// simulated latency to match exactly — virtual time is deterministic,
+	// so any difference means the collective protocol's timeline changed
+	// and the baseline must be regenerated deliberately. Old baselines
+	// without a collective section pass vacuously.
+	if base.Coll == nil {
+		return
+	}
+	for _, cp := range base.Coll.Points {
+		cfc, err := harness.FabricPreset(cp.Fabric)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline collective point has unknown fabric %q: %v\n", cp.Fabric, err)
+			os.Exit(1)
+		}
+		got := collPoint(cfc, cp.Collective, cp.Nodes, cp.Veclen)
+		fmt.Printf("collective %s %s %d nodes: %.2f µs/op (baseline %.2f)\n",
+			cp.Fabric, cp.Collective, cp.Nodes, got.LatencyUs, cp.LatencyUs)
+		if got.LatencyUs != cp.LatencyUs {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s latency diverged from baseline (%.4f != %.4f µs) — the collective timeline changed; regenerate BENCH_sim.json\n",
+				cp.Fabric, cp.Collective, got.LatencyUs, cp.LatencyUs)
+			os.Exit(1)
+		}
+	}
 }
 
 func main() {
@@ -384,6 +460,22 @@ func main() {
 		}
 		rep.Mcast = sec
 	}
+
+	// NIC-resident collective points: barrier and allreduce at 64 hosts on
+	// the sweep's fabric. Virtual latency is the committed number; the
+	// -check gate requires it to reproduce exactly.
+	coll := &collSection{
+		Note: "latency_us is simulated time per operation at the MPI layer (NIC-resident " +
+			"engine, warmup 2 / iters 10 / seed 1) and must reproduce exactly under -check; " +
+			"sec_per_run is measurement wall cost, recorded but never gated.",
+	}
+	for _, name := range []string{"barrier", "allreduce"} {
+		p := collPoint(fc, name, 64, 1)
+		coll.Points = append(coll.Points, p)
+		fmt.Printf("collective %s %s %d nodes: %.2f µs/op (%.2fs wall)\n",
+			p.Fabric, p.Collective, p.Nodes, p.LatencyUs, p.SecPerRun)
+	}
+	rep.Coll = coll
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -5,6 +5,10 @@
 //	chaosbench -list           print the scenario library and exit
 //	chaosbench -scenario burst-loss -nodes 8
 //	chaosbench -short          CI smoke: small clusters, few messages
+//	chaosbench -coll           the collective-engine campaign instead:
+//	                           rounds of barrier/allreduce/allgather under
+//	                           burst loss, dup storms, ack loss and root
+//	                           outages (-rounds sets the round count)
 //
 // Each scenario runs a clean baseline and a faulted run on identically
 // seeded clusters, asserts the recovery invariants (every receiver got
@@ -31,6 +35,9 @@ func main() {
 	nodeList := flag.String("nodes", "4,8,16", "comma-separated cluster sizes")
 	msgs := flag.Int("msgs", 12, "multicast messages per run")
 	size := flag.Int("size", 10000, "message size in bytes")
+	collMode := flag.Bool("coll", false, "run the collective-engine campaign (barrier/allreduce/allgather under faults)")
+	rounds := flag.Int("rounds", 4, "collective rounds per run (-coll only)")
+	veclen := flag.Int("veclen", 4, "collective vector elements (-coll only)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
 	short := flag.Bool("short", false, "CI smoke mode: 4/8 nodes, 10 messages")
@@ -42,6 +49,12 @@ func main() {
 
 	lib := chaos.Library()
 	if *list {
+		if *collMode {
+			for _, sc := range chaos.CollLibrary() {
+				fmt.Printf("%-24s %s\n", sc.Name, sc.Desc)
+			}
+			return
+		}
 		for _, sc := range lib {
 			fmt.Printf("%-18s %s\n", sc.Name, sc.Desc)
 		}
@@ -49,15 +62,28 @@ func main() {
 	}
 
 	scenarios := lib
+	collScenarios := chaos.CollLibrary()
 	if *scenario != "" {
-		scenarios = scenarios[:0:0]
-		for _, name := range strings.Split(*scenario, ",") {
-			sc, ok := chaos.Find(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "chaosbench: unknown scenario %q (use -list)\n", name)
-				os.Exit(2)
+		if *collMode {
+			collScenarios = collScenarios[:0:0]
+			for _, name := range strings.Split(*scenario, ",") {
+				sc, ok := chaos.FindColl(strings.TrimSpace(name))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "chaosbench: unknown collective scenario %q (use -coll -list)\n", name)
+					os.Exit(2)
+				}
+				collScenarios = append(collScenarios, sc)
 			}
-			scenarios = append(scenarios, sc)
+		} else {
+			scenarios = scenarios[:0:0]
+			for _, name := range strings.Split(*scenario, ",") {
+				sc, ok := chaos.Find(strings.TrimSpace(name))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "chaosbench: unknown scenario %q (use -list)\n", name)
+					os.Exit(2)
+				}
+				scenarios = append(scenarios, sc)
+			}
 		}
 	}
 
@@ -86,6 +112,21 @@ func main() {
 	rep := harness.NewReporter(o.Metrics)
 	if rep.Enabled() {
 		rep.JSON = *metricsJSON
+	}
+
+	if *collMode {
+		results := o.CollChaosSweep(collScenarios, nodes, *rounds, *veclen)
+		title := fmt.Sprintf("collective chaos campaign: %d scenarios x %d cluster sizes, fabric %s, seed %d",
+			len(collScenarios), len(nodes), fc.Kind, *seed)
+		harness.WriteCollChaosTable(os.Stdout, title, results)
+		rep.Report(os.Stdout, "collective chaos campaign")
+
+		if n := harness.CollChaosFailures(results); n > 0 {
+			fmt.Fprintf(os.Stderr, "chaosbench: %d of %d campaign points FAILED\n", n, len(results))
+			os.Exit(1)
+		}
+		fmt.Printf("all %d campaign points passed\n", len(results))
+		return
 	}
 
 	results := o.ChaosSweep(scenarios, nodes, *msgs, *size)

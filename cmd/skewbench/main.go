@@ -5,6 +5,10 @@
 //	                    for small (2/4/8 B) and large (2/4/8 KB) messages
 //	skewbench -fig 7    Figure 7 — the CPU-time improvement factor at
 //	                    400 µs average skew across 4/8/12/16-node systems
+//	skewbench -barrier  barrier skew tolerance — average time inside
+//	                    MPI_Barrier (host-based dissemination vs the
+//	                    NIC-resident collective engine) under the same
+//	                    0–400 µs skew protocol
 package main
 
 import (
@@ -18,8 +22,9 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate: 6 or 7 (0 = both)")
+	barrier := flag.Bool("barrier", false, "run the barrier skew-tolerance figure instead of 6/7")
 	iters := flag.Int("iters", 120, "skewed broadcasts per point")
-	nodes := flag.Int("nodes", 16, "system size for figure 6")
+	nodes := flag.Int("nodes", 16, "system size for figure 6 and -barrier")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	large := flag.Bool("large", false, "figure 6: also sweep 2/4/8 KB messages (technical-report companion)")
 	doPlot := flag.Bool("plot", false, "render ASCII curves after the tables")
@@ -39,6 +44,12 @@ func main() {
 	rep := harness.NewReporter(o.Metrics)
 	if rep.Enabled() {
 		rep.JSON = *metricsJSON
+	}
+
+	if *barrier {
+		barrierFig(o, *nodes)
+		rep.Report(os.Stdout, "barrier skew")
+		return
 	}
 
 	switch *fig {
@@ -73,6 +84,15 @@ func fig6(o harness.Options, nodes int, large bool) {
 		if plotFlag {
 			harness.PlotSkew(os.Stdout, fmt.Sprintf("Figure 6(a), %d-byte messages", size), pts)
 		}
+	}
+}
+
+func barrierFig(o harness.Options, nodes int) {
+	pts := o.BarrierSkewSweep(nodes, harness.SkewSweep())
+	harness.WriteSkew(os.Stdout,
+		fmt.Sprintf("Barrier skew tolerance: avg time inside MPI_Barrier, %d nodes", nodes), pts)
+	if plotFlag {
+		harness.PlotSkew(os.Stdout, "host-based vs NIC-resident barrier under process skew", pts)
 	}
 }
 

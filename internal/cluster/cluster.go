@@ -8,6 +8,7 @@ package cluster
 import (
 	"sync/atomic"
 
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/gm"
@@ -100,10 +101,11 @@ func DefaultConfig(n int) *Config {
 
 // Node is one complete cluster member.
 type Node struct {
-	ID  fabric.NodeID
-	HW  *lanai.NIC
-	NIC *gm.NIC
-	Ext *core.Ext
+	ID   fabric.NodeID
+	HW   *lanai.NIC
+	NIC  *gm.NIC
+	Ext  *core.Ext
+	Coll *coll.Engine
 }
 
 // Cluster is an assembled simulated testbed.
@@ -238,6 +240,7 @@ func build(cfg *Config) *Cluster {
 			node = &Node{ID: id, HW: hw, NIC: nic}
 			if !cfg.noExt {
 				node.Ext = core.InstallWithConfig(nic, cfg.Mcast)
+				node.Coll = coll.Install(node.Ext, coll.FromCore(cfg.Mcast))
 			}
 		})
 		c.Nodes = append(c.Nodes, node)
@@ -412,6 +415,21 @@ func (c *Cluster) InstallGroup(id gm.GroupID, tr *tree.Tree, port, rootPort gm.P
 		n := n
 		c.WithNode(n, func() {
 			c.Nodes[n].Ext.InstallGroup(id, tr, port, rootPort, func() { done.Add(1) })
+		})
+	}
+	return func() bool { return done.Load() == total }
+}
+
+// InstallCollGroup installs a collective group over every listed member's
+// collective engine. Like InstallGroup, installation is asynchronous
+// firmware work; poll the returned ready function only from outside a run.
+func (c *Cluster) InstallCollGroup(id gm.GroupID, members []fabric.NodeID, port gm.PortID, opts ...coll.Option) (ready func() bool) {
+	total := int64(len(members))
+	done := new(atomic.Int64)
+	for _, n := range members {
+		n := n
+		c.WithNode(n, func() {
+			c.Nodes[n].Coll.Install(id, members, port, func() { done.Add(1) }, opts...)
 		})
 	}
 	return func() bool { return done.Load() == total }

@@ -1,0 +1,366 @@
+// Package coll is the NIC-resident collective engine: the generalization
+// of the multicast firmware (internal/core) to arbitrary collectives that
+// the paper's future work — and the authors' follow-up barrier paper
+// ("Efficient and Scalable Barrier over Quadrics and Myrinet with a New
+// NIC-Based Collective Message Passing Protocol") — describes. One host
+// request enters a collective; the NICs run every round among themselves
+// and post a completion event when the operation finishes. The host is not
+// involved in any round, so slow or skewed processes on other nodes do
+// not stall progress (skew tolerance).
+//
+// The engine owns a per-NIC collective group table keyed alongside the
+// multicast group identifier space, with a pluggable algorithm per
+// collective:
+//
+//   - Barrier: dissemination (ceil(log2 n) rounds of tiny messages) or a
+//     gather/release sweep up and down a binomial tree;
+//   - Reduce/Allreduce: combine-and-forward up the preposted multicast
+//     tree, then (allreduce) one NIC-based multicast back down it;
+//   - Allgather: concatenate-and-forward up the tree with the result
+//     multicast down, or a ring for large vectors (n-1 hops, each NIC
+//     forwarding its predecessor's chunks without host involvement).
+//
+// Every round is reliable via the same stop-and-wait discipline the
+// multicast uses: one reusable retransmit timer per group over a pooled
+// record list, so the steady-state hot path allocates nothing beyond the
+// injected wire clones.
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gm"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Op aliases the NIC-computable reduction operator defined in core (the
+// Collective interface names it, so it cannot live here).
+type Op = core.ReduceOp
+
+const (
+	OpSum = core.OpSum
+	OpMin = core.OpMin
+	OpMax = core.OpMax
+)
+
+// BarrierAlgo selects a group's barrier algorithm.
+type BarrierAlgo uint8
+
+const (
+	// BarrierDissemination runs ceil(log2 n) rounds; in round r each NIC
+	// signals the member 2^r positions ahead and waits for the member 2^r
+	// behind. Latency is log n fabric hops with no single hot spot.
+	BarrierDissemination BarrierAlgo = iota
+	// BarrierTree gathers arrivals up a binomial tree rooted at the
+	// lowest-ID member and releases down it: 2 log n hops but half the
+	// messages of dissemination.
+	BarrierTree
+)
+
+// GatherAlgo selects a group's allgather algorithm.
+type GatherAlgo uint8
+
+const (
+	// GatherTree concatenates index-tagged contributions up the group's
+	// preposted tree; the root multicasts the assembled result back down.
+	GatherTree GatherAlgo = iota
+	// GatherRing passes each member's vector around a ring of the sorted
+	// member list: n-1 hops, bandwidth-optimal for large vectors.
+	GatherRing
+)
+
+// Config holds the collective firmware costs, charged on the LANai CPU.
+type Config struct {
+	// GroupInstallCost is the cost of inserting one collective group's
+	// entry into the NIC table.
+	GroupInstallCost sim.Time
+	// ReduceElemCost is the LANai's per-element combining cost.
+	ReduceElemCost sim.Time
+	// GatherNsPerByte is the LANai's per-byte cost of concatenating
+	// allgather contributions (an SDRAM copy on the NIC).
+	GatherNsPerByte float64
+}
+
+// DefaultConfig returns costs calibrated alongside core.DefaultConfig.
+func DefaultConfig() Config {
+	return FromCore(core.DefaultConfig())
+}
+
+// FromCore derives the collective costs from the multicast extension's
+// configuration, so one calibration governs both firmware subsystems.
+func FromCore(cc core.Config) Config {
+	return Config{
+		GroupInstallCost: cc.GroupInstallCost,
+		ReduceElemCost:   cc.ReduceElemCost,
+		GatherNsPerByte:  1.5,
+	}
+}
+
+// Engine is one NIC's collective engine. It registers itself with the
+// multicast extension (core.Ext.SetCollective), which routes collective
+// wire kinds here and exposes its group table for tree neighborhoods.
+type Engine struct {
+	ext    *core.Ext
+	nic    *gm.NIC
+	cfg    Config
+	groups map[gm.GroupID]*Group
+	m      instruments
+}
+
+// Install creates the collective engine for one NIC and wires it into the
+// multicast extension. It is a pure constructor: no simulation events are
+// scheduled, so installing it never perturbs existing timelines.
+func Install(ext *core.Ext, cfg Config) *Engine {
+	e := &Engine{
+		ext:    ext,
+		nic:    ext.NIC(),
+		cfg:    cfg,
+		groups: make(map[gm.GroupID]*Group),
+	}
+	e.initMetrics(metrics.Ensure(e.nic.HW.Registry()))
+	ext.SetCollective(e)
+	return e
+}
+
+// FromExt returns the collective engine wired into an extension.
+func FromExt(ext *core.Ext) *Engine {
+	e, ok := ext.CollectiveEngine().(*Engine)
+	if !ok {
+		panic(fmt.Errorf("%w: NIC %v", core.ErrNoCollective, ext.NIC().ID()))
+	}
+	return e
+}
+
+// FromNIC returns the collective engine installed on a NIC.
+func FromNIC(nic *gm.NIC) *Engine { return FromExt(core.FromNIC(nic)) }
+
+// NIC returns the firmware NIC the engine runs on.
+func (e *Engine) NIC() *gm.NIC { return e.nic }
+
+// Groups reports how many collective group entries are installed
+// (auto-mirrored tree entries included).
+func (e *Engine) Groups() int { return len(e.groups) }
+
+// Option adjusts one collective group entry at install time.
+type Option func(*Group)
+
+// WithBarrierAlgo selects the group's barrier algorithm.
+func WithBarrierAlgo(a BarrierAlgo) Option { return func(g *Group) { g.barrierAlgo = a } }
+
+// WithGatherAlgo selects the group's allgather algorithm.
+func WithGatherAlgo(a GatherAlgo) Option { return func(g *Group) { g.gatherAlgo = a } }
+
+// HandleRx consumes one collective wire frame (called by core's extension
+// hook in firmware context).
+func (e *Engine) HandleRx(fr *gm.Frame) bool {
+	switch fr.Kind {
+	case gm.KindBarrier:
+		e.rxBarrier(fr)
+	case gm.KindBarrierAck:
+		e.rxAck(skBarrier, fr)
+	case gm.KindReduce:
+		e.rxReduce(fr)
+	case gm.KindReduceAck:
+		e.rxAck(skReduce, fr)
+	case gm.KindGather:
+		e.rxGather(fr)
+	case gm.KindGatherAck:
+		e.rxAck(skGather, fr)
+	case gm.KindRing:
+		e.rxRing(fr)
+	case gm.KindRingAck:
+		e.rxAck(skRing, fr)
+	default:
+		return false
+	}
+	return true
+}
+
+// Outstanding reports unacknowledged collective send records across all
+// groups — zero once every peer has acknowledged every round.
+func (e *Engine) Outstanding() int {
+	n := 0
+	for _, g := range e.groups {
+		n += len(g.out)
+	}
+	return n
+}
+
+// PendingTimers reports how many group retransmit timers are armed —
+// nonzero after quiescence means a leaked timer.
+func (e *Engine) PendingTimers() int {
+	armed := 0
+	for _, g := range e.groups {
+		if g.timer.Pending() {
+			armed++
+		}
+	}
+	return armed
+}
+
+// DebugLeaks renders any collective state that should have drained once
+// all collectives completed and all acks arrived: unacked records, armed
+// timers, open instances, partial reassemblies, queued ring hops. Empty
+// means clean — the chaos invariant checker asserts exactly that.
+func (e *Engine) DebugLeaks() string {
+	s := ""
+	for id, g := range e.groups {
+		if len(g.out) > 0 {
+			s += fmt.Sprintf("group %d: %d unacked records; ", id, len(g.out))
+		}
+		if g.timer.Pending() {
+			s += fmt.Sprintf("group %d: retransmit timer armed; ", id)
+		}
+		if g.barActive {
+			s += fmt.Sprintf("group %d: barrier instance %d open; ", id, g.barSeq)
+		}
+		if len(g.red) > 0 {
+			s += fmt.Sprintf("group %d: %d open reduce instances; ", id, len(g.red))
+		}
+		if len(g.ag) > 0 || len(g.asm) > 0 || len(g.agOut) > 0 {
+			s += fmt.Sprintf("group %d: allgather state %d/%d/%d; ", id, len(g.ag), len(g.asm), len(g.agOut))
+		}
+		if len(g.ring) > 0 {
+			s += fmt.Sprintf("group %d: %d open ring instances; ", id, len(g.ring))
+		}
+	}
+	return s
+}
+
+// Install preposts one collective group entry: the sorted member set plus
+// the per-collective algorithm selection. Members must be identical at
+// every node; id shares the multicast group identifier space, and the
+// tree-based collectives (reduce, allreduce, tree allgather) additionally
+// require a multicast group with the same id installed via
+// core.Ext.InstallGroup. port receives the group's completion events. fn,
+// if non-nil, runs (in firmware context) when the entry is live.
+func (e *Engine) Install(id gm.GroupID, members []fabric.NodeID, port gm.PortID, fn func(), opts ...Option) {
+	ms := append([]fabric.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	myIdx := -1
+	for i, m := range ms {
+		if m == e.nic.ID() {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		panic(fmt.Errorf("%w: node %v installing collective group %d", core.ErrNotMember, e.nic.ID(), id))
+	}
+	rounds := 0
+	for k := 1; k < len(ms); k <<= 1 {
+		rounds++
+	}
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			g, exists := e.groups[id]
+			if exists && !g.auto {
+				panic(fmt.Errorf("%w: collective group %d at %v", core.ErrGroupInstalled, id, e.nic.ID()))
+			}
+			if !exists {
+				g = e.newGroup(id)
+			}
+			g.auto = false
+			g.members = ms
+			g.myIdx = myIdx
+			g.rounds = rounds
+			g.port = port
+			for _, opt := range opts {
+				opt(g)
+			}
+			if g.barrierAlgo == BarrierTree {
+				tr := tree.Binomial(ms[0], ms)
+				self := e.nic.ID()
+				g.barChildren = append([]fabric.NodeID(nil), tr.Children(self)...)
+				if p, ok := tr.Parent(self); ok {
+					g.barParent = p
+				} else {
+					g.barParent = self
+				}
+			}
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// Remove deletes a collective group entry. Removal is collective and must
+// follow the last collective on the group (an MPI layer frees it with the
+// communicator after a barrier): any still-unacknowledged trailing records
+// are dropped with the entry — their peers are removing their entries too,
+// so the retransmit conversation ends on both sides. fn, if non-nil, runs
+// (in firmware context) after the entry is gone.
+func (e *Engine) Remove(id gm.GroupID, fn func()) {
+	e.nic.HW.HostPost(func() {
+		e.nic.HW.CPUDo(e.cfg.GroupInstallCost, func() {
+			g, ok := e.groups[id]
+			if !ok {
+				panic(fmt.Errorf("%w: removing collective group %d at %v", core.ErrNoSuchGroup, id, e.nic.ID()))
+			}
+			g.timer.Stop()
+			delete(e.groups, id)
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// InstallBarrier implements core.Collective; it is Install with the
+// default algorithm selection, preserving the pre-coll API surface.
+func (e *Engine) InstallBarrier(id gm.GroupID, members []fabric.NodeID, port gm.PortID, fn func()) {
+	e.Install(id, members, port, fn)
+}
+
+// groupFor returns the group entry, auto-creating a memberless mirror
+// entry (firmware context). The tree collectives need only the multicast
+// group table's neighborhood, so a NIC that never saw a coll Install can
+// still combine-and-forward — the entry exists to hold instance state.
+func (e *Engine) groupFor(id gm.GroupID) *Group {
+	g, ok := e.groups[id]
+	if !ok {
+		g = e.newGroup(id)
+		g.auto = true
+	}
+	return g
+}
+
+func (e *Engine) newGroup(id gm.GroupID) *Group {
+	g := &Group{eng: e, id: id, myIdx: -1}
+	g.timer = e.nic.Engine().NewTimer(g.onTimeout)
+	e.groups[id] = g
+	return g
+}
+
+// treeView reads the group's tree neighborhood from the multicast group
+// table (fresh on every use, so membership epoch rolls are honored). The
+// port is the multicast group's host port — tree collectives deliver
+// their completion events there, so they work on NICs that only ever
+// relay (no coll Install).
+func (e *Engine) treeView(id gm.GroupID) (root, parent fabric.NodeID, children []fabric.NodeID, port gm.PortID, ok bool) {
+	return e.ext.GroupView(id)
+}
+
+// EncodeVec serializes an int64 vector little-endian (8 bytes/element).
+func EncodeVec(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// DecodeVec deserializes an EncodeVec payload.
+func DecodeVec(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/sim"
+)
+
+// Combine-and-forward reduction over the group's preposted multicast
+// tree: each NIC combines its children's vectors with its own host's
+// contribution — paying the slow LANai's per-element arithmetic cost —
+// and forwards one combined vector to its parent. The root's host
+// receives the result; Allreduce then multicasts it back down.
+
+// reduceInst accumulates one reduction instance at one NIC.
+type reduceInst struct {
+	op   Op
+	acc  []int64
+	got  int // contributions combined (children + own host)
+	need int
+	from bitset // child-arrival dedup
+}
+
+// Reduce contributes this node's vector to a reduction over the group's
+// tree and, at the root, blocks until the combined result arrives.
+// Non-roots return nil as soon as their contribution is posted (their
+// buffer is immediately reusable, like MPI_Reduce). All members must call
+// Reduce with equal-length vectors and the same op, in the same order.
+// Vectors must fit one packet (MTU/8 elements).
+func (e *Engine) Reduce(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, op Op) []int64 {
+	e.PostReduce(proc, port, id, vec, op)
+	if !e.isGroupRoot(id) {
+		return nil
+	}
+	for {
+		ev := port.Recv(proc)
+		if ev.Group == id && len(ev.Data) > 0 {
+			return DecodeVec(ev.Data)
+		}
+		panic("coll: unexpected traffic on reduce port")
+	}
+}
+
+// PostReduce contributes without blocking — the split entry point for
+// callers multiplexing a port. The root observes the result as a group
+// event carrying the encoded vector.
+func (e *Engine) PostReduce(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, op Op) {
+	if port.NIC() != e.nic {
+		panic(fmt.Errorf("%w: Reduce", core.ErrWrongNIC))
+	}
+	if len(vec)*8 > e.nic.Cfg.MTU {
+		panic(fmt.Errorf("%w: vector of %d elements exceeds one packet", core.ErrBadReduce, len(vec)))
+	}
+	proc.Compute(e.nic.Cfg.HostSendPost)
+	nic := e.nic
+	nic.HW.HostPost(func() {
+		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
+			if _, _, _, _, ok := e.treeView(id); !ok {
+				panic(fmt.Errorf("%w: Reduce on group %d at %v", core.ErrNoSuchGroup, id, nic.ID()))
+			}
+			g := e.groupFor(id)
+			g.redSeq++
+			g.contribute(g.redSeq, op, vec, -1)
+		})
+	})
+}
+
+// isGroupRoot reports whether this NIC roots the group's tree. The group
+// table is firmware state, but tree placement is static and known to the
+// host that installed it; this helper models that knowledge.
+func (e *Engine) isGroupRoot(id gm.GroupID) bool {
+	root, _, _, _, ok := e.treeView(id)
+	return ok && root == e.nic.ID()
+}
+
+// contribute merges one vector into the instance's accumulator, charging
+// the LANai's per-element cost, and forwards when complete. fromChild is
+// the contributing child's index (-1 for the local host's contribution).
+func (g *Group) contribute(seq uint32, op Op, vec []int64, fromChild int) {
+	e := g.eng
+	root, parent, children, port, ok := e.treeView(g.id)
+	if !ok {
+		e.m.notMemberDrops.Inc()
+		return
+	}
+	st := g.red[seq]
+	if st == nil {
+		st = &reduceInst{op: op, need: len(children) + 1}
+		if g.red == nil {
+			g.red = make(map[uint32]*reduceInst)
+		}
+		g.red[seq] = st
+	}
+	if st.op != op {
+		panic(fmt.Errorf("%w: op mismatch on group %d instance %d", core.ErrBadReduce, g.id, seq))
+	}
+	if fromChild >= 0 && st.from.setBit(fromChild) {
+		e.m.duplicates.Inc()
+		return
+	}
+	cost := sim.Time(len(vec)) * e.cfg.ReduceElemCost
+	e.nic.HW.CPUDo(cost, func() {
+		if st.acc == nil {
+			st.acc = append([]int64(nil), vec...)
+		} else {
+			if len(vec) != len(st.acc) {
+				panic(fmt.Errorf("%w: length mismatch on group %d", core.ErrBadReduce, g.id))
+			}
+			for i := range st.acc {
+				st.acc[i] = op.Apply(st.acc[i], vec[i])
+			}
+		}
+		st.got++
+		e.m.reduceCombines.Inc()
+		e.m.combineNs.Observe(int64(cost))
+		if st.got < st.need {
+			return
+		}
+		delete(g.red, seq)
+		g.redDone.mark(seq)
+		if root == e.nic.ID() {
+			e.m.reducesDone.Inc()
+			e.nic.Port(port).PostGroupEvent(&gm.RecvEvent{Group: g.id, Data: EncodeVec(st.acc)})
+			return
+		}
+		e.m.reduceSent.Inc()
+		e.m.bytesForwarded.Add(uint64(8 * len(st.acc)))
+		g.sendRel(skReduce, gm.KindReduce, parent, seq, 0, int(st.op), 0, EncodeVec(st.acc))
+	})
+}
+
+// rxReduce handles a child's combined contribution.
+func (e *Engine) rxReduce(fr *gm.Frame) {
+	nic := e.nic
+	buf, ok := nic.HW.RecvBufs.TryAcquire()
+	if !ok {
+		nic.HW.CountRxNoBuffer()
+		return
+	}
+	nic.HW.CPUDo(nic.Cfg.RecvProcCost, func() {
+		defer buf.Release()
+		_, _, children, _, ok := e.treeView(fr.Group)
+		if !ok {
+			e.m.notMemberDrops.Inc()
+			return
+		}
+		// Ack unconditionally; duplicates must stop the child's timer too.
+		nic.Inject(&gm.Frame{
+			Kind:    gm.KindReduceAck,
+			SrcNode: nic.ID(),
+			DstNode: fr.SrcNode,
+			Group:   fr.Group,
+			Seq:     fr.Seq,
+		}, nil)
+		g := e.groupFor(fr.Group)
+		if g.redDone.has(fr.Seq) {
+			e.m.duplicates.Inc()
+			return
+		}
+		idx := childIndex(children, fr.SrcNode)
+		if idx < 0 {
+			e.m.duplicates.Inc() // not our child under the current view
+			return
+		}
+		g.contribute(fr.Seq, Op(fr.Offset), DecodeVec(fr.Payload), idx)
+	})
+}
+
+// Allreduce reduces to the root over the tree, then multicasts the result
+// back down it: every member returns the combined vector. The caller must
+// have preposted a receive token (>= 8*len(vec) bytes) on non-root
+// members for the downward multicast.
+func (e *Engine) Allreduce(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, op Op) []int64 {
+	if res := e.Reduce(proc, port, id, vec, op); res != nil {
+		e.ext.Mcast(proc, port, id, EncodeVec(res))
+		return res
+	}
+	for {
+		ev := port.Recv(proc)
+		if ev.Group == id && len(ev.Data) > 0 {
+			return DecodeVec(ev.Data)
+		}
+		panic("coll: unexpected traffic on allreduce port")
+	}
+}

@@ -36,4 +36,7 @@ var (
 	ErrEpochRegressed = errors.New("core: group epoch did not advance")
 	// ErrNotPrepared reports committing an epoch no prepare staged.
 	ErrNotPrepared = errors.New("core: no prepared view for epoch")
+	// ErrNoCollective reports a collective call on a NIC whose extension
+	// has no collective engine wired (SetCollective).
+	ErrNoCollective = errors.New("core: NIC has no collective engine")
 )

@@ -16,11 +16,11 @@ type bufToken = *lanai.Buf
 // Ext is the multicast firmware extension for one NIC. Install installs it
 // into the GM firmware's extension hook; the unicast paths never touch it.
 type Ext struct {
-	nic      *gm.NIC
-	cfg      Config
-	groups   map[gm.GroupID]*group
-	barriers map[gm.GroupID]*barrierGroup
-	m        instruments
+	nic    *gm.NIC
+	cfg    Config
+	groups map[gm.GroupID]*group
+	coll   Collective // NIC-resident collective engine (internal/coll)
+	m      instruments
 }
 
 // install is the option-independent core of Install and the deprecated
@@ -29,10 +29,9 @@ type Ext struct {
 // backs the legacy Stats accessor.
 func install(nic *gm.NIC, cfg Config) *Ext {
 	e := &Ext{
-		nic:      nic,
-		cfg:      cfg,
-		groups:   make(map[gm.GroupID]*group),
-		barriers: make(map[gm.GroupID]*barrierGroup),
+		nic:    nic,
+		cfg:    cfg,
+		groups: make(map[gm.GroupID]*group),
 	}
 	e.initMetrics(metrics.Ensure(nic.HW.Registry()))
 	nic.SetExtension(e)
@@ -294,17 +293,14 @@ func (e *Ext) HandleRx(fr *gm.Frame) bool {
 	case gm.KindMcastNack:
 		e.rxNack(fr)
 		return true
-	case gm.KindBarrier:
-		e.rxBarrier(fr)
-		return true
-	case gm.KindBarrierAck:
-		e.rxBarrierAck(fr)
-		return true
-	case gm.KindReduce:
-		e.rxReduce(fr)
-		return true
-	case gm.KindReduceAck:
-		e.rxReduceAck(fr)
+	case gm.KindBarrier, gm.KindBarrierAck, gm.KindReduce, gm.KindReduceAck,
+		gm.KindGather, gm.KindGatherAck, gm.KindRing, gm.KindRingAck:
+		if e.coll != nil {
+			return e.coll.HandleRx(fr)
+		}
+		// No collective engine wired: consume (these kinds belong to the
+		// extension's identifier space) and count the drop.
+		e.m.notMemberDrops.Inc()
 		return true
 	default:
 		return false

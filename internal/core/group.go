@@ -101,12 +101,6 @@ type group struct {
 	live       bool
 	next       *pendingView
 	quiesceFns []func()
-
-	// NIC-based reduction state (core/reduce.go).
-	redSeq    uint32
-	red       map[uint32]*reduceState
-	redSeen   map[redDupKey]bool
-	redTimers map[barrierKey]*sim.Timer
 }
 
 func (g *group) isRoot() bool { return g.root == g.ext.nic.ID() }
@@ -125,19 +119,16 @@ type pendingView struct {
 func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID) *group {
 	self := ext.nic.ID()
 	g := &group{
-		ext:       ext,
-		id:        id,
-		root:      tr.Root,
-		children:  append([]fabric.NodeID(nil), tr.Children(self)...),
-		port:      port,
-		rootPort:  rootPort,
-		sendSeq:   0,
-		recvSeq:   1,
-		live:      true,
-		acked:     make(map[fabric.NodeID]uint32),
-		red:       make(map[uint32]*reduceState),
-		redSeen:   make(map[redDupKey]bool),
-		redTimers: make(map[barrierKey]*sim.Timer),
+		ext:      ext,
+		id:       id,
+		root:     tr.Root,
+		children: append([]fabric.NodeID(nil), tr.Children(self)...),
+		port:     port,
+		rootPort: rootPort,
+		sendSeq:  0,
+		recvSeq:  1,
+		live:     true,
+		acked:    make(map[fabric.NodeID]uint32),
 	}
 	g.timer = ext.nic.Engine().NewTimer(g.onTimeout)
 	if p, ok := tr.Parent(self); ok {

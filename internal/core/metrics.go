@@ -30,10 +30,6 @@ type instruments struct {
 	ackedAsDropped   *metrics.Counter
 	epochCommits     *metrics.Counter
 	quiesceReqs      *metrics.Counter
-	barrierSent      *metrics.Counter
-	barriersDone     *metrics.Counter
-	reduceSent       *metrics.Counter
-	reduceCombines   *metrics.Counter
 
 	// headerRewrites counts transmit-callback header rewrites (the
 	// multisend mechanism's defining per-replica cost); fwdBeforeFull
@@ -70,10 +66,6 @@ func (e *Ext) initMetrics(reg *metrics.Registry) {
 		ackedAsDropped:   reg.Counter(Component, id, "acked_as_dropped"),
 		epochCommits:     reg.Counter(Component, id, "epoch_commits"),
 		quiesceReqs:      reg.Counter(Component, id, "quiesce_requests"),
-		barrierSent:      reg.Counter(Component, id, "barrier_sent"),
-		barriersDone:     reg.Counter(Component, id, "barriers_done"),
-		reduceSent:       reg.Counter(Component, id, "reduce_sent"),
-		reduceCombines:   reg.Counter(Component, id, "reduce_combines"),
 		headerRewrites:   reg.Counter(Component, id, "header_rewrites"),
 		fwdBeforeFull:    reg.Counter(Component, id, "forwards_before_full"),
 		fanout:           reg.Histogram(Component, id, "fanout"),
@@ -81,23 +73,31 @@ func (e *Ext) initMetrics(reg *metrics.Registry) {
 	}
 }
 
-// Stats returns a snapshot of multicast counters.
+// Stats returns a snapshot of multicast counters, merged with the
+// collective engine's counters when one is wired (the collective fields —
+// BarrierSent, BarriersDone, ReduceSent, ReduceCombines — lived here
+// before internal/coll subsumed those paths, and Retransmits, Duplicates
+// and NotMemberDrops each cover both subsystems).
 //
-// Deprecated: the counters now live in the metrics registry (component
-// "core"); read them through a Snapshot. This accessor remains for
-// callers that predate the registry.
+// Deprecated: the counters now live in the metrics registry (components
+// "core" and "coll"); read them through a Snapshot. This accessor remains
+// for callers that predate the registry.
 func (e *Ext) Stats() Stats {
+	var cs CollStats
+	if e.coll != nil {
+		cs = e.coll.CollStats()
+	}
 	return Stats{
 		McastSent:        e.m.mcastSent.Value(),
 		McastReceived:    e.m.mcastReceived.Value(),
 		McastForwarded:   e.m.mcastForwarded.Value(),
 		McastAcksSent:    e.m.acksSent.Value(),
 		McastAcksRecv:    e.m.acksRecv.Value(),
-		Retransmits:      e.m.retransmits.Value(),
-		Duplicates:       e.m.duplicates.Value(),
+		Retransmits:      e.m.retransmits.Value() + cs.Retransmits,
+		Duplicates:       e.m.duplicates.Value() + cs.Duplicates,
 		OutOfOrderDrops:  e.m.oooDrops.Value(),
 		NoTokenDrops:     e.m.noTokenDrops.Value(),
-		NotMemberDrops:   e.m.notMemberDrops.Value(),
+		NotMemberDrops:   e.m.notMemberDrops.Value() + cs.NotMemberDrops,
 		McastNacksSent:   e.m.nacksSent.Value(),
 		McastNacksRecv:   e.m.nacksRecv.Value(),
 		StaleEpochDrops:  e.m.staleEpochDrops.Value(),
@@ -105,9 +105,9 @@ func (e *Ext) Stats() Stats {
 		StaleEpochAcks:   e.m.staleEpochAcks.Value(),
 		AckedAsDropped:   e.m.ackedAsDropped.Value(),
 		EpochCommits:     e.m.epochCommits.Value(),
-		BarrierSent:      e.m.barrierSent.Value(),
-		BarriersDone:     e.m.barriersDone.Value(),
-		ReduceSent:       e.m.reduceSent.Value(),
-		ReduceCombines:   e.m.reduceCombines.Value(),
+		BarrierSent:      cs.BarrierSent,
+		BarriersDone:     cs.BarriersDone,
+		ReduceSent:       cs.ReduceSent,
+		ReduceCombines:   cs.ReduceCombines,
 	}
 }

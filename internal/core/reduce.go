@@ -1,25 +1,16 @@
 package core
 
-import (
-	"encoding/binary"
-	"fmt"
+import "fmt"
 
-	"repro/internal/fabric"
-	"repro/internal/gm"
-	"repro/internal/sim"
-)
-
-// NIC-based reduction — the other collective the paper's future work names
-// ("for example, Allreduce"), after the authors' companion study
-// "NIC-Based Reduction in Myrinet Clusters: Is It Beneficial?" [4].
-// Contributions flow up the preposted spanning tree: each NIC combines its
-// children's vectors with its own host's contribution — paying the slow
-// LANai's per-element arithmetic cost — and forwards one combined vector
-// to its parent. The root's host receives the result; AllreduceNIC then
-// multicasts it back down the same tree.
+// NIC-computable reduction operators. The actual collective machinery —
+// dissemination/tree barrier, combine-and-forward reduce/allreduce, and
+// allgather — lives in internal/coll; the operator type stays here so the
+// Collective interface (and the extension's compatibility shims) can name
+// it without a dependency cycle.
 //
 // Vectors are int64s: the LANai has no floating-point unit, which is
-// exactly the trade-off the companion paper investigates.
+// exactly the trade-off the companion reduction paper ("NIC-Based
+// Reduction in Myrinet Clusters: Is It Beneficial?") investigates.
 
 // ReduceOp is a NIC-computable combining operation.
 type ReduceOp uint8
@@ -30,7 +21,8 @@ const (
 	OpMax
 )
 
-func (op ReduceOp) apply(a, b int64) int64 {
+// Apply combines two elements under the operator.
+func (op ReduceOp) Apply(a, b int64) int64 {
 	switch op {
 	case OpSum:
 		return a + b
@@ -47,218 +39,4 @@ func (op ReduceOp) apply(a, b int64) int64 {
 	default:
 		panic(fmt.Errorf("%w: unknown op %d", ErrBadReduce, op))
 	}
-}
-
-// reduceState accumulates one reduction instance at one NIC.
-type reduceState struct {
-	op   ReduceOp
-	acc  []int64
-	got  int // contributions combined (children + own host)
-	need int
-}
-
-// Reduce contributes this node's vector to reduction instance over the
-// group's tree and, at the root, blocks until the combined result arrives.
-// Non-roots return nil as soon as their contribution is posted (their
-// buffer is immediately reusable, like MPI_Reduce). All members must call
-// Reduce with equal-length vectors and the same op, in the same order.
-// Vectors must fit one packet (MTU/8 elements).
-func (e *Ext) Reduce(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, op ReduceOp) []int64 {
-	if port.NIC() != e.nic {
-		panic(fmt.Errorf("%w: Reduce", ErrWrongNIC))
-	}
-	if len(vec)*8 > e.nic.Cfg.MTU {
-		panic(fmt.Errorf("%w: vector of %d elements exceeds one packet", ErrBadReduce, len(vec)))
-	}
-	proc.Compute(e.nic.Cfg.HostSendPost)
-	nic := e.nic
-	isRoot := false
-	nic.HW.HostPost(func() {
-		nic.HW.CPUDo(nic.Cfg.SendEventCost, func() {
-			g, ok := e.groups[id]
-			if !ok {
-				panic(fmt.Errorf("%w: Reduce on group %d at %v", ErrNoSuchGroup, id, nic.ID()))
-			}
-			g.redSeq++
-			e.contribute(g, g.redSeq, op, vec)
-		})
-	})
-	// Only the root's host consumes the result event.
-	if e.hasGroupRoot(id) {
-		isRoot = true
-	}
-	if !isRoot {
-		return nil
-	}
-	for {
-		ev := port.Recv(proc)
-		if ev.Group == id && len(ev.Data) > 0 {
-			return decodeVec(ev.Data)
-		}
-		panic("core: unexpected traffic on reduce port")
-	}
-}
-
-// hasGroupRoot reports whether this NIC is the root of the group. The
-// group table is firmware state, but tree placement is static and known
-// to the host that installed it; this helper models that knowledge.
-func (e *Ext) hasGroupRoot(id gm.GroupID) bool {
-	g, ok := e.groups[id]
-	return ok && g.isRoot()
-}
-
-// contribute merges one vector into the instance's accumulator, charging
-// the LANai's per-element cost, and forwards when complete.
-func (e *Ext) contribute(g *group, seq uint32, op ReduceOp, vec []int64) {
-	nic := e.nic
-	st := g.red[seq]
-	if st == nil {
-		st = &reduceState{op: op, need: len(g.children) + 1}
-		g.red[seq] = st
-	}
-	if st.op != op {
-		panic(fmt.Errorf("%w: op mismatch on group %d instance %d", ErrBadReduce, g.id, seq))
-	}
-	cost := sim.Time(len(vec)) * e.cfg.ReduceElemCost
-	nic.HW.CPUDo(cost, func() {
-		if st.acc == nil {
-			st.acc = append([]int64(nil), vec...)
-		} else {
-			if len(vec) != len(st.acc) {
-				panic(fmt.Errorf("%w: length mismatch on group %d", ErrBadReduce, g.id))
-			}
-			for i := range st.acc {
-				st.acc[i] = op.apply(st.acc[i], vec[i])
-			}
-		}
-		st.got++
-		e.m.reduceCombines.Inc()
-		if st.got < st.need {
-			return
-		}
-		delete(g.red, seq)
-		if g.isRoot() {
-			port := nic.Port(g.port)
-			port.PostGroupEvent(&gm.RecvEvent{Group: g.id, Data: encodeVec(st.acc)})
-			return
-		}
-		e.sendReduce(g, seq, st)
-	})
-}
-
-// sendReduce ships the combined vector to the tree parent with
-// stop-and-wait reliability.
-func (e *Ext) sendReduce(g *group, seq uint32, st *reduceState) {
-	nic := e.nic
-	fr := &gm.Frame{
-		Kind:    gm.KindReduce,
-		SrcNode: nic.ID(),
-		DstNode: g.parent,
-		Group:   g.id,
-		Seq:     seq,
-		Offset:  int(st.op),
-		Payload: encodeVec(st.acc),
-	}
-	key := barrierKey{seq, -1} // reduce shares the timer map keyspace via round -1
-	var attempt func()
-	tm := nic.Engine().NewTimer(func() {
-		e.m.retransmits.Inc()
-		attempt()
-	})
-	attempt = func() {
-		nic.Inject(fr.Clone(), nil)
-		e.m.reduceSent.Inc()
-		tm.ResetAfter(nic.Cfg.RetransmitTimeout)
-	}
-	g.redTimers[key] = tm
-	attempt()
-}
-
-// rxReduce handles a child's combined contribution.
-func (e *Ext) rxReduce(fr *gm.Frame) {
-	nic := e.nic
-	buf, ok := nic.HW.RecvBufs.TryAcquire()
-	if !ok {
-		nic.HW.CountRxNoBuffer()
-		return
-	}
-	nic.HW.CPUDo(nic.Cfg.RecvProcCost, func() {
-		defer buf.Release()
-		g, ok := e.groups[fr.Group]
-		if !ok {
-			e.m.notMemberDrops.Inc()
-			return
-		}
-		// Ack unconditionally; duplicates must stop the child's timer too.
-		nic.Inject(&gm.Frame{
-			Kind:    gm.KindReduceAck,
-			SrcNode: nic.ID(),
-			DstNode: fr.SrcNode,
-			Group:   fr.Group,
-			Seq:     fr.Seq,
-		}, nil)
-		key := redDupKey{fr.SrcNode, fr.Seq}
-		if g.redSeen[key] {
-			e.m.duplicates.Inc()
-			return
-		}
-		g.redSeen[key] = true
-		e.contribute(g, fr.Seq, ReduceOp(fr.Offset), decodeVec(fr.Payload))
-	})
-}
-
-// rxReduceAck stops a pending reduce retransmission timer.
-func (e *Ext) rxReduceAck(fr *gm.Frame) {
-	nic := e.nic
-	nic.HW.CPUDo(nic.Cfg.AckProcCost, func() {
-		g, ok := e.groups[fr.Group]
-		if !ok {
-			return
-		}
-		key := barrierKey{fr.Seq, -1}
-		if t, ok := g.redTimers[key]; ok {
-			t.Stop()
-			delete(g.redTimers, key)
-		}
-	})
-}
-
-// AllreduceNIC reduces to the root over the tree, then multicasts the
-// result back down it: every member returns the combined vector. The
-// caller must have preposted a receive token (>= 8*len(vec) bytes) on
-// non-root members for the downward multicast.
-func (e *Ext) AllreduceNIC(proc *sim.Proc, port *gm.Port, id gm.GroupID, vec []int64, op ReduceOp) []int64 {
-	if res := e.Reduce(proc, port, id, vec, op); res != nil {
-		e.Mcast(proc, port, id, encodeVec(res))
-		return res
-	}
-	for {
-		ev := port.Recv(proc)
-		if ev.Group == id && len(ev.Data) > 0 {
-			return decodeVec(ev.Data)
-		}
-		panic("core: unexpected traffic on allreduce port")
-	}
-}
-
-func encodeVec(v []int64) []byte {
-	out := make([]byte, 8*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
-	}
-	return out
-}
-
-func decodeVec(b []byte) []int64 {
-	out := make([]int64, len(b)/8)
-	for i := range out {
-		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return out
-}
-
-// redDupKey deduplicates retransmitted child contributions.
-type redDupKey struct {
-	child fabric.NodeID
-	seq   uint32
 }

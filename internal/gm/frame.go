@@ -40,6 +40,17 @@ const (
 	// offset. Same reliability as KindData, but no receive token and no
 	// receive event.
 	KindDirected
+	// KindGather carries one chunk of a concatenate-and-forward allgather
+	// batch up the tree (internal/coll): Seq is the instance, Offset the
+	// byte offset within the batch, MsgLen the batch total. KindGatherAck
+	// acknowledges one chunk.
+	KindGather
+	KindGatherAck
+	// KindRing carries one member's vector one hop around the ring in the
+	// ring-allgather variant: Seq is the instance, Offset the originating
+	// member index. KindRingAck acknowledges it.
+	KindRing
+	KindRingAck
 )
 
 func (k Kind) String() string {
@@ -66,6 +77,14 @@ func (k Kind) String() string {
 		return "REDACK"
 	case KindDirected:
 		return "DSEND"
+	case KindGather:
+		return "GATH"
+	case KindGatherAck:
+		return "GATHACK"
+	case KindRing:
+		return "RING"
+	case KindRingAck:
+		return "RINGACK"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -116,7 +135,7 @@ func (f *Frame) Clone() *Frame {
 func (f *Frame) packet(cfg Config, txDone func()) *fabric.Packet {
 	size := cfg.WireSize(len(f.Payload))
 	switch f.Kind {
-	case KindAck, KindMcastAck, KindNack, KindMcastNack, KindBarrier, KindBarrierAck, KindReduceAck:
+	case KindAck, KindMcastAck, KindNack, KindMcastNack, KindBarrier, KindBarrierAck, KindReduceAck, KindGatherAck, KindRingAck:
 		size = cfg.AckBytes
 	}
 	return &fabric.Packet{

@@ -76,3 +76,68 @@ func ChaosFailures(results []chaos.Result) int {
 	}
 	return n
 }
+
+// CollChaosSweep runs each collective scenario at every cluster size under
+// the parallel sweep runner, returning results scenario-major in
+// deterministic order — the collective-engine counterpart of ChaosSweep.
+func (o Options) CollChaosSweep(scenarios []chaos.CollScenario, nodeCounts []int, rounds, veclen int) []chaos.CollResult {
+	type point struct {
+		sc    chaos.CollScenario
+		nodes int
+	}
+	var pts []point
+	for _, sc := range scenarios {
+		for _, n := range nodeCounts {
+			pts = append(pts, point{sc, n})
+		}
+	}
+	return parallelMap(o.workerCount(len(pts)), pts, func(_ int, p point) chaos.CollResult {
+		return chaos.RunCollScenario(p.sc, chaos.CollConfig{
+			Nodes:   p.nodes,
+			Rounds:  rounds,
+			Veclen:  veclen,
+			Seed:    o.Seed,
+			Metrics: o.Metrics,
+			Fabric:  o.Fabric,
+		})
+	})
+}
+
+// WriteCollChaosTable renders a collective campaign's per-scenario
+// pass/fail and recovery-latency table, with invariant violations
+// itemized under any failing row.
+func WriteCollChaosTable(w io.Writer, title string, results []chaos.CollResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tnodes\tverdict\trecovery\tdrops\tdups\tpaused\tretrans\tcolldups")
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%v\t%d\t%d\t%d\t%d\t%d\n",
+			r.Scenario, r.Nodes, verdict, r.Recovery,
+			r.Drops, r.Dups, r.PausedDrops, r.Retransmits, r.CollDups)
+	}
+	tw.Flush()
+	for _, r := range results {
+		if r.Pass {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s @ %d nodes violated:\n", r.Scenario, r.Nodes)
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  - %s\n", v)
+		}
+	}
+}
+
+// CollChaosFailures counts failing collective results.
+func CollChaosFailures(results []chaos.CollResult) int {
+	n := 0
+	for _, r := range results {
+		if !r.Pass {
+			n++
+		}
+	}
+	return n
+}

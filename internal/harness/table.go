@@ -56,6 +56,26 @@ func WriteScale(w io.Writer, title string, pts []ScalePoint) {
 	tw.Flush()
 }
 
+// WriteCollScale renders the collective scaling sweep: one row per
+// (collective, system size) with host-based latency, NIC-engine latency
+// and the improvement factor. Points where the MPI layer's NIC path does
+// not apply (allgather results past the eager limit) are annotated — the
+// NB column there measured the host fallback.
+func WriteCollScale(w io.Writer, title string, pts []CollPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "collective\tnodes\tHB(µs)\tNB(µs)\tfactor\t\t\n")
+	for _, p := range pts {
+		note := ""
+		if p.NBFallback {
+			note = "host fallback (result > eager limit)"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t%s\t\n",
+			p.Collective, p.Nodes, p.HB, p.NB, p.Factor(), note)
+	}
+	tw.Flush()
+}
+
 // PlotFactors renders the improvement-factor curves of several series on
 // one ASCII chart — the shape of the paper's (b) panels.
 func PlotFactors(w io.Writer, title string, named map[string]Series) {

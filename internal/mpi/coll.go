@@ -182,13 +182,26 @@ func (r *Rank) installGroup(gid gm.GroupID, tr *tree.Tree) {
 	}
 }
 
-// Barrier synchronizes all communicator members with the dissemination
-// algorithm.
+// Barrier synchronizes all communicator members. With the world's UseNB
+// set it runs NIC-resident (one host request, rounds among the NICs, a
+// completion event — see barrierNB); otherwise the hosts run the
+// dissemination algorithm themselves.
 func (c *Comm) Barrier() {
-	n := c.Size()
-	if n == 1 {
+	if c.Size() == 1 {
 		return
 	}
+	if c.r.w.UseNB {
+		c.barrierNB()
+		return
+	}
+	c.barrierHB()
+}
+
+// barrierHB is the host-based dissemination barrier: ceil(log2 n) rounds
+// of point-to-point messages, the host paying send and receive work in
+// every round.
+func (c *Comm) barrierHB() {
+	n := c.Size()
 	for k := 1; k < n; k <<= 1 {
 		dst := (c.my + k) % n
 		src := (c.my - k + n) % n
@@ -200,7 +213,10 @@ func (c *Comm) Barrier() {
 // Allreduce combines one float64 per member with op and returns the
 // result on every member — one of the paper's future-work NIC-multicast
 // clients. Values reduce to communicator rank 0 along a binomial tree,
-// then broadcast.
+// then broadcast. This closure form is permanently host-based: an opaque
+// Go function cannot run in firmware, and the LANai has no FPU for
+// float64 arithmetic regardless. Use AllreduceVec with a typed operator
+// (coll.OpSum/OpMin/OpMax over int64 vectors) for the NIC-offloaded path.
 func (c *Comm) Allreduce(val float64, op func(a, b float64) float64) float64 {
 	n := c.Size()
 	acc := val

@@ -1,0 +1,230 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/sim"
+)
+
+// runVecCollectives drives every typed collective once and returns the
+// per-rank results for checking.
+func wantAllreduceSum(nodes, veclen int) []int64 {
+	out := make([]int64, veclen)
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < veclen; j++ {
+			out[j] += int64(100*i + j)
+		}
+	}
+	return out
+}
+
+func rankVec(id, veclen int) []int64 {
+	v := make([]int64, veclen)
+	for j := range v {
+		v[j] = int64(100*id + j)
+	}
+	return v
+}
+
+func TestAllreduceVecBothPaths(t *testing.T) {
+	for name, useNB := range map[string]bool{"nic": true, "host": false} {
+		t.Run(name, func(t *testing.T) {
+			const nodes, veclen = 7, 3 // non-power-of-two exercises the host pre/post fold
+			w := newWorld(t, nodes, useNB)
+			results := make([][]int64, nodes)
+			w.Run(func(r *Rank) {
+				results[r.ID()] = r.AllreduceVec(rankVec(r.ID(), veclen), coll.OpSum)
+			})
+			want := wantAllreduceSum(nodes, veclen)
+			for i, res := range results {
+				if len(res) != veclen {
+					t.Fatalf("rank %d got %d elements, want %d", i, len(res), veclen)
+				}
+				for j := range want {
+					if res[j] != want[j] {
+						t.Fatalf("rank %d allreduce[%d] = %d, want %d", i, j, res[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceVecMinMax(t *testing.T) {
+	const nodes = 5
+	for _, tc := range []struct {
+		op   coll.Op
+		want int64
+	}{{coll.OpMin, 0}, {coll.OpMax, int64(100 * (nodes - 1))}} {
+		w := newWorld(t, nodes, true)
+		results := make([][]int64, nodes)
+		w.Run(func(r *Rank) {
+			results[r.ID()] = r.AllreduceVec([]int64{int64(100 * r.ID())}, tc.op)
+		})
+		for i, res := range results {
+			if len(res) != 1 || res[0] != tc.want {
+				t.Fatalf("rank %d op %v = %v, want [%d]", i, tc.op, res, tc.want)
+			}
+		}
+	}
+}
+
+func TestReduceVecBothPaths(t *testing.T) {
+	for name, useNB := range map[string]bool{"nic": true, "host": false} {
+		t.Run(name, func(t *testing.T) {
+			const nodes, veclen = 6, 2
+			w := newWorld(t, nodes, useNB)
+			results := make([][]int64, nodes)
+			w.Run(func(r *Rank) {
+				results[r.ID()] = r.ReduceVec(0, rankVec(r.ID(), veclen), coll.OpSum)
+				r.Barrier() // non-roots return before the reduction completes
+			})
+			want := wantAllreduceSum(nodes, veclen)
+			for j := range want {
+				if results[0][j] != want[j] {
+					t.Fatalf("root reduce[%d] = %d, want %d", j, results[0][j], want[j])
+				}
+			}
+			for i := 1; i < nodes; i++ {
+				if results[i] != nil {
+					t.Fatalf("non-root %d got a reduce result", i)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceVecNonTreeRootFallsBackToHost(t *testing.T) {
+	// Rooted anywhere but the collective tree's root, the NIC path cannot
+	// apply; the host binomial must still produce the result there.
+	const nodes = 5
+	w := newWorld(t, nodes, true)
+	results := make([][]int64, nodes)
+	w.Run(func(r *Rank) {
+		results[r.ID()] = r.ReduceVec(2, []int64{int64(r.ID())}, coll.OpSum)
+	})
+	if results[2] == nil || results[2][0] != 0+1+2+3+4 {
+		t.Fatalf("root-2 reduce = %v, want [10]", results[2])
+	}
+}
+
+func TestAllgatherVecBothPaths(t *testing.T) {
+	for name, useNB := range map[string]bool{"nic": true, "host": false} {
+		t.Run(name, func(t *testing.T) {
+			const nodes, veclen = 6, 3
+			w := newWorld(t, nodes, useNB)
+			results := make([][]int64, nodes)
+			w.Run(func(r *Rank) {
+				results[r.ID()] = r.AllgatherVec(rankVec(r.ID(), veclen))
+			})
+			for i, res := range results {
+				if len(res) != nodes*veclen {
+					t.Fatalf("rank %d got %d elements, want %d", i, len(res), nodes*veclen)
+				}
+				for m := 0; m < nodes; m++ {
+					for j := 0; j < veclen; j++ {
+						if res[m*veclen+j] != int64(100*m+j) {
+							t.Fatalf("rank %d allgather[%d,%d] = %d, want %d", i, m, j, res[m*veclen+j], 100*m+j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllgatherVecLargeFallsBackToHost(t *testing.T) {
+	// A result past the eager limit must take the host path and still be
+	// correct (gather+bcast for rendezvous sizes).
+	const nodes, veclen = 4, 1200 // 4*1200*8 = 38400 bytes > EagerMax
+	w := newWorld(t, nodes, true)
+	results := make([][]int64, nodes)
+	w.Run(func(r *Rank) {
+		results[r.ID()] = r.AllgatherVec(rankVec(r.ID(), veclen))
+	})
+	for i, res := range results {
+		if len(res) != nodes*veclen {
+			t.Fatalf("rank %d got %d elements", i, len(res))
+		}
+		for m := 0; m < nodes; m++ {
+			if res[m*veclen] != int64(100*m) || res[(m+1)*veclen-1] != int64(100*m+veclen-1) {
+				t.Fatalf("rank %d block %d corrupted", i, m)
+			}
+		}
+	}
+}
+
+func TestNBBarrierRepeated(t *testing.T) {
+	// Repeated NIC barriers with skewed ranks must all complete; the first
+	// creates the collective context on demand.
+	const nodes, rounds = 8, 5
+	w := newWorld(t, nodes, true)
+	counts := make([]int, nodes)
+	w.Run(func(r *Rank) {
+		for i := 0; i < rounds; i++ {
+			r.Proc().Compute(sim.Micros(float64(100 * (r.ID() % 3))))
+			r.Barrier()
+			counts[r.ID()]++
+		}
+	})
+	for i, got := range counts {
+		if got != rounds {
+			t.Fatalf("rank %d completed %d/%d NIC barriers", i, got, rounds)
+		}
+	}
+	// Barrier-only workload: the multicast group table must stay empty
+	// (the collective entry lives in the coll engine's own table).
+	for _, n := range w.C.Nodes {
+		if n.Ext.Groups() != 0 {
+			t.Fatalf("node %v grew %d multicast groups from barriers alone", n.ID, n.Ext.Groups())
+		}
+		if n.Coll.Groups() != 1 {
+			t.Fatalf("node %v has %d collective entries, want 1", n.ID, n.Coll.Groups())
+		}
+	}
+}
+
+func TestSubCommVecCollectives(t *testing.T) {
+	// Typed collectives inside split communicators: each half combines
+	// only its own members' vectors.
+	const nodes = 8
+	w := newWorld(t, nodes, true)
+	results := make([][]int64, nodes)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(r.ID()%2, r.ID())
+		results[r.ID()] = sub.AllreduceVec([]int64{int64(r.ID())}, coll.OpSum)
+	})
+	evens, odds := int64(0+2+4+6), int64(1+3+5+7)
+	for i, res := range results {
+		want := evens
+		if i%2 == 1 {
+			want = odds
+		}
+		if len(res) != 1 || res[0] != want {
+			t.Fatalf("rank %d sub-comm allreduce = %v, want [%d]", i, res, want)
+		}
+	}
+}
+
+func TestFreeRemovesCollContext(t *testing.T) {
+	const nodes = 6
+	w := newWorld(t, nodes, true)
+	w.Run(func(r *Rank) {
+		sub := r.World().Split(0, r.ID()) // all ranks, one sub-comm
+		sub.Barrier()
+		sub.AllreduceVec([]int64{1}, coll.OpSum)
+		sub.Free()
+	})
+	for _, n := range w.C.Nodes {
+		if got := n.Coll.Groups(); got != 0 {
+			t.Fatalf("node %v holds %d collective entries after Free", n.ID, got)
+		}
+		if got := n.Ext.Groups(); got != 0 {
+			t.Fatalf("node %v holds %d multicast groups after Free", n.ID, got)
+		}
+		if s := n.Coll.DebugLeaks(); s != "" {
+			t.Fatalf("node %v leaked collective state after Free: %s", n.ID, s)
+		}
+	}
+}

@@ -189,8 +189,35 @@ func (c *Comm) Free() {
 	if c.id == worldCommID {
 		panic(ErrFreeWorld)
 	}
-	c.Barrier() // quiesce: no member is inside a collective on this comm
+	// Quiesce with the host barrier: no member is inside a collective on
+	// this comm, and teardown must not demand-create the NIC collective
+	// context it is about to remove.
+	c.barrierHB()
 	r := c.r
+	if gid, ok := r.collGroups[c.id]; ok {
+		eng := r.collEngine()
+		done := false
+		w := sim.NewWaiter(r.proc.Engine())
+		eng.Remove(gid, func() {
+			done = true
+			w.WakeAll()
+		})
+		for !done {
+			w.Wait(r.proc)
+		}
+		ext := r.w.C.Nodes[r.id].Ext
+		if ext.HasGroup(gid) {
+			done = false
+			ext.RemoveGroup(gid, func() {
+				done = true
+				w.WakeAll()
+			})
+			for !done {
+				w.Wait(r.proc)
+			}
+		}
+		delete(r.collGroups, c.id)
+	}
 	for key, bg := range r.bcastGroups {
 		if key.comm != c.id {
 			continue

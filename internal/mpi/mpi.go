@@ -36,6 +36,8 @@ const (
 	tagGather
 	tagSplit
 	tagScatter
+	tagAllreduce
+	tagAllgather
 )
 
 // World binds an MPI job to a simulated cluster: rank i runs on node i.
@@ -56,6 +58,8 @@ func NewWorld(c *cluster.Cluster, useNB bool) *World {
 			w:           w,
 			id:          i,
 			bcastGroups: make(map[bcastKey]*bcastGroup),
+			collGroups:  make(map[uint32]gm.GroupID),
+			collTrees:   make(map[uint32]bool),
 			splitEpochs: make(map[uint32]int),
 		}
 		// Port setup schedules host->NIC events; attribute them to the
@@ -124,6 +128,8 @@ type Rank struct {
 	unexpected  []*gm.RecvEvent
 	sendSeq     map[sendSeqKey]uint32
 	bcastGroups map[bcastKey]*bcastGroup
+	collGroups  map[uint32]gm.GroupID // comm id -> NIC collective group
+	collTrees   map[uint32]bool       // comm ids whose multicast tree is installed
 	world       *Comm
 	splitEpochs map[uint32]int
 }
