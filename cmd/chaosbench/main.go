@@ -40,6 +40,7 @@ func main() {
 	veclen := flag.Int("veclen", 4, "collective vector elements (-coll only)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
+	ackEvery := flag.Int("ack-every", 0, "run with the ack economy enabled: cumulative acks every N packets plus piggybacking and tree aggregation (0/1 = per-packet acks)")
 	short := flag.Bool("short", false, "CI smoke mode: 4/8 nodes, 10 messages")
 	list := flag.Bool("list", false, "print the scenario library and exit")
 	parallel := flag.Int("parallel", 0, "max parallel campaign points (0 = all cores, 1 = serial)")
@@ -106,6 +107,7 @@ func main() {
 		os.Exit(2)
 	}
 	o.Fabric = fc
+	o.AckEconomy = *ackEvery
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}

@@ -28,6 +28,7 @@ func main() {
 	maxSize := flag.Int("maxsize", 16384, "largest message size in the sweep")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	fabricName := flag.String("fabric", "myrinet", "interconnect backend: "+harness.FabricNames())
+	ackEvery := flag.Int("ack-every", 0, "enable the ack economy: cumulative acks every N packets with piggybacking and tree aggregation (0/1 = per-packet acks)")
 	parallel := flag.Int("parallel", 0, "max parallel sweep points (0 = all cores, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -60,6 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 	o.Fabric = fc
+	o.AckEconomy = *ackEvery
 	if *showMetrics || *metricsJSON {
 		o.Metrics = metrics.New()
 	}

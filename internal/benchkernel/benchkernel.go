@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sim/legacy"
 	"repro/internal/tree"
@@ -161,10 +162,47 @@ func MulticastStormOn(fc fabric.Config, nodes, shards, msgs, size int) sim.Time 
 // windows, and wall-clock barrier-wait accounting. A serial run (shards <=
 // 1) returns a zero ShardStats.
 func MulticastStormStats(fc fabric.Config, nodes, shards, msgs, size int) (sim.Time, sim.ShardStats) {
+	return stormRun(fc, nodes, shards, msgs, size, nil)
+}
+
+// MulticastStormEconomy runs the storm serially with the full ack economy
+// enabled — cumulative acks every `every` packets held for up to
+// AckEconomyDelay, piggybacking, and NIC tree ack aggregation — and
+// returns the final virtual clock. The delay is a package constant rather
+// than a parameter so cmd/benchjson's generation and -check paths can
+// never disagree about what timeline an ack-on baseline point pins.
+func MulticastStormEconomy(fc fabric.Config, nodes, msgs, size, every int) sim.Time {
+	virt, _ := stormRun(fc, nodes, 1, msgs, size, []cluster.Option{
+		cluster.WithAckCoalescing(every, AckEconomyDelay),
+		cluster.WithPiggybackAcks(),
+		cluster.WithAckAggregation(),
+	})
+	return virt
+}
+
+// AckEconomyDelay is the delayed-ack hold used by the ack-on storm points:
+// long enough to span several packet arrivals at the binomial root's
+// replication pace even at 2048+ hosts, so coalescing is count-driven.
+const AckEconomyDelay = 2 * sim.Millisecond
+
+// MulticastStormCounters runs the storm with a private metrics registry
+// wired through every layer and returns the final virtual clock plus the
+// counter snapshot — the ack-economy evaluation reads ack/packet counts
+// from it. Extra cluster options (e.g. WithAckEconomy) apply on top of the
+// storm defaults. Serial engine only: the registry is unsynchronized.
+func MulticastStormCounters(fc fabric.Config, nodes, msgs, size int, extra ...cluster.Option) (sim.Time, metrics.Snapshot) {
+	reg := metrics.New()
+	opts := append([]cluster.Option{cluster.WithMetrics(reg)}, extra...)
+	virt, _ := stormRun(fc, nodes, 1, msgs, size, opts)
+	return virt, reg.Snapshot()
+}
+
+func stormRun(fc fabric.Config, nodes, shards, msgs, size int, extra []cluster.Option) (sim.Time, sim.ShardStats) {
 	opts := []cluster.Option{cluster.WithShards(shards), cluster.WithSeed(1)}
 	if fc.Valid() {
 		opts = append(opts, cluster.WithFabric(fc))
 	}
+	opts = append(opts, extra...)
 	c := cluster.New(nodes, opts...)
 	ports := c.OpenPorts(mcastPort)
 	ready := c.InstallGroup(mcastGroup, tree.Binomial(0, c.Members()), mcastPort, mcastPort)

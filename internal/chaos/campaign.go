@@ -53,6 +53,12 @@ type Config struct {
 	// zero value: the classic Myrinet fabric). The invariant set is
 	// fabric-agnostic, so the same scenarios validate every backend.
 	Fabric fabric.Config
+
+	// AckEvery > 1 runs every scenario with the full ack economy enabled
+	// (cumulative acks every AckEvery packets, piggybacking, and tree ack
+	// aggregation), proving the fault invariants hold with coalescing on.
+	// 0 or 1 keeps the per-packet ack default.
+	AckEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +274,7 @@ func runOnce(sc Scenario, cfg Config, faulted bool, cleanSpan sim.Time) outcome 
 	ccfg.Shards = cfg.Shards
 	ccfg.GM.EnableNacks = sc.Nacks
 	ccfg.GM.AdaptiveRTO = sc.Adaptive
+	cluster.WithAckEconomy(cfg.AckEvery)(ccfg)
 	c := cluster.NewFromConfig(ccfg)
 	ports := c.OpenPorts(Port)
 	tr := tree.KAry(0, c.Members(), cfg.Fanout)
@@ -382,12 +389,18 @@ func checkResources(c *cluster.Cluster, ports []*gm.Port, ccfg *cluster.Config) 
 		if t := n.NIC.PendingRetransmitTimers(); t != 0 {
 			v = append(v, fmt.Sprintf("node %d: %d unicast retransmit timers still armed", i, t))
 		}
+		if t := n.NIC.PendingAckTimers(); t != 0 {
+			v = append(v, fmt.Sprintf("node %d: %d delayed-ack timers still armed (coalesced ack leaked)", i, t))
+		}
 		if n.Ext != nil {
 			if r := n.Ext.OutstandingRecords(); r != 0 {
 				v = append(v, fmt.Sprintf("node %d: %d multicast send records leaked", i, r))
 			}
 			if t := n.Ext.PendingGroupTimers(); t != 0 {
 				v = append(v, fmt.Sprintf("node %d: %d group retransmit timers still armed", i, t))
+			}
+			if t := n.Ext.PendingAckTimers(); t != 0 {
+				v = append(v, fmt.Sprintf("node %d: %d aggregate-ack timers still armed (coalesced ack leaked)", i, t))
 			}
 		}
 		if free, cap := n.HW.SendBufs.Free(), n.HW.SendBufs.Cap(); free != cap {

@@ -87,6 +87,11 @@ type CollConfig struct {
 
 	// Fabric selects the interconnect backend (zero value: Myrinet).
 	Fabric fabric.Config
+
+	// AckEvery > 1 runs every scenario with the full ack economy enabled
+	// (cumulative acks, piggybacking, tree aggregation, windowed gather);
+	// 0 or 1 keeps the per-packet ack default.
+	AckEvery int
 }
 
 func (c CollConfig) withDefaults() CollConfig {
@@ -304,6 +309,7 @@ func collRunOnce(sc CollScenario, cfg CollConfig, faulted bool, cleanSpan sim.Ti
 	ccfg.Seed = cfg.Seed
 	ccfg.Metrics = reg
 	ccfg.Shards = cfg.Shards
+	cluster.WithAckEconomy(cfg.AckEvery)(ccfg)
 	c := cluster.NewFromConfig(ccfg)
 	ports := c.OpenPorts(CollPort)
 

@@ -50,15 +50,20 @@ type asmKey struct {
 
 // chunkAsm reassembles one child's chunked batch in arrival order.
 type chunkAsm struct {
-	buf []byte
-	got int // contiguous bytes received
+	buf     []byte
+	got     int // contiguous bytes received
+	unacked int // accepted chunks not yet acknowledged (ack economy)
 }
 
-// gatherSend is this NIC's outgoing batch: chunks move one at a time,
-// each released by the previous chunk's acknowledgment.
+// gatherSend is this NIC's outgoing batch. By default chunks move one at
+// a time, each released by the previous chunk's acknowledgment. Under the
+// ack economy (gm.Config.AckEvery) a window of AckEvery chunks flies at
+// once: off is then the next unsent byte and acked the receiver's
+// cumulative contiguous mark.
 type gatherSend struct {
 	batch []byte
 	off   int
+	acked int
 }
 
 // ringInst is one ring-allgather instance at one NIC.
@@ -205,7 +210,11 @@ func (g *Group) finishGatherMaybe(seq uint32, st *gatherInst) {
 		g.agOut = make(map[uint32]*gatherSend)
 	}
 	g.agOut[seq] = &gatherSend{batch: st.entries}
-	g.sendGatherChunk(seq, g.agOut[seq], parent)
+	if e.nic.Cfg.AckCoalescing() {
+		g.pumpGather(seq, g.agOut[seq], parent)
+	} else {
+		g.sendGatherChunk(seq, g.agOut[seq], parent)
+	}
 }
 
 // assembleFlat decodes the root's collected entries into member order.
@@ -241,6 +250,50 @@ func (g *Group) sendGatherChunk(seq uint32, gs *gatherSend, parent fabric.NodeID
 	e.m.bytesForwarded.Add(uint64(n))
 	chunk := gs.batch[gs.off : gs.off+n]
 	g.sendRel(skGather, gm.KindGather, parent, seq, int32(gs.off), gs.off, len(gs.batch), chunk)
+}
+
+// pumpGather keeps up to AckEvery chunks of the outgoing batch in flight
+// (the ack economy's windowed variant of sendGatherChunk): the receiver
+// acknowledges cumulatively every AckEvery-th chunk and at batch
+// completion, and gatherWindowAcked re-pumps as the window reopens.
+func (g *Group) pumpGather(seq uint32, gs *gatherSend, parent fabric.NodeID) {
+	e := g.eng
+	mtu := e.nic.Cfg.MTU
+	window := e.nic.Cfg.AckEvery
+	for gs.off < len(gs.batch) && (gs.off-gs.acked+mtu-1)/mtu < window {
+		n := len(gs.batch) - gs.off
+		if n > mtu {
+			n = mtu
+		}
+		e.m.gatherSent.Inc()
+		e.m.bytesForwarded.Add(uint64(n))
+		chunk := gs.batch[gs.off : gs.off+n]
+		g.sendRel(skGather, gm.KindGather, parent, seq, int32(gs.off), gs.off, len(gs.batch), chunk)
+		gs.off += n
+	}
+}
+
+// gatherWindowAcked folds a cumulative gather acknowledgment into the
+// windowed transfer: advance the contiguous mark, retire the transfer
+// when the whole batch is covered, else refill the window.
+func (g *Group) gatherWindowAcked(seq uint32, got int) {
+	gs := g.agOut[seq]
+	if gs == nil {
+		return
+	}
+	if got > gs.acked {
+		gs.acked = got
+	}
+	if gs.acked >= len(gs.batch) {
+		delete(g.agOut, seq)
+		return
+	}
+	_, parent, _, _, ok := g.eng.treeView(g.id)
+	if !ok {
+		delete(g.agOut, seq) // group torn down mid-transfer
+		return
+	}
+	g.pumpGather(seq, gs, parent)
 }
 
 // gatherChunkAcked advances the outgoing batch past the acknowledged
@@ -286,18 +339,27 @@ func (e *Engine) rxGather(fr *gm.Frame) {
 			return
 		}
 		g := e.groupFor(fr.Group)
-		ack := func() {
+		coalesce := nic.Cfg.AckCoalescing()
+		// Default acks echo the chunk offset (exact-match retire); economy
+		// acks carry the cumulative contiguous byte mark instead, so one
+		// covers a whole window of chunks.
+		ackAt := func(off int) {
 			nic.Inject(&gm.Frame{
 				Kind:    gm.KindGatherAck,
 				SrcNode: nic.ID(),
 				DstNode: fr.SrcNode,
 				Group:   fr.Group,
 				Seq:     fr.Seq,
-				Offset:  fr.Offset,
+				Offset:  off,
 			}, nil)
 		}
 		if g.agDone.has(fr.Seq) {
-			ack() // late chunk retransmit of a completed instance
+			// Late chunk retransmit of a completed instance.
+			if coalesce {
+				ackAt(fr.MsgLen)
+			} else {
+				ackAt(fr.Offset)
+			}
 			e.m.duplicates.Inc()
 			return
 		}
@@ -314,13 +376,35 @@ func (e *Engine) rxGather(fr *gm.Frame) {
 		case fr.Offset == casm.got:
 			casm.buf = append(casm.buf, fr.Payload...)
 			casm.got += len(fr.Payload)
-			ack()
+			if !coalesce {
+				ackAt(fr.Offset)
+				break
+			}
+			casm.unacked++
+			if casm.unacked >= nic.Cfg.AckEvery || casm.got >= fr.MsgLen {
+				e.m.acksSuppressed.Add(uint64(casm.unacked - 1))
+				casm.unacked = 0
+				ackAt(casm.got)
+			}
+			// Held chunks need no receiver timer: the sender's window fills
+			// exactly at the ack threshold, and its stop-and-wait timer plus
+			// the duplicate re-ack below break any loss-induced stall.
 		case fr.Offset < casm.got:
-			ack() // duplicate chunk; re-ack so the child advances
+			// Duplicate chunk; re-ack so the child advances. Under the
+			// economy the cumulative mark also covers anything held.
+			if coalesce {
+				e.m.acksSuppressed.Add(uint64(casm.unacked))
+				casm.unacked = 0
+				ackAt(casm.got)
+			} else {
+				ackAt(fr.Offset)
+			}
 			e.m.duplicates.Inc()
 			return
 		default:
-			// A gap cannot happen under stop-and-wait; drop without ack.
+			// A gap cannot happen under one-at-a-time stop-and-wait, and
+			// under the windowed economy the sender's timer recovers it;
+			// drop without ack.
 			e.m.duplicates.Inc()
 			return
 		}

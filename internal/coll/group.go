@@ -182,6 +182,32 @@ func (g *Group) ackRecord(class uint8, seq uint32, aux int32, src fabric.NodeID)
 	return false
 }
 
+// ackRecordsCumulative retires every outstanding record of one class and
+// instance to src whose chunk starts below the cumulative byte mark —
+// the windowed-gather half of the ack economy, where one coalesced ack
+// covers several chunks. Reports how many records retired.
+func (g *Group) ackRecordsCumulative(class uint8, seq uint32, upTo int32, src fabric.NodeID) int {
+	retired := 0
+	out := g.out[:0]
+	for _, rec := range g.out {
+		if rec.class == class && rec.seq == seq && rec.dst == src && rec.aux < upTo {
+			rec.frame.Payload = nil
+			g.free = append(g.free, rec)
+			retired++
+			continue
+		}
+		out = append(out, rec)
+	}
+	for i := len(out); i < len(g.out); i++ {
+		g.out[i] = nil
+	}
+	g.out = out
+	if retired > 0 {
+		g.armTimer()
+	}
+	return retired
+}
+
 // rxAck handles any collective acknowledgment kind: retire the record,
 // then run per-class continuation (the tree allgather sends its next
 // batch chunk when the previous one is acknowledged).
@@ -191,6 +217,13 @@ func (e *Engine) rxAck(class uint8, fr *gm.Frame) {
 		g, ok := e.groups[fr.Group]
 		if !ok {
 			return // stale ack for a group we no longer know
+		}
+		if class == skGather && nic.Cfg.AckCoalescing() {
+			// Windowed gather: the ack's Offset is the receiver's cumulative
+			// contiguous byte count, retiring every chunk below it at once.
+			g.ackRecordsCumulative(skGather, fr.Seq, int32(fr.Offset), fr.SrcNode)
+			g.gatherWindowAcked(fr.Seq, fr.Offset)
+			return
 		}
 		aux := int32(fr.Offset)
 		if class == skReduce {

@@ -22,6 +22,7 @@ type instruments struct {
 	gathersDone    *metrics.Counter // allgather instances completed at this NIC
 	ringSent       *metrics.Counter // ring-allgather hops transmitted
 	retransmits    *metrics.Counter // stop-and-wait retransmissions
+	acksSuppressed *metrics.Counter // per-chunk gather acks avoided by coalescing
 	duplicates     *metrics.Counter // duplicate collective frames dropped
 	notMemberDrops *metrics.Counter // frames for groups this NIC has no entry for
 	bytesForwarded *metrics.Counter // payload bytes moved up the tree / around the ring
@@ -41,6 +42,7 @@ func (e *Engine) initMetrics(reg *metrics.Registry) {
 		gathersDone:    reg.Counter(Component, id, "gathers_done"),
 		ringSent:       reg.Counter(Component, id, "ring_sent"),
 		retransmits:    reg.Counter(Component, id, "retransmits"),
+		acksSuppressed: reg.Counter(Component, id, "acks_suppressed"),
 		duplicates:     reg.Counter(Component, id, "duplicates"),
 		notMemberDrops: reg.Counter(Component, id, "not_member_drops"),
 		bytesForwarded: reg.Counter(Component, id, "bytes_forwarded"),

@@ -100,6 +100,16 @@ type Config struct {
 	// NIC-based reduction — the slow-NIC-processor trade-off the
 	// companion reduction paper weighs.
 	ReduceElemCost sim.Time
+
+	// AggregateAcks turns on NIC tree ack aggregation: an interior NIC
+	// absorbs its children's cumulative acks and forwards one aggregate —
+	// the serial-min floor its whole subtree has delivered — upward only
+	// when that floor advances, while leaves coalesce their receipt floor
+	// under gm's AckEvery/AckDelay bounds. The root then sees O(fanout)
+	// ack events per window instead of O(N), and a record retiring at the
+	// root proves the entire subtree delivered. Off by default (per-packet
+	// hop-by-hop acks, the timeline-pinned behavior).
+	AggregateAcks bool
 }
 
 // DefaultConfig returns costs calibrated alongside gm.DefaultConfig.
@@ -114,25 +124,30 @@ func DefaultConfig() Config {
 
 // Stats count multicast-specific incidents on one NIC.
 type Stats struct {
-	McastSent        uint64 // multicast data packets transmitted (replicas counted)
-	McastReceived    uint64 // multicast data packets accepted in sequence
-	McastForwarded   uint64 // packets requeued to children without host involvement
-	McastAcksSent    uint64
-	McastAcksRecv    uint64
-	Retransmits      uint64 // per destination per packet
-	Duplicates       uint64
-	OutOfOrderDrops  uint64
-	NoTokenDrops     uint64
-	NotMemberDrops   uint64 // packets for groups this NIC has no entry for
-	McastNacksSent   uint64
-	McastNacksRecv   uint64
-	StaleEpochDrops  uint64 // data frames from an epoch the entry moved past
-	FutureEpochDrops uint64 // data frames ahead of this NIC's commit
-	StaleEpochAcks   uint64 // acks/nacks ignored for carrying another epoch
-	AckedAsDropped   uint64 // stale frames refused but acknowledged
-	EpochCommits     uint64 // epoch activations applied to the group table
-	BarrierSent      uint64 // NIC-level barrier round messages transmitted
-	BarriersDone     uint64 // barrier instances completed at this NIC
-	ReduceSent       uint64 // combined reduction vectors sent up the tree
-	ReduceCombines   uint64 // per-contribution combining steps performed
+	McastSent      uint64 // multicast data packets transmitted (replicas counted)
+	McastReceived  uint64 // multicast data packets accepted in sequence
+	McastForwarded uint64 // packets requeued to children without host involvement
+	McastAcksSent  uint64
+	McastAcksRecv  uint64
+	// McastAcksSuppressed counts leaf per-packet acks held back by
+	// coalescing; McastAcksAggregated counts interior per-packet acks
+	// absorbed into subtree aggregates (Config.AggregateAcks).
+	McastAcksSuppressed uint64
+	McastAcksAggregated uint64
+	Retransmits         uint64 // per destination per packet
+	Duplicates          uint64
+	OutOfOrderDrops     uint64
+	NoTokenDrops        uint64
+	NotMemberDrops      uint64 // packets for groups this NIC has no entry for
+	McastNacksSent      uint64
+	McastNacksRecv      uint64
+	StaleEpochDrops     uint64 // data frames from an epoch the entry moved past
+	FutureEpochDrops    uint64 // data frames ahead of this NIC's commit
+	StaleEpochAcks      uint64 // acks/nacks ignored for carrying another epoch
+	AckedAsDropped      uint64 // stale frames refused but acknowledged
+	EpochCommits        uint64 // epoch activations applied to the group table
+	BarrierSent         uint64 // NIC-level barrier round messages transmitted
+	BarriersDone        uint64 // barrier instances completed at this NIC
+	ReduceSent          uint64 // combined reduction vectors sent up the tree
+	ReduceCombines      uint64 // per-contribution combining steps performed
 }

@@ -133,6 +133,19 @@ func (e *Ext) PendingGroupTimers() int {
 	return armed
 }
 
+// PendingAckTimers reports how many per-group delayed-ack timers are
+// armed — nonzero after quiescence means a coalesced aggregate ack was
+// never flushed (Config.AggregateAcks).
+func (e *Ext) PendingAckTimers() int {
+	armed := 0
+	for _, g := range e.groups {
+		if g.ackTimer != nil && g.ackTimer.Pending() {
+			armed++
+		}
+	}
+	return armed
+}
+
 // InstallGroup preposts one group's tree information into the NIC group
 // table — "the host generates a spanning tree and inserts it into a group
 // table stored in the NIC". port is the local port that receives the
@@ -240,6 +253,12 @@ func (e *Ext) CommitGroupEpoch(id gm.GroupID, epoch uint32, fn func()) {
 						ErrGroupBusy, id, e.nic.ID(), len(g.queue)))
 				}
 				g.timer.Stop()
+				if g.ackTimer != nil {
+					// Flush a coalesced receipt floor before the entry goes:
+					// the final ack lets the old-epoch parent retire cleanly.
+					e.flushAckUp(g)
+					g.ackTimer.Stop()
+				}
 				delete(e.groups, id)
 			} else {
 				g.activate(v)
@@ -271,6 +290,10 @@ func (e *Ext) RemoveGroup(id gm.GroupID, fn func()) {
 			}
 			g.onQuiesce(func() {
 				g.timer.Stop()
+				if g.ackTimer != nil {
+					e.flushAckUp(g)
+					g.ackTimer.Stop()
+				}
 				delete(e.groups, id)
 				if fn != nil {
 					fn()
@@ -344,12 +367,29 @@ func (e *Ext) rxData(fr *gm.Frame) {
 		switch {
 		case gm.SeqBefore(fr.Seq, g.recvSeq):
 			e.m.duplicates.Inc()
-			e.ackParent(g, g.recvSeq-1)
+			if e.cfg.AggregateAcks {
+				// The cumulative field must carry the subtree floor, never
+				// the local receipt floor: re-acking recvSeq-1 would retire
+				// parent records for packets this subtree has not delivered,
+				// and root completion would stop implying tree delivery.
+				e.reAckAggregate(g)
+			} else {
+				e.ackParent(g, g.recvSeq-1)
+			}
 			buf.Release()
 		case gm.SeqAfter(fr.Seq, g.recvSeq):
 			e.m.oooDrops.Inc()
 			if nic.Cfg.EnableNacks {
-				e.nackParent(g, g.recvSeq-1)
+				if e.cfg.AggregateAcks {
+					if g.ackPending > 0 {
+						e.m.acksSuppressed.Add(uint64(g.ackPending))
+						g.ackPending = 0
+						g.ackTimer.Stop()
+					}
+					e.nackParent(g, g.ackBound())
+				} else {
+					e.nackParent(g, g.recvSeq-1)
+				}
 			}
 			buf.Release()
 		default:
@@ -368,7 +408,11 @@ func (e *Ext) rxData(fr *gm.Frame) {
 			if nic.Trace.Enabled() {
 				nic.Trace.Log(nic.Engine().Now(), nic.ID(), trace.RX, "%v", fr)
 			}
-			e.ackParent(g, fr.Seq)
+			if e.cfg.AggregateAcks {
+				e.noteDelivered(g)
+			} else {
+				e.ackParent(g, fr.Seq)
+			}
 
 			// The NIC buffer stays busy until the payload reaches host
 			// memory AND (for per-packet forwarding) the last child
@@ -569,6 +613,74 @@ func (e *Ext) ackDropped(fr *gm.Frame) {
 	}, nil)
 }
 
+// noteDelivered runs the aggregation state machine after this node
+// accepted one in-sequence packet (Config.AggregateAcks): a leaf
+// coalesces its receipt floor under gm's AckEvery/AckDelay bounds, an
+// interior node stays silent — its per-packet ack is absorbed into the
+// aggregate that goes up when child acks advance the subtree floor.
+func (e *Ext) noteDelivered(g *group) {
+	if g.isRoot() {
+		return
+	}
+	if len(g.children) > 0 {
+		e.m.acksAggregated.Inc()
+		return
+	}
+	if !e.nic.Cfg.AckCoalescing() {
+		e.ackUp(g)
+		return
+	}
+	g.ackPending++
+	if g.ackPending >= e.nic.Cfg.AckEvery {
+		e.flushAckUp(g)
+		return
+	}
+	if !g.ackTimer.Pending() {
+		g.ackTimer.ResetAfter(e.nic.Cfg.EffectiveAckDelay())
+	}
+}
+
+// ackUp emits the aggregate cumulative acknowledgment upward when the
+// subtree floor has advanced past what the parent already knows.
+func (e *Ext) ackUp(g *group) {
+	bound := g.ackBound()
+	if !gm.SeqAfter(bound, g.upAcked) {
+		return
+	}
+	g.upAcked = bound
+	e.ackParent(g, bound)
+}
+
+// flushAckUp drains a leaf's coalesced receipt floor (count threshold,
+// delay timer, or teardown), counting the per-packet acks it avoided.
+func (e *Ext) flushAckUp(g *group) {
+	if g.ackPending == 0 {
+		return
+	}
+	if g.ackPending > 1 {
+		e.m.acksSuppressed.Add(uint64(g.ackPending - 1))
+	}
+	g.ackPending = 0
+	g.ackTimer.Stop()
+	e.ackUp(g)
+}
+
+// reAckAggregate answers a duplicate under aggregation: the parent is
+// retransmitting, so repeat the current subtree floor even when it has
+// not advanced, folding in any coalesced leaf pending first.
+func (e *Ext) reAckAggregate(g *group) {
+	if g.ackPending > 0 {
+		e.m.acksSuppressed.Add(uint64(g.ackPending))
+		g.ackPending = 0
+		g.ackTimer.Stop()
+	}
+	bound := g.ackBound()
+	if gm.SeqAfter(bound, g.upAcked) {
+		g.upAcked = bound
+	}
+	e.ackParent(g, bound)
+}
+
 // ackParent sends a cumulative group acknowledgment toward the root.
 func (e *Ext) ackParent(g *group, ack uint32) {
 	if g.isRoot() {
@@ -622,6 +734,10 @@ func (e *Ext) rxNack(fr *gm.Frame) {
 		e.m.nacksRecv.Inc()
 		g.handleAck(fr.SrcNode, fr.Ack)
 		g.fastRetransmit()
+		if e.cfg.AggregateAcks {
+			// Even a nack's cumulative part can advance the subtree floor.
+			e.ackUp(g)
+		}
 	})
 }
 
@@ -639,5 +755,10 @@ func (e *Ext) rxAck(fr *gm.Frame) {
 		}
 		e.m.acksRecv.Inc()
 		g.handleAck(fr.SrcNode, fr.Ack)
+		if e.cfg.AggregateAcks {
+			// A child's progress may advance this subtree's floor; forward
+			// the aggregate right away so the root's window keeps moving.
+			e.ackUp(g)
+		}
 	})
 }

@@ -86,6 +86,16 @@ type group struct {
 	// Receiver side.
 	recvSeq uint32 // next expected from parent
 
+	// Ack aggregation (Config.AggregateAcks). upAcked is the highest
+	// cumulative value this node has sent its parent; a leaf additionally
+	// coalesces its receipt floor — ackPending counts accepted packets not
+	// yet acknowledged upward, and ackTimer bounds the hold (gm's
+	// AckEvery/AckDelay). Interior nodes need no timer: their aggregate
+	// advances only when child acks arrive, and is emitted right then.
+	upAcked    uint32
+	ackPending int
+	ackTimer   *sim.Timer
+
 	// sf gathers per-message packets in the store-and-forward ablation.
 	sf map[uint64]*sfState
 
@@ -131,6 +141,9 @@ func localView(ext *Ext, id gm.GroupID, tr *tree.Tree, port, rootPort gm.PortID)
 		acked:    make(map[fabric.NodeID]uint32),
 	}
 	g.timer = ext.nic.Engine().NewTimer(g.onTimeout)
+	if ext.cfg.AggregateAcks && ext.nic.Cfg.AckCoalescing() {
+		g.ackTimer = ext.nic.Engine().NewTimer(func() { ext.flushAckUp(g) })
+	}
 	if p, ok := tr.Parent(self); ok {
 		g.parent = p
 	} else {
@@ -358,6 +371,20 @@ func (g *group) pendingChildren(seq uint32) map[fabric.NodeID]bool {
 	return pending
 }
 
+// ackBound reports the highest sequence number this node's entire subtree
+// is known to have delivered: the node's own receipt floor serial-min'd
+// with every child's cumulative acknowledgment. This is the value an
+// aggregating node forwards upward (Config.AggregateAcks).
+func (g *group) ackBound() uint32 {
+	bound := g.recvSeq - 1
+	for _, c := range g.children {
+		if a := g.acked[c]; gm.SeqBefore(a, bound) {
+			bound = a
+		}
+	}
+	return bound
+}
+
 // handleAck processes a cumulative group acknowledgment from one child.
 // Sequence comparisons use serial-number arithmetic so long-lived groups
 // survive the uint32 wrap.
@@ -428,7 +455,14 @@ func (g *group) armTimer() {
 	if mult > capf {
 		mult = capf
 	}
-	deadline := g.records[0].sentAt + g.ext.nic.Cfg.RetransmitTimeout*sim.Time(mult)
+	rto := g.ext.nic.Cfg.RetransmitTimeout
+	if g.ext.cfg.AggregateAcks && g.ext.nic.Cfg.AckCoalescing() {
+		// A coalescing leaf may lawfully sit on its aggregate ack for the
+		// full delay; a timer that does not budget for it retransmits
+		// spuriously into a healthy tree.
+		rto += g.ext.nic.Cfg.EffectiveAckDelay()
+	}
+	deadline := g.records[0].sentAt + rto*sim.Time(mult)
 	if deadline < eng.Now() {
 		deadline = eng.Now()
 	}
@@ -547,6 +581,13 @@ func (g *group) activate(v *pendingView) {
 	g.backoff = 0
 	g.fastArmed = false
 	g.lastFast = 0
+	// The aggregate floor belongs to the old epoch's sequence space; the
+	// coordinator's quiesce phase guarantees nothing is pending here.
+	g.upAcked = 0
+	g.ackPending = 0
+	if g.ackTimer != nil {
+		g.ackTimer.Stop()
+	}
 	g.next = nil
 }
 

@@ -16,6 +16,8 @@ type instruments struct {
 	mcastForwarded   *metrics.Counter
 	acksSent         *metrics.Counter
 	acksRecv         *metrics.Counter
+	acksSuppressed   *metrics.Counter
+	acksAggregated   *metrics.Counter
 	retransmits      *metrics.Counter
 	timeouts         *metrics.Counter
 	duplicates       *metrics.Counter
@@ -52,6 +54,8 @@ func (e *Ext) initMetrics(reg *metrics.Registry) {
 		mcastForwarded:   reg.Counter(Component, id, "mcast_forwarded"),
 		acksSent:         reg.Counter(Component, id, "mcast_acks_sent"),
 		acksRecv:         reg.Counter(Component, id, "mcast_acks_received"),
+		acksSuppressed:   reg.Counter(Component, id, "mcast_acks_suppressed"),
+		acksAggregated:   reg.Counter(Component, id, "mcast_acks_aggregated"),
 		retransmits:      reg.Counter(Component, id, "retransmits"),
 		timeouts:         reg.Counter(Component, id, "timeouts"),
 		duplicates:       reg.Counter(Component, id, "duplicates"),
@@ -88,26 +92,28 @@ func (e *Ext) Stats() Stats {
 		cs = e.coll.CollStats()
 	}
 	return Stats{
-		McastSent:        e.m.mcastSent.Value(),
-		McastReceived:    e.m.mcastReceived.Value(),
-		McastForwarded:   e.m.mcastForwarded.Value(),
-		McastAcksSent:    e.m.acksSent.Value(),
-		McastAcksRecv:    e.m.acksRecv.Value(),
-		Retransmits:      e.m.retransmits.Value() + cs.Retransmits,
-		Duplicates:       e.m.duplicates.Value() + cs.Duplicates,
-		OutOfOrderDrops:  e.m.oooDrops.Value(),
-		NoTokenDrops:     e.m.noTokenDrops.Value(),
-		NotMemberDrops:   e.m.notMemberDrops.Value() + cs.NotMemberDrops,
-		McastNacksSent:   e.m.nacksSent.Value(),
-		McastNacksRecv:   e.m.nacksRecv.Value(),
-		StaleEpochDrops:  e.m.staleEpochDrops.Value(),
-		FutureEpochDrops: e.m.futureEpochDrops.Value(),
-		StaleEpochAcks:   e.m.staleEpochAcks.Value(),
-		AckedAsDropped:   e.m.ackedAsDropped.Value(),
-		EpochCommits:     e.m.epochCommits.Value(),
-		BarrierSent:      cs.BarrierSent,
-		BarriersDone:     cs.BarriersDone,
-		ReduceSent:       cs.ReduceSent,
-		ReduceCombines:   cs.ReduceCombines,
+		McastSent:           e.m.mcastSent.Value(),
+		McastReceived:       e.m.mcastReceived.Value(),
+		McastForwarded:      e.m.mcastForwarded.Value(),
+		McastAcksSent:       e.m.acksSent.Value(),
+		McastAcksRecv:       e.m.acksRecv.Value(),
+		McastAcksSuppressed: e.m.acksSuppressed.Value(),
+		McastAcksAggregated: e.m.acksAggregated.Value(),
+		Retransmits:         e.m.retransmits.Value() + cs.Retransmits,
+		Duplicates:          e.m.duplicates.Value() + cs.Duplicates,
+		OutOfOrderDrops:     e.m.oooDrops.Value(),
+		NoTokenDrops:        e.m.noTokenDrops.Value(),
+		NotMemberDrops:      e.m.notMemberDrops.Value() + cs.NotMemberDrops,
+		McastNacksSent:      e.m.nacksSent.Value(),
+		McastNacksRecv:      e.m.nacksRecv.Value(),
+		StaleEpochDrops:     e.m.staleEpochDrops.Value(),
+		FutureEpochDrops:    e.m.futureEpochDrops.Value(),
+		StaleEpochAcks:      e.m.staleEpochAcks.Value(),
+		AckedAsDropped:      e.m.ackedAsDropped.Value(),
+		EpochCommits:        e.m.epochCommits.Value(),
+		BarrierSent:         cs.BarrierSent,
+		BarriersDone:        cs.BarriersDone,
+		ReduceSent:          cs.ReduceSent,
+		ReduceCombines:      cs.ReduceCombines,
 	}
 }

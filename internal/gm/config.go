@@ -54,6 +54,21 @@ type Config struct {
 	// often a sender honors them (one fast retransmit per holdoff).
 	EnableNacks bool
 	NackHoldoff sim.Time
+	// AckEvery, when > 1, turns on cumulative delayed acknowledgments: a
+	// receiver holds its ack until AckEvery in-sequence packets have been
+	// accepted or AckDelay has elapsed since the first unacknowledged one,
+	// whichever comes first. Duplicates and holes still provoke an
+	// immediate (n)ack so recovery latency is unchanged. Zero or one keeps
+	// the classic one-ack-per-packet behavior.
+	AckEvery int
+	// AckDelay bounds how long a coalesced ack may be withheld. Zero means
+	// RetransmitTimeout/8, comfortably below any retransmission interval.
+	AckDelay sim.Time
+	// PiggybackAcks lets a reverse-direction data frame carry the pending
+	// cumulative ack in its header (Frame.PiggyAck), suppressing the
+	// standalone ack packet entirely. Only does anything when AckEvery > 1
+	// leaves acks pending to piggyback.
+	PiggybackAcks bool
 
 	// NIC firmware CPU costs.
 	SendEventCost  sim.Time // translate a host send event into a send token
@@ -92,6 +107,22 @@ func DefaultConfig() Config {
 		HostRecvCost: sim.Micros(0.3),
 	}
 }
+
+// AckCoalescing reports whether cumulative delayed acknowledgments are on.
+func (c Config) AckCoalescing() bool { return c.AckEvery > 1 }
+
+// EffectiveAckDelay reports the delayed-ack flush bound: AckDelay when
+// set, else RetransmitTimeout/8.
+func (c Config) EffectiveAckDelay() sim.Time {
+	if c.AckDelay > 0 {
+		return c.AckDelay
+	}
+	return c.RetransmitTimeout / 8
+}
+
+// ackEconomy reports whether any ack-economy feature is active; the fused
+// ack dispatch path keys off it.
+func (c Config) ackEconomy() bool { return c.AckCoalescing() || c.PiggybackAcks }
 
 // Packets reports how many MTU-sized packets a message of n bytes needs.
 // A zero-byte message still takes one (header-only) packet.

@@ -68,12 +68,34 @@ type conn struct {
 	// Round-trip estimation (AdaptiveRTO): smoothed RTT and variance in
 	// the style of TCP (Jacobson/Karels).
 	srtt, rttvar sim.Time
+	// Fused ack dispatch (ack economy): while one AckProcCost CPU event is
+	// queued for this connection, later (n)acks fold their cumulative
+	// values into fusedAck/fusedNack instead of scheduling more events, so
+	// a burst of coalesced acks retires a whole window in one event with
+	// no per-ack allocation.
+	ackFuse   *lanai.Fuse
+	fusedAck  uint32
+	fusedNack bool
 }
 
 func newConn(n *NIC, k connKey) *conn {
 	c := &conn{nic: n, key: k, nextSeq: 1}
 	c.timer = n.Engine().NewTimer(c.onTimeout)
+	if n.Cfg.ackEconomy() {
+		c.ackFuse = lanai.NewFuse(n.HW, c.dispatchFusedAck)
+	}
 	return c
+}
+
+// dispatchFusedAck drains the fused cumulative ack accumulated while the
+// AckProcCost event sat in the CPU queue.
+func (c *conn) dispatchFusedAck() {
+	ack, nack := c.fusedAck, c.fusedNack
+	c.fusedNack = false
+	c.handleAck(ack)
+	if nack {
+		c.fastRetransmit()
+	}
 }
 
 // enqueue admits a token and starts the pump.
@@ -111,6 +133,18 @@ func (c *conn) pump() {
 			fr.Kind = KindDirected
 			fr.MsgID = uint64(t.region)
 			fr.Offset = t.base + t.nextOff
+		} else if c.nic.Cfg.PiggybackAcks {
+			// Reverse-direction receiver state shares this connection's key
+			// (mirrored port pair); a pending coalesced ack rides out in
+			// this frame's header instead of a standalone ack packet.
+			if r, ok := c.nic.rcvrs[c.key]; ok && r.pending > 0 {
+				fr.Piggy = true
+				fr.PiggyAck = r.expect - 1
+				c.nic.m.acksPiggybacked.Inc()
+				c.nic.m.acksSuppressed.Add(uint64(r.pending))
+				r.pending = 0
+				r.ackTimer.Stop()
+			}
 		}
 		if chunk > 0 {
 			fr.Payload = t.data[t.nextOff : t.nextOff+chunk]
@@ -159,13 +193,20 @@ func (c *conn) recordSent(fr *Frame, t *sendToken) {
 func (c *conn) handleAck(ack uint32) {
 	now := c.nic.Engine().Now()
 	retired := 0
+	// Under ack coalescing one cumulative ack retires several records; take
+	// a single RTT sample (the oldest non-retransmitted record) per ack so
+	// the estimator sees the coalesce hold time once instead of averaging
+	// it down across the batch.
+	coalescing := c.nic.Cfg.AckCoalescing()
+	sampled := false
 	for _, r := range c.records {
 		if SeqAfter(r.seq, ack) {
 			break
 		}
-		if c.nic.Cfg.AdaptiveRTO && !r.retransmitted {
+		if c.nic.Cfg.AdaptiveRTO && !r.retransmitted && !(coalescing && sampled) {
 			// Karn's rule: never sample retransmitted packets.
 			c.observeRTT(now - r.sentAt)
+			sampled = true
 		}
 		retired++
 		r.tok.pending--
@@ -203,9 +244,21 @@ func (c *conn) armTimer() {
 // the measured round-trip estimate when adaptive timeouts are enabled.
 func (c *conn) rto() sim.Time {
 	base := c.nic.Cfg.RetransmitTimeout
+	if c.nic.Cfg.AckCoalescing() {
+		// Budget for the receiver's lawful ack hold — without this a
+		// configured AckDelay near the fixed timeout turns every coalesced
+		// ack into a spurious go-back-N.
+		base += c.nic.Cfg.EffectiveAckDelay()
+	}
 	if c.nic.Cfg.AdaptiveRTO && c.srtt > 0 {
 		base = c.srtt + 4*c.rttvar
-		if floor := c.nic.Cfg.MinRTO; base < floor {
+		floor := c.nic.Cfg.MinRTO
+		if c.nic.Cfg.AckCoalescing() {
+			// A receiver may lawfully sit on an ack for the full delay;
+			// keep the timer above it or clean runs retransmit spuriously.
+			floor += c.nic.Cfg.EffectiveAckDelay()
+		}
+		if base < floor {
 			base = floor
 		}
 	}
@@ -274,9 +327,63 @@ func (c *conn) onTimeout() {
 }
 
 // rcvr is the receiver-side state of a connection: the next expected
-// sequence number.
+// sequence number, plus the delayed-ack state when coalescing is on.
 type rcvr struct {
+	nic    *NIC
+	key    connKey
 	expect uint32
+	// pending counts accepted-but-unacknowledged packets (Config.AckEvery);
+	// ackTimer flushes them after the ack delay. The timer exists only when
+	// coalescing is configured.
+	pending  int
+	ackTimer *sim.Timer
+}
+
+// noteAccepted runs the delayed-ack state machine for one accepted
+// in-sequence packet: flush a cumulative ack at every AckEvery-th packet,
+// otherwise hold it and let the delay timer bound the wait.
+func (r *rcvr) noteAccepted() {
+	r.pending++
+	if r.pending >= r.nic.Cfg.AckEvery {
+		r.flushAck()
+		return
+	}
+	if !r.ackTimer.Pending() {
+		r.ackTimer.ResetAfter(r.nic.Cfg.EffectiveAckDelay())
+	}
+}
+
+// flushAck emits the cumulative acknowledgment covering every pending
+// packet (counting the avoided per-packet acks as suppressed) and disarms
+// the delay timer.
+func (r *rcvr) flushAck() {
+	if r.pending == 0 {
+		return
+	}
+	if r.pending > 1 {
+		r.nic.m.acksSuppressed.Add(uint64(r.pending - 1))
+	}
+	r.pending = 0
+	r.ackTimer.Stop()
+	r.nic.m.acksSent.Inc()
+	r.nic.Inject(&Frame{
+		Kind:    KindAck,
+		SrcNode: r.nic.ID(), DstNode: r.key.Node,
+		SrcPort: r.key.LocalP, DstPort: r.key.RemoteP,
+		Ack: r.expect - 1,
+	}, nil)
+}
+
+// absorbPending folds any pending coalesced ack into an acknowledgment
+// the caller is about to send anyway (a duplicate re-ack or a nack, whose
+// cumulative field covers the pending packets).
+func (r *rcvr) absorbPending() {
+	if r.pending == 0 {
+		return
+	}
+	r.nic.m.acksSuppressed.Add(uint64(r.pending))
+	r.pending = 0
+	r.ackTimer.Stop()
 }
 
 // fastRetransmit performs an immediate go-back-N in response to a nack,

@@ -113,6 +113,15 @@ type Frame struct {
 	MsgLen int
 	Offset int
 
+	// Piggy marks a data frame that also carries a cumulative
+	// acknowledgment for the reverse direction of its connection in
+	// PiggyAck (Config.PiggybackAcks). The value rides in reserved header
+	// space, so the wire size is unchanged; a lost frame loses the
+	// piggybacked ack with it, and the delayed-ack machinery recovers
+	// through the usual duplicate re-ack.
+	Piggy    bool
+	PiggyAck uint32
+
 	// Group tags multicast traffic. Epoch is the group-table epoch the
 	// frame was emitted under (core extension's dynamic membership):
 	// multicast data and acks carry it so a stale-epoch frame arriving at
@@ -153,6 +162,9 @@ func (f *Frame) String() string {
 		f.Seq, f.Ack, f.MsgID, f.Offset, f.MsgLen, f.Group, len(f.Payload))
 	if f.Epoch != 0 {
 		s += fmt.Sprintf(" ep=%d", f.Epoch)
+	}
+	if f.Piggy {
+		s += fmt.Sprintf(" pack=%d", f.PiggyAck)
 	}
 	return s
 }

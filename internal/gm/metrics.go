@@ -15,6 +15,8 @@ type instruments struct {
 	dataReceived     *metrics.Counter
 	acksSent         *metrics.Counter
 	acksReceived     *metrics.Counter
+	acksSuppressed   *metrics.Counter
+	acksPiggybacked  *metrics.Counter
 	retransmits      *metrics.Counter
 	timeouts         *metrics.Counter
 	duplicates       *metrics.Counter
@@ -34,6 +36,8 @@ func (n *NIC) initMetrics(reg *metrics.Registry) {
 		dataReceived:     reg.Counter(Component, id, "data_received"),
 		acksSent:         reg.Counter(Component, id, "acks_sent"),
 		acksReceived:     reg.Counter(Component, id, "acks_received"),
+		acksSuppressed:   reg.Counter(Component, id, "acks_suppressed"),
+		acksPiggybacked:  reg.Counter(Component, id, "acks_piggybacked"),
 		retransmits:      reg.Counter(Component, id, "retransmits"),
 		timeouts:         reg.Counter(Component, id, "timeouts"),
 		duplicates:       reg.Counter(Component, id, "duplicates"),
@@ -58,6 +62,8 @@ func (n *NIC) Stats() Stats {
 		DataReceived:     n.m.dataReceived.Value(),
 		AcksSent:         n.m.acksSent.Value(),
 		AcksReceived:     n.m.acksReceived.Value(),
+		AcksSuppressed:   n.m.acksSuppressed.Value(),
+		AcksPiggybacked:  n.m.acksPiggybacked.Value(),
 		Retransmits:      n.m.retransmits.Value(),
 		Duplicates:       n.m.duplicates.Value(),
 		OutOfOrderDrops:  n.m.oooDrops.Value(),

@@ -22,10 +22,15 @@ type Extension interface {
 
 // Stats count protocol-level incidents on one NIC.
 type Stats struct {
-	DataSent        uint64
-	DataReceived    uint64
-	AcksSent        uint64
-	AcksReceived    uint64
+	DataSent     uint64
+	DataReceived uint64
+	AcksSent     uint64
+	AcksReceived uint64
+	// AcksSuppressed counts per-packet acknowledgments avoided by the
+	// coalescing/piggyback economy; AcksPiggybacked counts data frames
+	// that carried one.
+	AcksSuppressed  uint64
+	AcksPiggybacked uint64
 	Retransmits     uint64
 	Duplicates      uint64 // in-window duplicates re-acked
 	OutOfOrderDrops uint64
@@ -139,6 +144,19 @@ func (n *NIC) PendingRetransmitTimers() int {
 	return armed
 }
 
+// PendingAckTimers reports how many receiver-side delayed-ack timers are
+// armed — nonzero after quiescence means a coalesced ack was never
+// flushed (a leaked timer under Config.AckEvery).
+func (n *NIC) PendingAckTimers() int {
+	armed := 0
+	for _, r := range n.rcvrs {
+		if r.ackTimer != nil && r.ackTimer.Pending() {
+			armed++
+		}
+	}
+	return armed
+}
+
 // NewMsgID allocates a node-unique message identifier.
 func (n *NIC) NewMsgID() uint64 {
 	n.nextMsgID++
@@ -199,7 +217,10 @@ func (n *NIC) recvConn(src fabric.NodeID, srcP, localP PortID) *rcvr {
 	k := connKey{Node: src, LocalP: localP, RemoteP: srcP}
 	r, ok := n.rcvrs[k]
 	if !ok {
-		r = &rcvr{expect: 1}
+		r = &rcvr{nic: n, key: k, expect: 1}
+		if n.Cfg.AckCoalescing() {
+			r.ackTimer = n.Engine().NewTimer(r.flushAck)
+		}
 		n.rcvrs[k] = r
 	}
 	return r

@@ -23,6 +23,12 @@ func (n *NIC) rxData(fr *Frame) {
 		return
 	}
 	n.HW.CPUDo(n.Cfg.RecvProcCost, func() {
+		if fr.Piggy {
+			// The frame carries the reverse direction's cumulative ack;
+			// retire those send records inside this same CPU event — the
+			// standalone ack's wire crossing and AckProcCost are the saving.
+			n.sendConn(fr.DstPort, fr.SrcNode, fr.SrcPort).handleAck(fr.PiggyAck)
+		}
 		r := n.recvConn(fr.SrcNode, fr.SrcPort, fr.DstPort)
 		port, open := n.ports[fr.DstPort]
 		if !open {
@@ -33,9 +39,11 @@ func (n *NIC) rxData(fr *Frame) {
 		switch {
 		case SeqBefore(fr.Seq, r.expect):
 			// Duplicate of an already-accepted packet (its ack was lost, or
-			// go-back-N resent it). Re-ack so the sender advances.
+			// go-back-N resent it). Re-ack so the sender advances; the
+			// immediate cumulative ack also covers anything coalesced.
 			n.m.duplicates.Inc()
 			n.traceDrop("duplicate seq=%d expect=%d", fr.Seq, r.expect)
+			r.absorbPending()
 			n.sendAck(fr, r.expect-1)
 			buf.Release()
 		case SeqAfter(fr.Seq, r.expect):
@@ -44,6 +52,7 @@ func (n *NIC) rxData(fr *Frame) {
 			n.m.oooDrops.Inc()
 			n.traceDrop("out-of-order seq=%d expect=%d", fr.Seq, r.expect)
 			if n.Cfg.EnableNacks {
+				r.absorbPending()
 				n.sendNack(fr, r.expect-1)
 			}
 			buf.Release()
@@ -64,7 +73,11 @@ func (n *NIC) rxData(fr *Frame) {
 			if n.Trace.Enabled() {
 				n.Trace.Log(n.Engine().Now(), n.ID(), trace.RX, "%v", fr)
 			}
-			n.sendAck(fr, fr.Seq)
+			if n.Cfg.AckCoalescing() {
+				r.noteAccepted()
+			} else {
+				n.sendAck(fr, fr.Seq)
+			}
 			payload := fr.Payload
 			off := fr.Offset
 			n.HW.NICToHost(len(payload), func() {
@@ -90,11 +103,34 @@ func (n *NIC) sendAck(data *Frame, ack uint32) {
 
 // rxAck handles an arriving unicast acknowledgment.
 func (n *NIC) rxAck(fr *Frame) {
+	if n.Cfg.ackEconomy() {
+		n.m.acksReceived.Inc()
+		n.fuseAck(fr, false)
+		return
+	}
 	n.HW.CPUDo(n.Cfg.AckProcCost, func() {
 		n.m.acksReceived.Inc()
 		c := n.sendConn(fr.DstPort, fr.SrcNode, fr.SrcPort)
 		c.handleAck(fr.Ack)
 	})
+}
+
+// fuseAck feeds one arriving (n)ack into the connection's fused dispatch:
+// the first arms a single AckProcCost event; any that land while it is
+// queued fold in their cumulative values (serial max) and are absorbed
+// without a CPU event or an allocation of their own.
+func (n *NIC) fuseAck(fr *Frame, nack bool) {
+	c := n.sendConn(fr.DstPort, fr.SrcNode, fr.SrcPort)
+	if c.ackFuse.Pending() {
+		if SeqAfter(fr.Ack, c.fusedAck) {
+			c.fusedAck = fr.Ack
+		}
+		c.fusedNack = c.fusedNack || nack
+		return
+	}
+	c.fusedAck = fr.Ack
+	c.fusedNack = nack
+	c.ackFuse.Arm(n.Cfg.AckProcCost)
 }
 
 // sendNack emits a negative acknowledgment carrying the last in-order
@@ -114,6 +150,11 @@ func (n *NIC) sendNack(data *Frame, lastGood uint32) {
 // the cumulative field covers, then go-back-N immediately (bounded by the
 // per-connection holdoff so a burst of nacks triggers one resend).
 func (n *NIC) rxNack(fr *Frame) {
+	if n.Cfg.ackEconomy() {
+		n.m.nacksReceived.Inc()
+		n.fuseAck(fr, true)
+		return
+	}
 	n.HW.CPUDo(n.Cfg.AckProcCost, func() {
 		n.m.nacksReceived.Inc()
 		c := n.sendConn(fr.DstPort, fr.SrcNode, fr.SrcPort)

@@ -28,12 +28,13 @@ func (o Options) ChaosSweep(scenarios []chaos.Scenario, nodeCounts []int, msgs, 
 	}
 	return parallelMap(o.workerCount(len(pts)), pts, func(_ int, p point) chaos.Result {
 		return chaos.RunScenario(p.sc, chaos.Config{
-			Nodes:   p.nodes,
-			Msgs:    msgs,
-			Size:    size,
-			Seed:    o.Seed,
-			Metrics: o.Metrics,
-			Fabric:  o.Fabric,
+			Nodes:    p.nodes,
+			Msgs:     msgs,
+			Size:     size,
+			Seed:     o.Seed,
+			Metrics:  o.Metrics,
+			Fabric:   o.Fabric,
+			AckEvery: o.AckEconomy,
 		})
 	})
 }
@@ -93,12 +94,13 @@ func (o Options) CollChaosSweep(scenarios []chaos.CollScenario, nodeCounts []int
 	}
 	return parallelMap(o.workerCount(len(pts)), pts, func(_ int, p point) chaos.CollResult {
 		return chaos.RunCollScenario(p.sc, chaos.CollConfig{
-			Nodes:   p.nodes,
-			Rounds:  rounds,
-			Veclen:  veclen,
-			Seed:    o.Seed,
-			Metrics: o.Metrics,
-			Fabric:  o.Fabric,
+			Nodes:    p.nodes,
+			Rounds:   rounds,
+			Veclen:   veclen,
+			Seed:     o.Seed,
+			Metrics:  o.Metrics,
+			Fabric:   o.Fabric,
+			AckEvery: o.AckEconomy,
 		})
 	})
 }

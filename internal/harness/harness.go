@@ -51,6 +51,11 @@ type Options struct {
 	// builds runs on (zero value: the classic Myrinet fabric). Use
 	// FabricPreset to resolve a -fabric CLI flag.
 	Fabric fabric.Config
+	// AckEconomy > 1 enables the full ack-economy stack on every cluster
+	// the harness builds: cumulative acks every AckEconomy packets,
+	// piggybacking, and NIC tree ack aggregation. 0 or 1 keeps the
+	// timeline-pinned per-packet ack default.
+	AckEconomy int
 }
 
 // nbTree resolves the NIC-based multicast tree for a run.
@@ -75,6 +80,7 @@ func (o Options) config(nodes int) *cluster.Config {
 	cfg.Seed = o.Seed
 	cfg.Metrics = o.Metrics
 	cfg.Shards = o.Shards
+	cluster.WithAckEconomy(o.AckEconomy)(cfg)
 	if o.Mut != nil {
 		o.Mut(cfg)
 	}

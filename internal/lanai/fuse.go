@@ -1,0 +1,45 @@
+package lanai
+
+import "repro/internal/sim"
+
+// Fuse batches repeated firmware work into single CPU events. Arm queues
+// the bound function on the LANai CPU once; while that event is still
+// queued, further Arm calls are absorbed (Pending reports this state), so
+// the caller folds the new work's arguments into its own accumulator and
+// the function sees the combined state when it finally runs. The GM ack
+// economy uses one per connection: a burst of same-timestamp coalesced
+// acks retires a whole window of send records in one AckProcCost event.
+//
+// The dispatch trampoline is bound at construction, so arming allocates
+// nothing.
+type Fuse struct {
+	nic   *NIC
+	fn    func()
+	run   func() // pre-bound fire, allocated once
+	armed bool
+}
+
+// NewFuse binds fn to the NIC's CPU facility.
+func NewFuse(nic *NIC, fn func()) *Fuse {
+	f := &Fuse{nic: nic, fn: fn}
+	f.run = f.fire
+	return f
+}
+
+func (f *Fuse) fire() {
+	f.armed = false
+	f.fn()
+}
+
+// Pending reports whether an armed event has not yet run.
+func (f *Fuse) Pending() bool { return f.armed }
+
+// Arm schedules the bound function after cost on the CPU facility; while
+// a previous Arm is still queued the call is absorbed.
+func (f *Fuse) Arm(cost sim.Time) {
+	if f.armed {
+		return
+	}
+	f.armed = true
+	f.nic.CPUDo(cost, f.run)
+}
